@@ -1,0 +1,582 @@
+(* tka — command-line front end for the top-k aggressor analysis stack.
+
+   Subcommands:
+     tka gen      generate a benchmark circuit (netlist / SPEF / DOT)
+     tka info     netlist statistics
+     tka sta      static timing analysis and critical path
+     tka noise    iterative crosstalk noise analysis
+     tka topk     top-k aggressor addition / elimination sets
+     tka liberty  dump the built-in cell library *)
+
+open Cmdliner
+
+module N = Tka_circuit.Netlist
+module Topo = Tka_circuit.Topo
+module Nf = Tka_circuit.Netlist_format
+module Spef = Tka_circuit.Spef_lite
+module Dot = Tka_circuit.Dot
+module Stats = Tka_circuit.Circuit_stats
+module Lib = Tka_cell.Default_lib
+module Liberty = Tka_cell.Liberty_lite
+module Analysis = Tka_sta.Analysis
+module CP = Tka_sta.Critical_path
+module Iterate = Tka_noise.Iterate
+module B = Tka_layout.Benchmarks
+module Addition = Tka_topk.Addition
+module Elimination = Tka_topk.Elimination
+module Report = Tka_topk.Report
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable informational logging.")
+
+let liberty_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "liberty" ] ~docv:"FILE"
+        ~doc:"Cell library in Liberty-lite format (default: built-in tka013).")
+
+let lookup_of_liberty = function
+  | None -> Lib.find
+  | Some path ->
+    let lib = Liberty.parse_file path in
+    fun name -> Liberty.find lib name
+
+let corner_arg =
+  Arg.(
+    value
+    & opt (enum [ ("tt", Tka_cell.Corner.typical); ("ss", Tka_cell.Corner.slow);
+                  ("ff", Tka_cell.Corner.fast) ])
+        Tka_cell.Corner.typical
+    & info [ "corner" ] ~docv:"CORNER"
+        ~doc:"PVT corner to analyse at: $(b,tt) (default), $(b,ss), $(b,ff).")
+
+let apply_corner corner nl =
+  if corner.Tka_cell.Corner.corner_name = Tka_cell.Corner.typical.Tka_cell.Corner.corner_name
+  then nl
+  else
+    Tka_circuit.Transform.map
+      ~cell_of:(fun g -> Tka_cell.Corner.derate_cell corner g.N.cell)
+      nl
+
+let netlist_pos =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"NETLIST" ~doc:"Input netlist in tka text format.")
+
+module V = Tka_circuit.Verilog_lite
+
+(* pick a parser by extension: .v structural Verilog, else tka text *)
+let load ~liberty path =
+  let lookup = lookup_of_liberty liberty in
+  if Filename.check_suffix path ".v" then V.parse_file ~lookup path
+  else Nf.parse_file ~lookup path
+
+let handle_errors f =
+  try f () with
+  | Nf.Parse_error { line; message } ->
+    Printf.eprintf "netlist parse error, line %d: %s\n" line message;
+    exit 1
+  | Liberty.Parse_error { line; message } ->
+    Printf.eprintf "liberty parse error, line %d: %s\n" line message;
+    exit 1
+  | Spef.Parse_error { line; message } ->
+    Printf.eprintf "spef parse error, line %d: %s\n" line message;
+    exit 1
+  | Tka_circuit.Builder.Invalid m ->
+    Printf.eprintf "invalid netlist: %s\n" m;
+    exit 1
+  | V.Parse_error { line; message } ->
+    Printf.eprintf "verilog parse error, line %d: %s\n" line message;
+    exit 1
+  | Failure m ->
+    Printf.eprintf "error: %s\n" m;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let bench =
+    Arg.(
+      value & opt string "i1"
+      & info [ "b"; "benchmark" ] ~docv:"NAME"
+          ~doc:"Benchmark to generate: i1..i10, tiny, or c17.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the netlist here (default stdout).")
+  in
+  let spef =
+    Arg.(
+      value & opt (some string) None
+      & info [ "spef" ] ~docv:"FILE" ~doc:"Also dump parasitics in SPEF-lite format.")
+  in
+  let dot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Also dump a Graphviz rendering.")
+  in
+  let verilog =
+    Arg.(
+      value & flag
+      & info [ "verilog" ] ~doc:"Emit structural Verilog instead of the tka text format.")
+  in
+  let run verbose bench out spef dot verilog =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let nl =
+          if bench = "tiny" then B.tiny ()
+          else if bench = "c17" then B.c17 ()
+          else
+            match B.by_name bench with
+            | Some nl -> nl
+            | None -> failwith (Printf.sprintf "unknown benchmark %S" bench)
+        in
+        let render, write =
+          if verilog then (V.print, V.write_file) else (Nf.print, Nf.write_file)
+        in
+        (match out with
+        | Some path -> write nl path
+        | None -> print_string (render nl));
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Spef.print nl);
+            close_out oc)
+          spef;
+        Option.iter (fun path -> Dot.write_file nl path) dot)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark circuit.")
+    Term.(const run $ verbose_arg $ bench $ out $ spef $ dot $ verilog)
+
+(* ------------------------------------------------------------------ *)
+(* info                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run verbose liberty path =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let nl = load ~liberty path in
+        Format.printf "%a@." Stats.pp (Stats.compute nl))
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print netlist statistics.")
+    Term.(const run $ verbose_arg $ liberty_arg $ netlist_pos)
+
+(* ------------------------------------------------------------------ *)
+(* sta                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sta_cmd =
+  let paths =
+    Arg.(
+      value & opt int 1
+      & info [ "paths" ] ~docv:"N" ~doc:"Report the N worst near-critical paths.")
+  in
+  let clock =
+    Arg.(
+      value & opt (some float) None
+      & info [ "clock" ] ~docv:"NS"
+          ~doc:"Clock period; when given, required times and slacks are reported.")
+  in
+  let run verbose liberty corner n clock path =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let nl = apply_corner corner (load ~liberty path) in
+        let topo = Topo.create nl in
+        let a = Analysis.run topo in
+        Printf.printf "circuit delay (noiseless): %.4f ns\n" (Analysis.circuit_delay a);
+        Printf.printf "worst output: %s\n"
+          (N.net nl (Analysis.worst_output a)).N.net_name;
+        let constraints =
+          Option.map
+            (fun period ->
+              let c = Tka_sta.Constraints.create ~clock_period:period a in
+              Printf.printf "clock period:  %.4f ns\n" period;
+              Printf.printf "worst slack:   %.4f ns\n"
+                (Tka_sta.Constraints.worst_slack c);
+              Printf.printf "violations:    %d net(s)\n"
+                (List.length (Tka_sta.Constraints.violations c));
+              c)
+            clock
+        in
+        let paths =
+          if n <= 1 then [ CP.worst a ] else CP.near_critical ~limit:n a
+        in
+        List.iteri
+          (fun i p ->
+            Printf.printf "path %d:\n%s" (i + 1)
+              (Tka_sta.Report_timing.path ?constraints a p))
+          paths)
+  in
+  Cmd.v
+    (Cmd.info "sta" ~doc:"Static timing analysis without noise.")
+    Term.(
+      const run $ verbose_arg $ liberty_arg $ corner_arg $ paths $ clock
+      $ netlist_pos)
+
+(* ------------------------------------------------------------------ *)
+(* noise                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let noise_cmd =
+  let worst =
+    Arg.(
+      value & opt int 5
+      & info [ "worst" ] ~docv:"N" ~doc:"List the N nets with the most delay noise.")
+  in
+  let breakdown =
+    Arg.(
+      value & flag
+      & info [ "breakdown" ]
+          ~doc:"Also show the per-aggressor breakdown of the noisiest nets.")
+  in
+  let show_path =
+    Arg.(
+      value & flag
+      & info [ "path" ] ~doc:"Show the noisy critical path with per-stage noise.")
+  in
+  let run verbose liberty corner worst breakdown show_path path =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let nl = apply_corner corner (load ~liberty path) in
+        let topo = Topo.create nl in
+        let r = Iterate.run topo in
+        Printf.printf "noiseless delay: %.4f ns\n" (Iterate.noiseless_delay r);
+        Printf.printf "noisy delay:     %.4f ns (+%.4f)\n" (Iterate.circuit_delay r)
+          (Iterate.total_delay_noise r);
+        Printf.printf "iterations:      %d (%sconverged)\n" r.Iterate.iterations
+          (if r.Iterate.converged then "" else "NOT ");
+        if show_path then
+          print_string (Tka_noise.Path_noise.render nl (Tka_noise.Path_noise.worst_path r));
+        if breakdown then
+          List.iter
+            (fun rep -> print_string (Tka_noise.Xtalk_report.render nl rep))
+            (Tka_noise.Xtalk_report.worst_victims ~count:worst r)
+        else begin
+          let noisiest =
+            List.init (N.num_nets nl) (fun v -> (v, Iterate.net_noise r v))
+            |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+            |> List.filteri (fun i _ -> i < worst)
+          in
+          Printf.printf "noisiest nets:\n";
+          List.iter
+            (fun (v, d) ->
+              if d > 0. then
+                Printf.printf "  %-12s %.4f ns\n" (N.net nl v).N.net_name d)
+            noisiest
+        end)
+  in
+  Cmd.v
+    (Cmd.info "noise" ~doc:"Iterative crosstalk delay-noise analysis.")
+    Term.(
+      const run $ verbose_arg $ liberty_arg $ corner_arg $ worst $ breakdown
+      $ show_path $ netlist_pos)
+
+(* ------------------------------------------------------------------ *)
+(* topk                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let topk_cmd =
+  let k =
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Set cardinality bound.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("add", `Add); ("elim", `Elim) ]) `Add
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"$(b,add) for the addition set, $(b,elim) for the elimination set.")
+  in
+  let run verbose liberty k mode path =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let nl = load ~liberty path in
+        let topo = Topo.create nl in
+        let ks = List.filter (fun i -> i <= k) [ 1; 2; 3; 5; 10; 20; 50 ] @ [ k ]
+                 |> List.sort_uniq Int.compare in
+        match mode with
+        | `Add ->
+          let t = Addition.compute ~k topo in
+          print_string (Report.addition nl t ~ks)
+        | `Elim ->
+          let t = Elimination.compute ~k topo in
+          print_string (Report.elimination nl t ~ks))
+  in
+  Cmd.v
+    (Cmd.info "topk"
+       ~doc:"Compute top-k aggressor addition or elimination sets.")
+    Term.(const run $ verbose_arg $ liberty_arg $ k $ mode $ netlist_pos)
+
+(* ------------------------------------------------------------------ *)
+(* falseagg                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let falseagg_cmd =
+  let run verbose liberty path =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let nl = load ~liberty path in
+        let topo = Topo.create nl in
+        let a = Analysis.run topo in
+        let c =
+          Tka_noise.False_aggressors.classify ~windows:(Analysis.window a) nl
+        in
+        let module Fa = Tka_noise.False_aggressors in
+        Printf.printf
+          "directed couplings: %d live, %d provably false (%.1f%% prunable)\n"
+          (List.length c.Fa.fa_true) (List.length c.Fa.fa_false)
+          (100. *. Fa.false_fraction c);
+        List.iteri
+          (fun i d ->
+            if i < 10 then
+              Printf.printf "  false: %s -> %s\n"
+                (N.net nl d.Tka_noise.Coupled_noise.dc_aggressor).N.net_name
+                (N.net nl d.Tka_noise.Coupled_noise.dc_victim).N.net_name)
+          c.Fa.fa_false)
+  in
+  Cmd.v
+    (Cmd.info "falseagg"
+       ~doc:"Identify false aggressors (couplings that can never create delay noise).")
+    Term.(const run $ verbose_arg $ liberty_arg $ netlist_pos)
+
+(* ------------------------------------------------------------------ *)
+(* glitch                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let glitch_cmd =
+  let margin =
+    Arg.(
+      value & opt float Tka_noise.Glitch.default_margin
+      & info [ "margin" ] ~docv:"VDD" ~doc:"DC noise margin in Vdd units.")
+  in
+  let run verbose liberty margin path =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let nl = load ~liberty path in
+        let topo = Topo.create nl in
+        let v = Tka_noise.Glitch.check ~margin topo in
+        Printf.printf "%d net(s) over the %.2f Vdd glitch margin\n" (List.length v)
+          margin;
+        List.iter
+          (fun x -> Format.printf "  %a@." (Tka_noise.Glitch.pp_violation nl) x)
+          v)
+  in
+  Cmd.v
+    (Cmd.info "glitch" ~doc:"Functional (glitch) noise screening.")
+    Term.(const run $ verbose_arg $ liberty_arg $ margin $ netlist_pos)
+
+(* ------------------------------------------------------------------ *)
+(* kvalue                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let kvalue_cmd =
+  let coverage =
+    Arg.(
+      value & opt float 0.8
+      & info [ "coverage" ] ~docv:"FRAC"
+          ~doc:"Noise fraction the recommended k must capture/recover.")
+  in
+  let kmax =
+    Arg.(value & opt int 30 & info [ "kmax" ] ~docv:"K" ~doc:"Largest k to explore.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("add", `Add); ("elim", `Elim) ]) `Add
+      & info [ "mode" ] ~docv:"MODE" ~doc:"$(b,add) or $(b,elim).")
+  in
+  let run verbose liberty coverage kmax mode path =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let nl = load ~liberty path in
+        ignore nl;
+        let topo = Topo.create nl in
+        let module Kv = Tka_topk.K_value in
+        let r =
+          match mode with
+          | `Add -> Kv.addition ~coverage ~kmax topo
+          | `Elim -> Kv.elimination ~coverage ~kmax topo
+        in
+        Printf.printf "k,delay_ns,noise_fraction\n";
+        List.iter
+          (fun p ->
+            Printf.printf "%d,%.4f,%.3f\n" p.Kv.kv_k p.Kv.kv_delay p.Kv.kv_fraction)
+          r.Kv.kv_curve;
+        (match r.Kv.kv_coverage_k with
+        | Some k -> Printf.printf "smallest k reaching %.0f%% coverage: %d\n" (coverage *. 100.) k
+        | None ->
+          Printf.printf "no sampled k reaches %.0f%% coverage (try a larger --kmax)\n"
+            (coverage *. 100.));
+        Printf.printf "diminishing-returns knee: k = %d\n" r.Kv.kv_knee_k)
+  in
+  Cmd.v
+    (Cmd.info "kvalue"
+       ~doc:"Recommend a good k (coverage + knee of the top-k curve).")
+    Term.(const run $ verbose_arg $ liberty_arg $ coverage $ kmax $ mode $ netlist_pos)
+
+(* ------------------------------------------------------------------ *)
+(* sdf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sdf_cmd =
+  let noisy =
+    Arg.(
+      value & flag
+      & info [ "noisy" ]
+          ~doc:"Fold crosstalk delay noise into the exported arc delays.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write here (default stdout).")
+  in
+  let run verbose liberty noisy out path =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let nl = load ~liberty path in
+        let topo = Topo.create nl in
+        let delay_of =
+          if noisy then begin
+            let r = Iterate.run topo in
+            fun (g : N.gate) ->
+              Tka_sta.Delay_calc.stage_delay nl g.N.gate_id
+              +. Iterate.net_noise r g.N.fanout
+          end
+          else fun (g : N.gate) -> Tka_sta.Delay_calc.stage_delay nl g.N.gate_id
+        in
+        match out with
+        | Some p -> Tka_circuit.Sdf_lite.write_file ~delay_of nl p
+        | None -> print_string (Tka_circuit.Sdf_lite.print ~delay_of nl))
+  in
+  Cmd.v
+    (Cmd.info "sdf" ~doc:"Export IOPATH delays in SDF-lite (optionally noisy).")
+    Term.(const run $ verbose_arg $ liberty_arg $ noisy $ out $ netlist_pos)
+
+(* ------------------------------------------------------------------ *)
+(* sensitivity                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sensitivity_cmd =
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"Set cardinality.") in
+  let trials =
+    Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc:"Perturbed trials.")
+  in
+  let noise =
+    Arg.(
+      value & opt float 0.15
+      & info [ "extraction-error" ] ~docv:"FRAC"
+          ~doc:"Uniform coupling-cap perturbation bound (0.15 = ±15%).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("add", `Add); ("elim", `Elim) ]) `Elim
+      & info [ "mode" ] ~docv:"MODE" ~doc:"$(b,add) or $(b,elim).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let run verbose liberty k trials noise mode seed path =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let nl = load ~liberty path in
+        let rng = Tka_util.Rng.create seed in
+        let module S = Tka_topk.Sensitivity in
+        let r =
+          match mode with
+          | `Add -> S.addition ~trials ~noise_pct:noise ~rng ~k nl
+          | `Elim -> S.elimination ~trials ~noise_pct:noise ~rng ~k nl
+        in
+        Printf.printf
+          "top-%d set stability under ±%.0f%% extraction error (%d trials):\n" k
+          (noise *. 100.) trials;
+        Printf.printf "  Jaccard vs nominal: mean %.2f, min %.2f\n"
+          r.S.sr_jaccard_mean r.S.sr_jaccard_min;
+        let lo, hi = r.S.sr_delay_spread in
+        Printf.printf "  evaluated delay spread: %.4f .. %.4f ns\n" lo hi;
+        Printf.printf "  robust core (%d of %d couplings chosen in every trial):\n"
+          (Tka_topk.Coupling_set.cardinality r.S.sr_always_chosen)
+          k;
+        List.iter print_endline
+          (Tka_topk.Report.set_lines nl r.S.sr_always_chosen))
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Robustness of the top-k set to coupling-extraction error.")
+    Term.(
+      const run $ verbose_arg $ liberty_arg $ k $ trials $ noise $ mode $ seed
+      $ netlist_pos)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let before_pos =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"BEFORE" ~doc:"Netlist before the change.")
+  in
+  let after_pos =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"AFTER" ~doc:"Netlist after the change.")
+  in
+  let run verbose liberty before after =
+    setup_logs verbose;
+    handle_errors (fun () ->
+        let analyse path =
+          let nl = load ~liberty path in
+          let r = Iterate.run (Topo.create nl) in
+          (nl, r)
+        in
+        let nl1, r1 = analyse before in
+        let nl2, r2 = analyse after in
+        Printf.printf "%-24s %12s %12s %10s\n" "" "before" "after" "delta";
+        let row label f1 f2 =
+          Printf.printf "%-24s %12.4f %12.4f %+10.4f\n" label f1 f2 (f2 -. f1)
+        in
+        row "noiseless delay (ns)" (Iterate.noiseless_delay r1)
+          (Iterate.noiseless_delay r2);
+        row "noisy delay (ns)" (Iterate.circuit_delay r1) (Iterate.circuit_delay r2);
+        row "total delay noise (ns)" (Iterate.total_delay_noise r1)
+          (Iterate.total_delay_noise r2);
+        Printf.printf "%-24s %12d %12d %+10d\n" "coupling caps"
+          (N.num_couplings nl1) (N.num_couplings nl2)
+          (N.num_couplings nl2 - N.num_couplings nl1))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare timing and noise of two netlists (before/after a fix).")
+    Term.(const run $ verbose_arg $ liberty_arg $ before_pos $ after_pos)
+
+(* ------------------------------------------------------------------ *)
+(* liberty                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let liberty_cmd =
+  let run () = print_string (Lib.to_liberty ()) in
+  Cmd.v
+    (Cmd.info "liberty" ~doc:"Dump the built-in tka013 cell library.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "top-k aggressor sets in crosstalk delay noise analysis" in
+  let info = Cmd.info "tka" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; info_cmd; sta_cmd; noise_cmd; topk_cmd; glitch_cmd;
+            falseagg_cmd; kvalue_cmd; sensitivity_cmd; compare_cmd; sdf_cmd;
+            liberty_cmd;
+          ]))

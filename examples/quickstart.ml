@@ -1,0 +1,59 @@
+(* Quickstart: build a small netlist, run timing and noise analysis,
+   and ask for its top-k aggressor sets.
+
+     dune exec examples/quickstart.exe *)
+
+module Builder = Tka_circuit.Builder
+module Topo = Tka_circuit.Topo
+module Lib = Tka_cell.Default_lib
+module Analysis = Tka_sta.Analysis
+module Iterate = Tka_noise.Iterate
+module Addition = Tka_topk.Addition
+module Elimination = Tka_topk.Elimination
+module Report = Tka_topk.Report
+
+let () =
+  (* 1. Describe the circuit: two coupled inverter chains joined by a
+     NAND, a textbook crosstalk situation. *)
+  let b = Builder.create ~name:"quickstart" () in
+  let a = Builder.add_input b "a" in
+  let c = Builder.add_input b "c" in
+  let n1 = Builder.add_net b "n1" in
+  let n2 = Builder.add_net b "n2" in
+  let m1 = Builder.add_net b "m1" in
+  let y = Builder.add_net b "y" in
+  let inv = Lib.find_exn "INV_X1" in
+  ignore (Builder.add_gate b ~name:"u1" ~cell:inv ~inputs:[ ("A", a) ] ~output:n1);
+  ignore (Builder.add_gate b ~name:"u2" ~cell:inv ~inputs:[ ("A", n1) ] ~output:n2);
+  ignore (Builder.add_gate b ~name:"u3" ~cell:inv ~inputs:[ ("A", c) ] ~output:m1);
+  ignore
+    (Builder.add_gate b ~name:"u4" ~cell:(Lib.find_exn "NAND2_X1")
+       ~inputs:[ ("A", n2); ("B", m1) ]
+       ~output:y);
+  Builder.mark_output b y;
+  (* coupling capacitors, as a router/extractor would report them *)
+  List.iter
+    (fun (x, z, cap) -> ignore (Builder.add_coupling b x z cap))
+    [ (n1, m1, 0.004); (n2, m1, 0.005); (n2, y, 0.003) ];
+  let nl = Builder.finalize b in
+  let topo = Topo.create nl in
+
+  (* 2. Static timing without noise. *)
+  let sta = Analysis.run topo in
+  Printf.printf "noiseless circuit delay: %.4f ns\n" (Analysis.circuit_delay sta);
+
+  (* 3. Iterative crosstalk noise analysis (windows + delay noise to a
+     fixpoint). *)
+  let noisy = Iterate.run topo in
+  Printf.printf "with all aggressors:     %.4f ns (after %d noise iterations)\n"
+    (Iterate.circuit_delay noisy) noisy.Iterate.iterations;
+
+  (* 4. The paper's question: which k couplings matter most? *)
+  let add = Addition.compute ~k:3 topo in
+  print_newline ();
+  print_string (Report.addition nl add ~ks:[ 1; 2; 3 ]);
+
+  (* ... and which k fixes would buy back the most delay? *)
+  let elim = Elimination.compute ~k:2 topo in
+  print_newline ();
+  print_string (Report.elimination nl elim ~ks:[ 1; 2 ])

@@ -1,0 +1,55 @@
+type pin_direction = Input | Output
+
+type pin = { pin_name : string; direction : pin_direction; capacitance : float }
+
+type t = {
+  name : string;
+  inputs : pin list;
+  output : pin;
+  logic : string;
+  intrinsic_delay : float;
+  drive_resistance : float;
+  intrinsic_slew : float;
+  slew_resistance : float;
+}
+
+let input_pin ~name ~capacitance =
+  if capacitance < 0. then invalid_arg "Cell.input_pin: negative capacitance";
+  { pin_name = name; direction = Input; capacitance }
+
+let output_pin ~name = { pin_name = name; direction = Output; capacitance = 0. }
+
+let make ~name ~inputs ~output ~logic ~intrinsic_delay ~drive_resistance
+    ~intrinsic_slew ~slew_resistance =
+  if inputs = [] then invalid_arg "Cell.make: a cell needs at least one input";
+  if List.exists (fun p -> p.direction <> Input) inputs then
+    invalid_arg "Cell.make: non-input pin in inputs";
+  if output.direction <> Output then invalid_arg "Cell.make: output pin has wrong direction";
+  let names = output.pin_name :: List.map (fun p -> p.pin_name) inputs in
+  let dedup = List.sort_uniq String.compare names in
+  if List.length dedup <> List.length names then
+    invalid_arg "Cell.make: duplicate pin names";
+  if intrinsic_delay <= 0. || drive_resistance <= 0. || intrinsic_slew <= 0.
+     || slew_resistance <= 0.
+  then invalid_arg "Cell.make: model parameters must be positive";
+  { name; inputs; output; logic; intrinsic_delay; drive_resistance;
+    intrinsic_slew; slew_resistance }
+
+let arity t = List.length t.inputs
+
+let find_input t name = List.find_opt (fun p -> p.pin_name = name) t.inputs
+
+let input_names t = List.map (fun p -> p.pin_name) t.inputs
+
+let input_capacitance t name =
+  match find_input t name with
+  | Some p -> p.capacitance
+  | None -> raise Not_found
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s -> %s) d=%g+%g*C slew=%g+%g*C" t.name
+    (String.concat "," (input_names t))
+    t.output.pin_name t.intrinsic_delay t.drive_resistance t.intrinsic_slew
+    t.slew_resistance

@@ -1,0 +1,63 @@
+(** Standard-cell descriptions.
+
+    A cell is a single-output combinational gate with a linear
+    (Thevenin-style) timing and noise model, the abstraction level used
+    throughout the paper ("we make the engineering decision to use the
+    linear noise framework"):
+
+    - propagation delay [intrinsic_delay + drive_resistance * C_load];
+    - output slew [intrinsic_slew + slew_resistance * C_load], floored by
+      a fraction of the input slew;
+    - when the output is quiet, the driver holds the net through
+      [drive_resistance], which sets crosstalk pulse height and decay.
+
+    Units: time ns, capacitance pF, resistance kΩ (so kΩ·pF = ns). *)
+
+type pin_direction = Input | Output
+
+type pin = {
+  pin_name : string;
+  direction : pin_direction;
+  capacitance : float;  (** pF; 0 for outputs *)
+}
+
+type t = private {
+  name : string;
+  inputs : pin list;  (** at least one, all [Input] *)
+  output : pin;  (** [Output] *)
+  logic : string;  (** informal boolean function, for reports/DOT *)
+  intrinsic_delay : float;  (** ns *)
+  drive_resistance : float;  (** kΩ *)
+  intrinsic_slew : float;  (** ns *)
+  slew_resistance : float;  (** kΩ *)
+}
+
+val make :
+  name:string ->
+  inputs:pin list ->
+  output:pin ->
+  logic:string ->
+  intrinsic_delay:float ->
+  drive_resistance:float ->
+  intrinsic_slew:float ->
+  slew_resistance:float ->
+  t
+(** Validates directions, positivity of the model parameters and
+    uniqueness of pin names. *)
+
+val input_pin : name:string -> capacitance:float -> pin
+val output_pin : name:string -> pin
+
+val arity : t -> int
+(** Number of input pins. *)
+
+val find_input : t -> string -> pin option
+val input_names : t -> string list
+
+val input_capacitance : t -> string -> float
+(** Capacitance of the named input pin. Raises [Not_found] if absent. *)
+
+val equal : t -> t -> bool
+(** Structural equality on all fields. *)
+
+val pp : Format.formatter -> t -> unit

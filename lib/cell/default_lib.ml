@@ -1,0 +1,81 @@
+let name = "tka013"
+
+(* Base (X1) parameters per logic function:
+   (cell base name, input pin names, logic, input cap pF, intrinsic ns,
+    drive kΩ, intrinsic slew ns, slew kΩ). *)
+let base_cells =
+  [
+    ("INV", [ "A" ], "!A", 0.0030, 0.018, 1.17, 0.016, 1.4);
+    ("BUF", [ "A" ], "A", 0.0030, 0.034, 1.08, 0.018, 1.3);
+    ("NAND2", [ "A"; "B" ], "!(A*B)", 0.0034, 0.024, 1.3, 0.020, 1.53);
+    ("NAND3", [ "A"; "B"; "C" ], "!(A*B*C)", 0.0037, 0.030, 1.48, 0.024, 1.71);
+    ("NOR2", [ "A"; "B" ], "!(A+B)", 0.0035, 0.027, 1.44, 0.022, 1.67);
+    ("NOR3", [ "A"; "B"; "C" ], "!(A+B+C)", 0.0038, 0.034, 1.67, 0.026, 1.89);
+    ("AND2", [ "A"; "B" ], "A*B", 0.0033, 0.040, 1.22, 0.021, 1.44);
+    ("OR2", [ "A"; "B" ], "A+B", 0.0033, 0.043, 1.26, 0.022, 1.48);
+    ("XOR2", [ "A"; "B" ], "A^B", 0.0045, 0.052, 1.35, 0.026, 1.62);
+    ("XNOR2", [ "A"; "B" ], "!(A^B)", 0.0045, 0.054, 1.35, 0.026, 1.62);
+    ("AOI21", [ "A"; "B"; "C" ], "!((A*B)+C)", 0.0036, 0.032, 1.53, 0.024, 1.75);
+    ("OAI21", [ "A"; "B"; "C" ], "!((A+B)*C)", 0.0036, 0.033, 1.53, 0.024, 1.75);
+  ]
+
+(* Drive variants: name suffix, resistance divisor, input-cap multiplier,
+   intrinsic-delay multiplier. *)
+let drives = [ ("X1", 1.0, 1.0, 1.0); ("X2", 2.0, 1.7, 0.95); ("X4", 4.0, 2.9, 0.92) ]
+
+let build (base, pins, logic, cap, d0, rdrv, s0, rslew) (suffix, rdiv, capx, dx) =
+  let inputs =
+    List.map (fun p -> Cell.input_pin ~name:p ~capacitance:(cap *. capx)) pins
+  in
+  Cell.make
+    ~name:(base ^ "_" ^ suffix)
+    ~inputs
+    ~output:(Cell.output_pin ~name:"Y")
+    ~logic
+    ~intrinsic_delay:(d0 *. dx)
+    ~drive_resistance:(rdrv /. rdiv)
+    ~intrinsic_slew:(s0 *. dx)
+    ~slew_resistance:(rslew /. rdiv)
+
+let cells =
+  List.concat_map (fun b -> List.map (build b) drives) base_cells
+
+let find n = List.find_opt (fun c -> c.Cell.name = n) cells
+
+let find_exn n =
+  match find n with Some c -> c | None -> raise Not_found
+
+let inverter = find_exn "INV_X1"
+let buffer = find_exn "BUF_X1"
+
+let combinational_of_arity n = List.filter (fun c -> Cell.arity c = n) cells
+
+let to_liberty () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "library(%s) {\n" name);
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (Printf.sprintf "  cell(%s) {\n" c.Cell.name);
+      Buffer.add_string buf
+        (Printf.sprintf "    intrinsic_delay : %.6f;\n" c.Cell.intrinsic_delay);
+      Buffer.add_string buf
+        (Printf.sprintf "    drive_resistance : %.6f;\n" c.Cell.drive_resistance);
+      Buffer.add_string buf
+        (Printf.sprintf "    intrinsic_slew : %.6f;\n" c.Cell.intrinsic_slew);
+      Buffer.add_string buf
+        (Printf.sprintf "    slew_resistance : %.6f;\n" c.Cell.slew_resistance);
+      Buffer.add_string buf (Printf.sprintf "    function : \"%s\";\n" c.Cell.logic);
+      List.iter
+        (fun p ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    pin(%s) { direction : input; capacitance : %.6f; }\n"
+               p.Cell.pin_name p.Cell.capacitance))
+        c.Cell.inputs;
+      Buffer.add_string buf
+        (Printf.sprintf "    pin(%s) { direction : output; }\n"
+           c.Cell.output.Cell.pin_name);
+      Buffer.add_string buf "  }\n")
+    cells;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

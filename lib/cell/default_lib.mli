@@ -1,0 +1,35 @@
+(** The built-in "tka013" standard-cell library.
+
+    A 0.13µm-class combinational library replacing the commercial
+    library of the paper's experimental flow. Parameters are chosen so
+    that typical loaded stage delays land in the 0.05–0.15 ns range,
+    putting the benchmark circuit delays in the paper's 0.4–3.1 ns
+    envelope.
+
+    Each logic function comes in drive strengths X1, X2 and X4 (halved /
+    quartered drive resistance, proportionally larger input pins). *)
+
+val name : string
+(** ["tka013"]. *)
+
+val cells : Cell.t list
+(** All cells, stable order. *)
+
+val find : string -> Cell.t option
+(** Look up by cell name, e.g. ["NAND2_X1"]. *)
+
+val find_exn : string -> Cell.t
+(** @raise Not_found when the cell does not exist. *)
+
+val inverter : Cell.t
+(** INV_X1, the canonical single-input cell. *)
+
+val buffer : Cell.t
+(** BUF_X1. *)
+
+val combinational_of_arity : int -> Cell.t list
+(** All X1–X4 cells with exactly that many inputs. *)
+
+val to_liberty : unit -> string
+(** Render the library in the Liberty-lite text format understood by
+    {!Liberty_lite.parse} (round-trips). *)

@@ -1,0 +1,16 @@
+let slew_leak = 0.25
+
+let gate_delay ~cell ~load =
+  if load < 0. then invalid_arg "Delay_model.gate_delay: negative load";
+  cell.Cell.intrinsic_delay +. (cell.Cell.drive_resistance *. load)
+
+let output_slew ~cell ~input_slew ~load =
+  if load < 0. then invalid_arg "Delay_model.output_slew: negative load";
+  if input_slew < 0. then invalid_arg "Delay_model.output_slew: negative input slew";
+  Float.max
+    (cell.Cell.intrinsic_slew +. (cell.Cell.slew_resistance *. load))
+    (slew_leak *. input_slew)
+
+let holding_resistance cell = cell.Cell.drive_resistance
+
+let rc ~resistance ~capacitance = resistance *. capacitance

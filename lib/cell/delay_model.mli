@@ -1,0 +1,24 @@
+(** The linear gate delay / slew / holding model.
+
+    Single consistent place for the timing arithmetic used by STA
+    ({!Tka_sta}) and for the driver strength used by noise analysis
+    ({!Tka_noise}). *)
+
+val gate_delay : cell:Cell.t -> load:float -> float
+(** Pin-to-output propagation delay for an output load of [load] pF:
+    [intrinsic_delay + drive_resistance * load]. *)
+
+val output_slew : cell:Cell.t -> input_slew:float -> load:float -> float
+(** Output transition time. The cell shapes its output as
+    [intrinsic_slew + slew_resistance * load], but a very slow input
+    leaks through: the result is floored at [input_slew * slew_leak]. *)
+
+val slew_leak : float
+(** Fraction of the input slew surviving through a gate (0.25). *)
+
+val holding_resistance : Cell.t -> float
+(** Thevenin resistance with which the driver holds its quiet output;
+    equal to [drive_resistance] in the linear model. *)
+
+val rc : resistance:float -> capacitance:float -> float
+(** kΩ * pF = ns. *)

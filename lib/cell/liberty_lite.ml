@@ -1,0 +1,295 @@
+type t = { library_name : string; cells : Cell.t list }
+
+exception Parse_error of { line : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | Str of string
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Semi
+  | Eof
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let error lx message = raise (Parse_error { line = lx.line; message })
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with Some '\n' -> lx.line <- lx.line + 1 | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let is_number_start c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.'
+
+let rec skip_trivia lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_trivia lx
+  | Some '/' when lx.pos + 1 < String.length lx.src -> (
+    match lx.src.[lx.pos + 1] with
+    | '/' ->
+      while peek_char lx <> None && peek_char lx <> Some '\n' do
+        advance lx
+      done;
+      skip_trivia lx
+    | '*' ->
+      advance lx;
+      advance lx;
+      let rec close () =
+        match peek_char lx with
+        | None -> error lx "unterminated block comment"
+        | Some '*' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+          advance lx;
+          advance lx
+        | Some _ ->
+          advance lx;
+          close ()
+      in
+      close ();
+      skip_trivia lx
+    | _ -> ())
+  | _ -> ()
+
+let lex_token lx =
+  skip_trivia lx;
+  match peek_char lx with
+  | None -> Eof
+  | Some '(' -> advance lx; Lparen
+  | Some ')' -> advance lx; Rparen
+  | Some '{' -> advance lx; Lbrace
+  | Some '}' -> advance lx; Rbrace
+  | Some ':' -> advance lx; Colon
+  | Some ';' -> advance lx; Semi
+  | Some '"' ->
+    advance lx;
+    let start = lx.pos in
+    while peek_char lx <> None && peek_char lx <> Some '"' do
+      advance lx
+    done;
+    if peek_char lx = None then error lx "unterminated string";
+    let s = String.sub lx.src start (lx.pos - start) in
+    advance lx;
+    Str s
+  | Some c when is_number_start c ->
+    let start = lx.pos in
+    let accept c =
+      is_number_start c || c = 'e' || c = 'E'
+    in
+    while (match peek_char lx with Some c -> accept c | None -> false) do
+      advance lx
+    done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    (match float_of_string_opt s with
+    | Some f -> Number f
+    | None -> error lx (Printf.sprintf "malformed number %S" s))
+  | Some c when is_ident_char c ->
+    let start = lx.pos in
+    while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+      advance lx
+    done;
+    Ident (String.sub lx.src start (lx.pos - start))
+  | Some c -> error lx (Printf.sprintf "unexpected character %C" c)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { lx : lexer; mutable tok : token }
+
+let next st = st.tok <- lex_token st.lx
+
+let expect st tok what =
+  if st.tok = tok then next st
+  else error st.lx (Printf.sprintf "expected %s" what)
+
+let expect_ident st what =
+  match st.tok with
+  | Ident s ->
+    next st;
+    s
+  | _ -> error st.lx (Printf.sprintf "expected %s" what)
+
+type value = Vnum of float | Vstr of string
+
+let parse_value st =
+  match st.tok with
+  | Number f ->
+    next st;
+    Vnum f
+  | Str s ->
+    next st;
+    Vstr s
+  | Ident s ->
+    next st;
+    Vstr s
+  | Lparen | Rparen | Lbrace | Rbrace | Colon | Semi | Eof ->
+    error st.lx "expected a value"
+
+(* attr := IDENT ':' value ';' — the IDENT is already consumed. *)
+let parse_attr_tail st =
+  expect st Colon "':'";
+  let v = parse_value st in
+  expect st Semi "';'";
+  v
+
+let num st key = function
+  | Vnum f -> f
+  | Vstr _ -> error st.lx (Printf.sprintf "attribute %s must be numeric" key)
+
+let str st key = function
+  | Vstr s -> s
+  | Vnum _ -> error st.lx (Printf.sprintf "attribute %s must be a string" key)
+
+type raw_pin = {
+  rp_name : string;
+  rp_direction : string option;
+  rp_capacitance : float option;
+}
+
+let parse_pin st =
+  (* 'pin' consumed *)
+  expect st Lparen "'('";
+  let pname = expect_ident st "pin name" in
+  expect st Rparen "')'";
+  expect st Lbrace "'{'";
+  let direction = ref None and capacitance = ref None in
+  let rec items () =
+    match st.tok with
+    | Rbrace ->
+      next st
+    | Ident key ->
+      next st;
+      let v = parse_attr_tail st in
+      (match key with
+      | "direction" -> direction := Some (str st key v)
+      | "capacitance" -> capacitance := Some (num st key v)
+      | _ -> () (* tolerate unknown pin attributes *));
+      items ()
+    | _ -> error st.lx "expected pin attribute or '}'"
+  in
+  items ();
+  { rp_name = pname; rp_direction = !direction; rp_capacitance = !capacitance }
+
+let parse_cell st =
+  (* 'cell' consumed *)
+  expect st Lparen "'('";
+  let cname = expect_ident st "cell name" in
+  expect st Rparen "')'";
+  expect st Lbrace "'{'";
+  let attrs = Hashtbl.create 8 in
+  let pins = ref [] in
+  let rec items () =
+    match st.tok with
+    | Rbrace ->
+      next st
+    | Ident "pin" ->
+      next st;
+      pins := parse_pin st :: !pins;
+      items ()
+    | Ident key ->
+      next st;
+      let v = parse_attr_tail st in
+      Hashtbl.replace attrs key v;
+      items ()
+    | _ -> error st.lx "expected cell attribute, pin or '}'"
+  in
+  items ();
+  let required key =
+    match Hashtbl.find_opt attrs key with
+    | Some v -> num st key v
+    | None ->
+      error st.lx (Printf.sprintf "cell %s: missing attribute %s" cname key)
+  in
+  let logic =
+    match Hashtbl.find_opt attrs "function" with
+    | Some v -> str st "function" v
+    | None -> ""
+  in
+  let classify p =
+    match p.rp_direction with
+    | Some "input" -> (
+      match p.rp_capacitance with
+      | Some c -> `Input (Cell.input_pin ~name:p.rp_name ~capacitance:c)
+      | None ->
+        error st.lx
+          (Printf.sprintf "cell %s: input pin %s has no capacitance" cname p.rp_name))
+    | Some "output" -> `Output (Cell.output_pin ~name:p.rp_name)
+    | Some d ->
+      error st.lx (Printf.sprintf "cell %s: pin %s: bad direction %S" cname p.rp_name d)
+    | None ->
+      error st.lx (Printf.sprintf "cell %s: pin %s has no direction" cname p.rp_name)
+  in
+  let classified = List.rev_map classify !pins in
+  let inputs =
+    List.filter_map (function `Input p -> Some p | `Output _ -> None) classified
+  in
+  let outputs =
+    List.filter_map (function `Output p -> Some p | `Input _ -> None) classified
+  in
+  let output =
+    match outputs with
+    | [ o ] -> o
+    | [] -> error st.lx (Printf.sprintf "cell %s: no output pin" cname)
+    | _ -> error st.lx (Printf.sprintf "cell %s: multiple output pins" cname)
+  in
+  try
+    Cell.make ~name:cname ~inputs ~output ~logic
+      ~intrinsic_delay:(required "intrinsic_delay")
+      ~drive_resistance:(required "drive_resistance")
+      ~intrinsic_slew:(required "intrinsic_slew")
+      ~slew_resistance:(required "slew_resistance")
+  with Invalid_argument m -> error st.lx (Printf.sprintf "cell %s: %s" cname m)
+
+let parse src =
+  let st = { lx = { src; pos = 0; line = 1 }; tok = Eof } in
+  next st;
+  (match st.tok with
+  | Ident "library" -> next st
+  | _ -> error st.lx "expected 'library'");
+  expect st Lparen "'('";
+  let library_name = expect_ident st "library name" in
+  expect st Rparen "')'";
+  expect st Lbrace "'{'";
+  let cells = ref [] in
+  let rec items () =
+    match st.tok with
+    | Rbrace ->
+      next st
+    | Ident "cell" ->
+      next st;
+      cells := parse_cell st :: !cells;
+      items ()
+    | _ -> error st.lx "expected 'cell' or '}'"
+  in
+  items ();
+  (match st.tok with
+  | Eof -> ()
+  | _ -> error st.lx "trailing content after library");
+  { library_name; cells = List.rev !cells }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src
+
+let find t n = List.find_opt (fun c -> c.Cell.name = n) t.cells

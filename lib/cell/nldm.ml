@@ -1,0 +1,96 @@
+type t = {
+  slew_axis : float array;
+  load_axis : float array;
+  values : float array array;
+}
+
+let strictly_increasing a =
+  let ok = ref (Array.length a >= 2) in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) >= a.(i + 1) then ok := false
+  done;
+  !ok
+
+let create ~slews ~loads ~values =
+  if not (strictly_increasing slews) then
+    invalid_arg "Nldm.create: slew axis must be strictly increasing (>= 2 points)";
+  if not (strictly_increasing loads) then
+    invalid_arg "Nldm.create: load axis must be strictly increasing (>= 2 points)";
+  if Array.length values <> Array.length slews then
+    invalid_arg "Nldm.create: row count must match slew axis";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length loads then
+        invalid_arg "Nldm.create: column count must match load axis")
+    values;
+  { slew_axis = slews; load_axis = loads; values }
+
+let slews t = Array.copy t.slew_axis
+let loads t = Array.copy t.load_axis
+
+(* index of the cell containing x: largest i with axis.(i) <= x, clamped
+   to [0, n-2] so (i, i+1) is always a valid segment *)
+let segment axis x =
+  let n = Array.length axis in
+  let rec go i = if i >= n - 1 then n - 2 else if axis.(i + 1) > x then i else go (i + 1) in
+  if x <= axis.(0) then 0 else go 0
+
+let lookup t ~input_slew ~load =
+  let clamp axis x =
+    if x < axis.(0) then axis.(0)
+    else if x > axis.(Array.length axis - 1) then axis.(Array.length axis - 1)
+    else x
+  in
+  let s = clamp t.slew_axis input_slew in
+  let l = clamp t.load_axis load in
+  let i = segment t.slew_axis s in
+  let j = segment t.load_axis l in
+  let s0 = t.slew_axis.(i) and s1 = t.slew_axis.(i + 1) in
+  let l0 = t.load_axis.(j) and l1 = t.load_axis.(j + 1) in
+  let fs = (s -. s0) /. (s1 -. s0) in
+  let fl = (l -. l0) /. (l1 -. l0) in
+  let v00 = t.values.(i).(j)
+  and v01 = t.values.(i).(j + 1)
+  and v10 = t.values.(i + 1).(j)
+  and v11 = t.values.(i + 1).(j + 1) in
+  ((1. -. fs) *. (((1. -. fl) *. v00) +. (fl *. v01)))
+  +. (fs *. (((1. -. fl) *. v10) +. (fl *. v11)))
+
+let default_slews = [| 0.005; 0.02; 0.05; 0.12; 0.30 |]
+let default_loads = [| 0.001; 0.005; 0.015; 0.04; 0.08; 0.15 |]
+
+let of_linear ?(slews = default_slews) ?(loads = default_loads) cell =
+  let sample f =
+    Array.map
+      (fun s -> Array.map (fun l -> f ~input_slew:s ~load:l) loads)
+      slews
+  in
+  let delay_table =
+    sample (fun ~input_slew:_ ~load -> Delay_model.gate_delay ~cell ~load)
+  in
+  let slew_table =
+    sample (fun ~input_slew ~load -> Delay_model.output_slew ~cell ~input_slew ~load)
+  in
+  ( create ~slews ~loads ~values:delay_table,
+    create ~slews ~loads ~values:slew_table )
+
+let monotone_in_load t =
+  let ok = ref true in
+  Array.iter
+    (fun row ->
+      for j = 0 to Array.length row - 2 do
+        if row.(j) > row.(j + 1) +. 1e-12 then ok := false
+      done)
+    t.values;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>nldm %dx%d:@ " (Array.length t.slew_axis)
+    (Array.length t.load_axis);
+  Array.iteri
+    (fun i row ->
+      Format.fprintf ppf "slew %g:" t.slew_axis.(i);
+      Array.iter (fun v -> Format.fprintf ppf " %.4f" v) row;
+      Format.fprintf ppf "@ ")
+    t.values;
+  Format.fprintf ppf "@]"

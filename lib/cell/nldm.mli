@@ -1,0 +1,46 @@
+(** Table-based (NLDM-style) nonlinear delay model.
+
+    The paper's future work names "extension to non-linear driver
+    models". This module provides the standard industry stepping stone:
+    two-dimensional lookup tables over (input slew × output load) with
+    bilinear interpolation, the Liberty NLDM formulation. A table can
+    be fitted from silicon/SPICE data or synthesised from the linear
+    model ({!of_linear}), and {!lookup} clamps at the characterised
+    corners like real timers do.
+
+    The analyses in this library run on the linear model; NLDM tables
+    are the drop-in data structure for a nonlinear [Delay_calc]
+    replacement. *)
+
+type t
+(** An immutable 2-D table: delay (or slew) in ns indexed by input slew
+    (ns) and output load (pF). *)
+
+val create :
+  slews:float array -> loads:float array -> values:float array array -> t
+(** [create ~slews ~loads ~values] with [values.(i).(j)] the value at
+    [slews.(i)], [loads.(j)]. Axes must be strictly increasing with at
+    least two points each; the value matrix must be rectangular and
+    match the axes. @raise Invalid_argument otherwise. *)
+
+val lookup : t -> input_slew:float -> load:float -> float
+(** Bilinear interpolation inside the characterised region; clamped
+    extrapolation outside (the conservative standard behaviour). *)
+
+val slews : t -> float array
+val loads : t -> float array
+
+val of_linear :
+  ?slews:float array -> ?loads:float array -> Cell.t -> t * t
+(** [of_linear cell] synthesises (delay table, slew table) sampling the
+    linear model on default axes (5 slews × 6 loads spanning the
+    library's operating range). Exact at grid points; between points
+    the bilinear surface coincides with the linear model (the model is
+    affine in load and, for the slew table, piecewise-affine in input
+    slew). *)
+
+val monotone_in_load : t -> bool
+(** Sanity predicate used by library validation: values never decrease
+    as load grows (at fixed slew). *)
+
+val pp : Format.formatter -> t -> unit

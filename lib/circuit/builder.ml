@@ -1,0 +1,224 @@
+module N = Netlist
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Invalid m)) fmt
+
+type proto_net = {
+  mutable p_wire_cap : float;
+  mutable p_wire_res : float;
+  p_name : string;
+  p_is_input : bool;
+  mutable p_is_output : bool;
+  mutable p_driver : N.gate_id option;
+  mutable p_sinks : N.sink list;
+}
+
+type proto_gate = {
+  pg_name : string;
+  pg_cell : Tka_cell.Cell.t;
+  pg_fanin : (string * N.net_id) list;
+  pg_fanout : N.net_id;
+}
+
+type t = {
+  b_name : string;
+  mutable nets : proto_net list; (* reversed *)
+  mutable gates : proto_gate list; (* reversed *)
+  mutable couplings : (N.net_id * N.net_id * float) list; (* reversed *)
+  mutable n_nets : int;
+  mutable n_gates : int;
+  mutable n_couplings : int;
+  mutable input_ids : N.net_id list; (* reversed *)
+  net_names : (string, N.net_id) Hashtbl.t;
+  gate_names : (string, unit) Hashtbl.t;
+  mutable net_by_id : proto_net array; (* grows *)
+}
+
+let default_wire_cap = 0.005
+let default_wire_res = 0.5
+
+let create ?(name = "circuit") () =
+  {
+    b_name = name;
+    nets = [];
+    gates = [];
+    couplings = [];
+    n_nets = 0;
+    n_gates = 0;
+    n_couplings = 0;
+    input_ids = [];
+    net_names = Hashtbl.create 64;
+    gate_names = Hashtbl.create 64;
+    net_by_id = [||];
+  }
+
+let grow_net_index b pn =
+  let n = Array.length b.net_by_id in
+  if b.n_nets > n then begin
+    let bigger = Array.make (max 16 (2 * max n 1)) pn in
+    Array.blit b.net_by_id 0 bigger 0 n;
+    b.net_by_id <- bigger
+  end;
+  b.net_by_id.(b.n_nets - 1) <- pn
+
+let add_net_common b ~wire_cap ~wire_res ~is_input name =
+  if Hashtbl.mem b.net_names name then fail "duplicate net name %S" name;
+  if wire_cap < 0. || wire_res < 0. then fail "net %S: negative parasitics" name;
+  let id = b.n_nets in
+  let pn =
+    {
+      p_wire_cap = wire_cap;
+      p_wire_res = wire_res;
+      p_name = name;
+      p_is_input = is_input;
+      p_is_output = false;
+      p_driver = None;
+      p_sinks = [];
+    }
+  in
+  b.nets <- pn :: b.nets;
+  b.n_nets <- b.n_nets + 1;
+  Hashtbl.replace b.net_names name id;
+  grow_net_index b pn;
+  if is_input then b.input_ids <- id :: b.input_ids;
+  id
+
+let add_input b ?(wire_cap = default_wire_cap) ?(wire_res = default_wire_res) name =
+  add_net_common b ~wire_cap ~wire_res ~is_input:true name
+
+let add_net b ?(wire_cap = default_wire_cap) ?(wire_res = default_wire_res) name =
+  add_net_common b ~wire_cap ~wire_res ~is_input:false name
+
+let proto_net b id =
+  if id < 0 || id >= b.n_nets then fail "unknown net id %d" id;
+  b.net_by_id.(id)
+
+let set_wire b id ~cap ~res =
+  if cap < 0. || res < 0. then fail "set_wire: negative parasitics";
+  let pn = proto_net b id in
+  pn.p_wire_cap <- cap;
+  pn.p_wire_res <- res
+
+let add_gate b ~name ~cell ~inputs ~output =
+  if Hashtbl.mem b.gate_names name then fail "duplicate gate name %S" name;
+  let expected = List.sort String.compare (Tka_cell.Cell.input_names cell) in
+  let given = List.sort String.compare (List.map fst inputs) in
+  if expected <> given then
+    fail "gate %S: pins of %s are %s, got %s" name cell.Tka_cell.Cell.name
+      (String.concat "," expected) (String.concat "," given);
+  let out_net = proto_net b output in
+  if out_net.p_is_input then fail "gate %S: cannot drive primary input %S" name out_net.p_name;
+  (match out_net.p_driver with
+  | Some _ -> fail "net %S has multiple drivers" out_net.p_name
+  | None -> ());
+  let id = b.n_gates in
+  List.iter
+    (fun (pin, nid) ->
+      let pn = proto_net b nid in
+      pn.p_sinks <- { N.sink_gate = id; sink_pin = pin } :: pn.p_sinks)
+    inputs;
+  out_net.p_driver <- Some id;
+  b.gates <- { pg_name = name; pg_cell = cell; pg_fanin = inputs; pg_fanout = output } :: b.gates;
+  b.n_gates <- b.n_gates + 1;
+  Hashtbl.replace b.gate_names name ();
+  id
+
+let mark_output b id = (proto_net b id).p_is_output <- true
+
+let add_coupling b a bb cap =
+  if a = bb then fail "coupling of net %d to itself" a;
+  if cap <= 0. then fail "coupling cap must be positive";
+  ignore (proto_net b a);
+  ignore (proto_net b bb);
+  let id = b.n_couplings in
+  b.couplings <- (a, bb, cap) :: b.couplings;
+  b.n_couplings <- b.n_couplings + 1;
+  id
+
+let num_nets b = b.n_nets
+let num_gates b = b.n_gates
+let num_couplings b = b.n_couplings
+
+(* Kahn's algorithm on the gate graph; raises on a combinational cycle. *)
+let check_acyclic b gates_arr =
+  let n = b.n_gates in
+  let indeg = Array.make n 0 in
+  let succs = Array.make n [] in
+  (* successor gates of gate g = sinks of its fanout net *)
+  Array.iteri
+    (fun gi g ->
+      let out = proto_net b g.pg_fanout in
+      List.iter
+        (fun s ->
+          succs.(gi) <- s.N.sink_gate :: succs.(gi);
+          indeg.(s.N.sink_gate) <- indeg.(s.N.sink_gate) + 1)
+        out.p_sinks)
+    gates_arr;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    incr seen;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s queue)
+      succs.(g)
+  done;
+  if !seen <> n then fail "combinational cycle detected (%d of %d gates orderable)" !seen n
+
+let finalize b =
+  let nets_rev = Array.of_list b.nets in
+  let n = Array.length nets_rev in
+  let gates_rev = Array.of_list b.gates in
+  let ng = Array.length gates_rev in
+  let gates_arr = Array.init ng (fun i -> gates_rev.(ng - 1 - i)) in
+  check_acyclic b gates_arr;
+  let outputs = ref [] in
+  let nets_arr =
+    Array.init n (fun i ->
+        let pn = nets_rev.(n - 1 - i) in
+        if (not pn.p_is_input) && pn.p_driver = None then
+          fail "net %S has no driver and is not a primary input" pn.p_name;
+        (* implicit primary output: no sinks *)
+        if pn.p_sinks = [] then pn.p_is_output <- true;
+        if pn.p_is_output then outputs := i :: !outputs;
+        {
+          N.net_id = i;
+          net_name = pn.p_name;
+          wire_cap = pn.p_wire_cap;
+          wire_res = pn.p_wire_res;
+          driver =
+            (match pn.p_driver with
+            | None -> N.Primary_input
+            | Some g -> N.Driven_by g);
+          sinks = List.rev pn.p_sinks;
+          is_output = pn.p_is_output;
+        })
+  in
+  if !outputs = [] then fail "netlist has no primary outputs";
+  let gate_final =
+    Array.mapi
+      (fun i g ->
+        {
+          N.gate_id = i;
+          gate_name = g.pg_name;
+          cell = g.pg_cell;
+          fanin = g.pg_fanin;
+          fanout = g.pg_fanout;
+        })
+      gates_arr
+  in
+  let ncoup = b.n_couplings in
+  let coup_rev = Array.of_list b.couplings in
+  let coup_arr =
+    Array.init ncoup (fun i ->
+        let a, bb, cap = coup_rev.(ncoup - 1 - i) in
+        { N.coupling_id = i; net_a = a; net_b = bb; coupling_cap = cap })
+  in
+  N.unsafe_create ~name:b.b_name ~nets:nets_arr ~gates:gate_final
+    ~couplings:coup_arr
+    ~inputs:(List.rev b.input_ids)
+    ~outputs:(List.rev !outputs)

@@ -1,0 +1,61 @@
+(** Mutable netlist construction with validation.
+
+    Typical use:
+
+    {[
+      let b = Builder.create ~name:"demo" () in
+      let a = Builder.add_input b "a" in
+      let n1 = Builder.add_net b ~wire_cap:0.012 "n1" in
+      let _ = Builder.add_gate b ~name:"g1" ~cell:Default_lib.inverter
+                ~inputs:[ ("A", a) ] ~output:n1 in
+      Builder.mark_output b n1;
+      let nl = Builder.finalize b
+    ]} *)
+
+type t
+
+exception Invalid of string
+(** Raised by [finalize] (and by some eager checks) when the netlist is
+    ill-formed; the message says what and where. *)
+
+val create : ?name:string -> unit -> t
+(** Fresh empty builder; default name ["circuit"]. *)
+
+val add_input : t -> ?wire_cap:float -> ?wire_res:float -> string -> Netlist.net_id
+(** New primary-input net. Default parasitics: 5 fF / 0.5 kΩ. *)
+
+val add_net : t -> ?wire_cap:float -> ?wire_res:float -> string -> Netlist.net_id
+(** New internal net (to be driven by a gate added later). Same
+    defaults. *)
+
+val set_wire : t -> Netlist.net_id -> cap:float -> res:float -> unit
+(** Overwrite a net's parasitics (used after routing estimation). *)
+
+val add_gate :
+  t ->
+  name:string ->
+  cell:Tka_cell.Cell.t ->
+  inputs:(string * Netlist.net_id) list ->
+  output:Netlist.net_id ->
+  Netlist.gate_id
+(** Instantiate a cell. [inputs] must bind every input pin of the cell
+    exactly once; [output] must be an undriven internal net. *)
+
+val mark_output : t -> Netlist.net_id -> unit
+(** Declare a primary output. *)
+
+val add_coupling : t -> Netlist.net_id -> Netlist.net_id -> float -> Netlist.coupling_id
+(** Coupling capacitance (pF) between two distinct nets. Parallel caps
+    between the same pair are allowed and kept separate (distinct
+    extraction segments). *)
+
+val num_nets : t -> int
+val num_gates : t -> int
+val num_couplings : t -> int
+
+val finalize : t -> Netlist.t
+(** Validates and freezes: every internal net has exactly one driver;
+    every net name unique; pin bindings complete; the gate graph is
+    acyclic; at least one primary output (any sink-less net is
+    implicitly marked as an output).
+    @raise Invalid when a check fails. *)

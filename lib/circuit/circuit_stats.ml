@@ -1,0 +1,60 @@
+module N = Netlist
+
+type t = {
+  circuit : string;
+  gates : int;
+  nets : int;
+  all_nets : int;
+  primary_inputs : int;
+  primary_outputs : int;
+  coupling_caps : int;
+  total_coupling_cap : float;
+  max_logic_depth : int;
+  avg_fanout : float;
+  avg_couplings_per_net : float;
+}
+
+let compute nl =
+  let topo = Topo.create nl in
+  let gates = N.num_gates nl in
+  let all_nets = N.num_nets nl in
+  let pis = List.length (N.inputs nl) in
+  let fanouts =
+    Array.fold_left (fun acc n -> acc + List.length n.N.sinks) 0 (N.nets nl)
+  in
+  {
+    circuit = N.name nl;
+    gates;
+    nets = all_nets - pis;
+    all_nets;
+    primary_inputs = pis;
+    primary_outputs = List.length (N.outputs nl);
+    coupling_caps = N.num_couplings nl;
+    total_coupling_cap =
+      Array.fold_left (fun acc c -> acc +. c.N.coupling_cap) 0. (N.couplings nl);
+    max_logic_depth = Topo.max_level topo;
+    avg_fanout = (if all_nets = 0 then 0. else float_of_int fanouts /. float_of_int all_nets);
+    avg_couplings_per_net =
+      (if all_nets = 0 then 0.
+       else float_of_int (2 * N.num_couplings nl) /. float_of_int all_nets);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>circuit %s: %d gates, %d nets (%d with PIs), %d PI, %d PO,@ %d coupling caps \
+     (%.4g pF total), depth %d, avg fanout %.2f, avg couplings/net %.2f@]"
+    t.circuit t.gates t.nets t.all_nets t.primary_inputs t.primary_outputs
+    t.coupling_caps t.total_coupling_cap t.max_logic_depth t.avg_fanout
+    t.avg_couplings_per_net
+
+let header = [ "ckt"; "#gates"; "#nets"; "#coupling caps"; "depth"; "avg fanout" ]
+
+let row t =
+  [
+    t.circuit;
+    string_of_int t.gates;
+    string_of_int t.nets;
+    string_of_int t.coupling_caps;
+    string_of_int t.max_logic_depth;
+    Printf.sprintf "%.2f" t.avg_fanout;
+  ]

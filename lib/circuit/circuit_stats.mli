@@ -1,0 +1,26 @@
+(** Netlist summary statistics (the "# gates / # nets / # coupling caps"
+    columns of Table 2). *)
+
+type t = {
+  circuit : string;
+  gates : int;
+  nets : int;  (** internal (gate-driven) nets, the convention of Table 2 *)
+  all_nets : int;  (** including primary inputs *)
+  primary_inputs : int;
+  primary_outputs : int;
+  coupling_caps : int;
+  total_coupling_cap : float;  (** pF *)
+  max_logic_depth : int;
+  avg_fanout : float;
+  avg_couplings_per_net : float;
+}
+
+val compute : Netlist.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val header : string list
+(** Column titles matching {!row}. *)
+
+val row : t -> string list
+(** Cells for a summary table. *)

@@ -1,0 +1,58 @@
+module N = Netlist
+
+(* Node representing the point a net is driven from: its driver gate, or
+   an explicit port node for primary inputs. *)
+let net_node nl id =
+  match (N.net nl id).N.driver with
+  | N.Primary_input -> Printf.sprintf "pi_%s" (N.net nl id).N.net_name
+  | N.Driven_by g -> Printf.sprintf "g_%s" (N.gate nl g).N.gate_name
+
+let render ?(couplings = true) nl =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=LR;\n" (N.name nl));
+  List.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=triangle, label=%S];\n" (net_node nl id)
+           (N.net nl id).N.net_name))
+    (N.inputs nl);
+  Array.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "  g_%s [shape=box, label=\"%s\\n%s\"];\n" g.N.gate_name
+           g.N.gate_name g.N.cell.Tka_cell.Cell.name))
+    (N.gates nl);
+  List.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "  po_%s [shape=invtriangle, label=%S];\n"
+           (N.net nl id).N.net_name (N.net nl id).N.net_name))
+    (N.outputs nl);
+  (* signal edges: driver node -> each sink gate, labelled by net *)
+  Array.iter
+    (fun n ->
+      let src = net_node nl n.N.net_id in
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s -> g_%s [label=%S];\n" src
+               (N.gate nl s.N.sink_gate).N.gate_name n.N.net_name))
+        n.N.sinks;
+      if n.N.is_output then
+        Buffer.add_string buf (Printf.sprintf "  %s -> po_%s;\n" src n.N.net_name))
+    (N.nets nl);
+  if couplings then
+    Array.iter
+      (fun c ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %s -> %s [dir=none, style=dashed, color=red, label=\"%.4g\"];\n"
+             (net_node nl c.N.net_a) (net_node nl c.N.net_b) c.N.coupling_cap))
+      (N.couplings nl);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?couplings nl path =
+  let oc = open_out path in
+  output_string oc (render ?couplings nl);
+  close_out oc

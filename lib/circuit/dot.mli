@@ -1,0 +1,10 @@
+(** Graphviz export for debugging and documentation.
+
+    Renders the gate graph; coupling capacitances appear as dashed red
+    edges between net midpoints (represented by their driver gates /
+    input ports). *)
+
+val render : ?couplings:bool -> Netlist.t -> string
+(** DOT source. [couplings] (default true) includes coupling edges. *)
+
+val write_file : ?couplings:bool -> Netlist.t -> string -> unit

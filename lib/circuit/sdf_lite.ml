@@ -1,0 +1,170 @@
+module N = Netlist
+
+exception Parse_error of { line : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let print ~delay_of nl =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "(DELAYFILE\n";
+  Buffer.add_string buf "  (SDFVERSION \"3.0-lite\")\n";
+  Buffer.add_string buf (Printf.sprintf "  (DESIGN \"%s\")\n" (N.name nl));
+  Buffer.add_string buf "  (TIMESCALE 1ns)\n";
+  Array.iter
+    (fun g ->
+      let d = delay_of g in
+      Buffer.add_string buf
+        (Printf.sprintf "  (CELL (CELLTYPE \"%s\") (INSTANCE %s)\n"
+           g.N.cell.Tka_cell.Cell.name g.N.gate_name);
+      Buffer.add_string buf "    (DELAY (ABSOLUTE\n";
+      List.iter
+        (fun (pin, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf "      (IOPATH %s %s (%.6f))\n" pin
+               g.N.cell.Tka_cell.Cell.output.Tka_cell.Cell.pin_name d))
+        g.N.fanin;
+      Buffer.add_string buf "    )))\n")
+    (N.gates nl);
+  Buffer.add_string buf ")\n";
+  Buffer.contents buf
+
+let write_file ~delay_of nl path =
+  let oc = open_out path in
+  output_string oc (print ~delay_of nl);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type annotation = {
+  sdf_design : string option;
+  sdf_arcs : (string * string * string * float) list;
+}
+
+(* S-expression-ish tokenizer: parens, quoted strings, atoms. *)
+type token = Lp | Rp | Atom of string | Str of string
+
+let tokenize src =
+  let line = ref 1 in
+  let out = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  let err message = raise (Parse_error { line = !line; message }) in
+  while !i < n do
+    (match src.[!i] with
+    | '\n' ->
+      incr line;
+      incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '(' ->
+      out := (Lp, !line) :: !out;
+      incr i
+    | ')' ->
+      out := (Rp, !line) :: !out;
+      incr i
+    | '"' ->
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && src.[!j] <> '"' do
+        incr j
+      done;
+      if !j >= n then err "unterminated string";
+      out := (Str (String.sub src start (!j - start)), !line) :: !out;
+      i := !j + 1
+    | _ ->
+      let start = !i in
+      while
+        !i < n
+        && not (List.mem src.[!i] [ '('; ')'; ' '; '\t'; '\n'; '\r'; '"' ])
+      do
+        incr i
+      done;
+      out := (Atom (String.sub src start (!i - start)), !line) :: !out);
+  done;
+  List.rev !out
+
+type sexp = L of sexp list | A of string | S of string
+
+let parse_sexps tokens =
+  let err line message = raise (Parse_error { line; message }) in
+  let rec one = function
+    | [] -> err 0 "unexpected end of input"
+    | (Lp, _) :: rest ->
+      let items, rest = list_items rest in
+      (L items, rest)
+    | (Rp, line) :: _ -> err line "unexpected ')'"
+    | (Atom a, _) :: rest -> (A a, rest)
+    | (Str s, _) :: rest -> (S s, rest)
+  and list_items tokens =
+    match tokens with
+    | (Rp, _) :: rest -> ([], rest)
+    | [] -> err 0 "missing ')'"
+    | _ :: _ ->
+      let x, rest = one tokens in
+      let xs, rest = list_items rest in
+      (x :: xs, rest)
+  in
+  let rec all tokens =
+    match tokens with
+    | [] -> []
+    | _ :: _ ->
+      let x, rest = one tokens in
+      x :: all rest
+  in
+  all tokens
+
+let parse src =
+  let err message = raise (Parse_error { line = 0; message }) in
+  match parse_sexps (tokenize src) with
+  | [ L (A "DELAYFILE" :: items) ] ->
+    let design = ref None in
+    let arcs = ref [] in
+    let rec walk_cell instance = function
+      | L (A "DELAY" :: dels) :: rest ->
+        List.iter
+          (function
+            | L (A "ABSOLUTE" :: paths) ->
+              List.iter
+                (function
+                  | L [ A "IOPATH"; A from_pin; A to_pin; L [ A v ] ] -> (
+                    match float_of_string_opt v with
+                    | Some d -> arcs := (instance, from_pin, to_pin, d) :: !arcs
+                    | None -> err (Printf.sprintf "bad delay %S" v))
+                  | _ -> err "malformed IOPATH")
+                paths
+            | _ -> err "expected ABSOLUTE")
+          dels;
+        walk_cell instance rest
+      | _ :: rest -> walk_cell instance rest
+      | [] -> ()
+    in
+    List.iter
+      (function
+        | L [ A "SDFVERSION"; S _ ] | L [ A "TIMESCALE"; A _ ] -> ()
+        | L [ A "DESIGN"; S name ] -> design := Some name
+        | L (A "CELL" :: cell_items) ->
+          let instance =
+            List.find_map
+              (function L [ A "INSTANCE"; A i ] -> Some i | _ -> None)
+              cell_items
+          in
+          (match instance with
+          | Some i -> walk_cell i cell_items
+          | None -> err "CELL without INSTANCE")
+        | _ -> err "unexpected item in DELAYFILE")
+      items;
+    { sdf_design = !design; sdf_arcs = List.rev !arcs }
+  | _ -> err "expected a single (DELAYFILE ...)"
+
+let check_against ann ~delay_of nl =
+  List.filter_map
+    (fun (instance, _, _, d) ->
+      match N.find_gate nl instance with
+      | None -> invalid_arg (Printf.sprintf "Sdf_lite.check_against: unknown instance %S" instance)
+      | Some g ->
+        let expect = delay_of g in
+        if Float.abs (expect -. d) > 1e-6 then Some (instance, d, expect) else None)
+    ann.sdf_arcs

@@ -1,0 +1,186 @@
+module N = Netlist
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type annotation = {
+  design : string option;
+  ground : (string * float * float) list;
+  couplings : (string * string * float) list;
+}
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let strip_comment s =
+  match String.index_opt s '/' with
+  | Some i when i + 1 < String.length s && s.[i + 1] = '/' -> String.sub s 0 i
+  | Some _ | None -> s
+
+let parse_float line what v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> fail line "%s: malformed number %S" what v
+
+type state = {
+  mutable design : string option;
+  mutable current : (string * float) option; (* net under *D_NET, declared total *)
+  mutable in_cap : bool;
+  mutable res : (string * float) list;
+  mutable gcap : (string, float) Hashtbl.t;
+  mutable ccap : (string * string, float) Hashtbl.t;
+}
+
+let coupling_key a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let parse src =
+  let st =
+    {
+      design = None;
+      current = None;
+      in_cap = false;
+      res = [];
+      gcap = Hashtbl.create 64;
+      ccap = Hashtbl.create 64;
+    }
+  in
+  let handle line_no raw =
+    match split_words (strip_comment raw) with
+    | [] -> ()
+    | "*SPEF" :: _ | "*T_UNIT" :: _ | "*C_UNIT" :: _ | "*R_UNIT" :: _ -> ()
+    | [ "*DESIGN"; name ] -> st.design <- Some name
+    | "*D_NET" :: net :: rest ->
+      if st.current <> None then fail line_no "*D_NET without closing *END";
+      let total =
+        match rest with
+        | [] -> 0.
+        | [ v ] -> parse_float line_no "*D_NET total" v
+        | _ -> fail line_no "usage: *D_NET NET [TOTAL]"
+      in
+      st.current <- Some (net, total);
+      st.in_cap <- false
+    | [ "*RES"; v ] -> (
+      match st.current with
+      | None -> fail line_no "*RES outside *D_NET"
+      | Some (net, _) ->
+        st.in_cap <- false;
+        st.res <- (net, parse_float line_no "*RES" v) :: st.res)
+    | [ "*CAP" ] ->
+      if st.current = None then fail line_no "*CAP outside *D_NET";
+      st.in_cap <- true
+    | [ "*END" ] -> (
+      match st.current with
+      | None -> fail line_no "*END without *D_NET"
+      | Some _ ->
+        st.current <- None;
+        st.in_cap <- false)
+    | words when st.in_cap -> (
+      match (st.current, words) with
+      | Some (dnet, _), [ _idx; net; v ] ->
+        (* ambiguous two-name vs ground form: ground entries name the
+           D_NET's own net *)
+        if net = dnet then
+          Hashtbl.replace st.gcap net
+            (Option.value ~default:0. (Hashtbl.find_opt st.gcap net)
+            +. parse_float line_no "ground cap" v)
+        else
+          fail line_no "ground cap entry for foreign net %S inside *D_NET %s" net dnet
+      | Some _, [ _idx; neta; netb; v ] ->
+        let cap = parse_float line_no "coupling cap" v in
+        let key = coupling_key neta netb in
+        (* keep the larger of duplicated listings *)
+        let prev = Option.value ~default:0. (Hashtbl.find_opt st.ccap key) in
+        Hashtbl.replace st.ccap key (Float.max prev cap)
+      | _, _ -> fail line_no "malformed *CAP entry")
+    | w :: _ -> fail line_no "unexpected token %S" w
+  in
+  List.iteri (fun i l -> handle (i + 1) l) (String.split_on_char '\n' src);
+  if st.current <> None then fail 0 "unterminated *D_NET";
+  let res_of net = Option.value ~default:0. (List.assoc_opt net st.res) in
+  let ground =
+    Hashtbl.fold (fun net cap acc -> (net, cap, res_of net) :: acc) st.gcap []
+    |> List.sort compare
+  in
+  let couplings =
+    Hashtbl.fold (fun (a, b) cap acc -> (a, b, cap) :: acc) st.ccap []
+    |> List.sort compare
+  in
+  { design = st.design; ground; couplings }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src
+
+let apply (ann : annotation) nl =
+  let b = Builder.create ~name:(Option.value ~default:(N.name nl) ann.design) () in
+  let ids = Hashtbl.create (N.num_nets nl) in
+  let parasitics = Hashtbl.create (List.length ann.ground) in
+  List.iter
+    (fun (net, cap, res) -> Hashtbl.replace parasitics net (cap, res))
+    ann.ground;
+  Array.iter
+    (fun n ->
+      let name = n.N.net_name in
+      let cap, res =
+        match Hashtbl.find_opt parasitics name with
+        | Some (c, r) -> (c, r)
+        | None -> (n.N.wire_cap, n.N.wire_res)
+      in
+      let id =
+        match n.N.driver with
+        | N.Primary_input -> Builder.add_input b ~wire_cap:cap ~wire_res:res name
+        | N.Driven_by _ -> Builder.add_net b ~wire_cap:cap ~wire_res:res name
+      in
+      Hashtbl.replace ids name id)
+    (N.nets nl);
+  let resolve name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None -> invalid_arg (Printf.sprintf "Spef_lite.apply: unknown net %S" name)
+  in
+  Array.iter
+    (fun g ->
+      ignore
+        (Builder.add_gate b ~name:g.N.gate_name ~cell:g.N.cell
+           ~inputs:
+             (List.map (fun (p, id) -> (p, resolve (N.net nl id).N.net_name)) g.N.fanin)
+           ~output:(resolve (N.net nl g.N.fanout).N.net_name)))
+    (N.gates nl);
+  List.iter (fun id -> Builder.mark_output b (resolve (N.net nl id).N.net_name)) (N.outputs nl);
+  List.iter
+    (fun (a, bb, cap) -> ignore (Builder.add_coupling b (resolve a) (resolve bb) cap))
+    ann.couplings;
+  Builder.finalize b
+
+let print nl =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "*SPEF \"IEEE 1481-lite\"\n";
+  Buffer.add_string buf (Printf.sprintf "*DESIGN %s\n" (N.name nl));
+  Buffer.add_string buf "*T_UNIT 1 NS\n*C_UNIT 1 PF\n*R_UNIT 1 KOHM\n\n";
+  Array.iter
+    (fun n ->
+      let nid = n.N.net_id in
+      let couplings = N.couplings_of_net nl nid in
+      Buffer.add_string buf
+        (Printf.sprintf "*D_NET %s %.6g\n" n.N.net_name (N.total_cap nl nid));
+      Buffer.add_string buf (Printf.sprintf "*RES %.6g\n" n.N.wire_res);
+      Buffer.add_string buf "*CAP\n";
+      Buffer.add_string buf (Printf.sprintf "1 %s %.6g\n" n.N.net_name n.N.wire_cap);
+      List.iteri
+        (fun i cid ->
+          let c = N.coupling nl cid in
+          let other = N.coupling_partner nl cid nid in
+          Buffer.add_string buf
+            (Printf.sprintf "%d %s %s %.6g\n" (i + 2) n.N.net_name
+               (N.net nl other).N.net_name c.N.coupling_cap))
+        couplings;
+      Buffer.add_string buf "*END\n\n")
+    (N.nets nl);
+  Buffer.contents buf

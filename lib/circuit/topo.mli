@@ -1,0 +1,41 @@
+(** Topological utilities over a netlist.
+
+    The top-k algorithm propagates irredundant lists "in topological
+    order" (Section 3 of the paper); this module provides that order
+    plus the transitive fanin cones needed to reason about indirect
+    aggressors. All results are computed once per netlist and shared. *)
+
+type t
+
+val create : Netlist.t -> t
+(** Precomputes orders, levels and adjacency. O(V + E). *)
+
+val netlist : t -> Netlist.t
+
+val gate_order : t -> Netlist.gate_id array
+(** Gates in topological order (fanin before fanout). *)
+
+val net_order : t -> Netlist.net_id array
+(** Nets in topological order: primary inputs first (creation order),
+    then each gate output as its gate is ordered. *)
+
+val net_level : t -> Netlist.net_id -> int
+(** Logic depth: 0 for primary inputs, 1 + max over fanin otherwise. *)
+
+val max_level : t -> int
+
+val transitive_fanin : t -> Netlist.net_id -> bool array
+(** [transitive_fanin t n] has [true] at every net in the fanin cone of
+    [n], including [n] itself. Computed on demand and memoised. *)
+
+val in_fanin_cone : t -> cone_of:Netlist.net_id -> Netlist.net_id -> bool
+(** [in_fanin_cone t ~cone_of:n m]: is [m] in the transitive fanin of
+    [n] (inclusive)? *)
+
+val fanin_cone_couplings : t -> Netlist.net_id -> Netlist.coupling_id list
+(** All coupling caps incident to any net in the strict fanin cone of
+    the given net (excluding couplings that touch only the net
+    itself). These are the candidate indirect-aggressor couplings. *)
+
+val sinks_reachable_from : t -> Netlist.net_id -> Netlist.net_id list
+(** Primary-output nets reachable from the given net. *)

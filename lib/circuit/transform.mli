@@ -1,0 +1,40 @@
+(** Netlist rewriting.
+
+    [Netlist.t] is immutable; design changes (fixing couplings by
+    shielding, resizing drivers, re-annotating parasitics) produce a
+    new netlist. This module provides a general structure-preserving
+    rebuild with hooks, plus the common fixes built on it. *)
+
+val map :
+  ?name:string ->
+  ?wire_of:(Netlist.net -> float * float) ->
+  ?cell_of:(Netlist.gate -> Tka_cell.Cell.t) ->
+  ?keep_coupling:(Netlist.coupling -> bool) ->
+  ?coupling_cap_of:(Netlist.coupling -> float) ->
+  Netlist.t ->
+  Netlist.t
+(** [map nl] rebuilds [nl] with the same structure:
+    - [name] renames the circuit;
+    - [wire_of] replaces each net's [(wire_cap, wire_res)];
+    - [cell_of] substitutes each gate's cell — the replacement must
+      have the same pin names (checked by the builder);
+    - [keep_coupling] drops coupling caps (default: keep all);
+    - [coupling_cap_of] rescales kept coupling caps.
+
+    Net/gate names, connectivity and port directions are preserved.
+    @raise Builder.Invalid if a hook produces an inconsistent design. *)
+
+val remove_couplings :
+  Netlist.t -> Netlist.coupling_id list -> Netlist.t
+(** Shield/space fix: delete the listed physical coupling caps. The
+    result is renamed ["<name>_fixed"]. *)
+
+val scale_coupling :
+  factor:float -> Netlist.t -> Netlist.coupling_id list -> Netlist.t
+(** Partial fix (increased spacing): multiply the listed caps by
+    [factor] in [\[0, 1\]]. Caps scaled to zero are removed. *)
+
+val resize_driver :
+  Netlist.t -> Netlist.gate_id -> Tka_cell.Cell.t -> Netlist.t
+(** Replace one gate's cell (e.g. upsizing a victim driver, the other
+    classic noise fix). The new cell must have the same pin names. *)

@@ -1,0 +1,371 @@
+module N = Netlist
+
+exception Parse_error of { line : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Semi
+  | Comma
+  | Dot
+  | Eof
+
+type lexer = { src : string; mutable pos : int; mutable line : int }
+
+let error lx message = raise (Parse_error { line = lx.line; message })
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with Some '\n' -> lx.line <- lx.line + 1 | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '$'
+
+let rec skip_trivia lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_trivia lx
+  | Some '/' when lx.pos + 1 < String.length lx.src -> (
+    match lx.src.[lx.pos + 1] with
+    | '/' ->
+      while peek_char lx <> None && peek_char lx <> Some '\n' do
+        advance lx
+      done;
+      skip_trivia lx
+    | '*' ->
+      advance lx;
+      advance lx;
+      let rec close () =
+        match peek_char lx with
+        | None -> error lx "unterminated block comment"
+        | Some '*' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+          advance lx;
+          advance lx
+        | Some _ ->
+          advance lx;
+          close ()
+      in
+      close ();
+      skip_trivia lx
+    | _ -> ())
+  | _ -> ()
+
+let lex_token lx =
+  skip_trivia lx;
+  match peek_char lx with
+  | None -> Eof
+  | Some '(' -> advance lx; Lparen
+  | Some ')' -> advance lx; Rparen
+  | Some ';' -> advance lx; Semi
+  | Some ',' -> advance lx; Comma
+  | Some '.' -> advance lx; Dot
+  | Some '[' -> error lx "vectors are not supported by the Verilog-lite subset"
+  | Some c when is_ident_char c ->
+    let start = lx.pos in
+    while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+      advance lx
+    done;
+    Ident (String.sub lx.src start (lx.pos - start))
+  | Some c -> error lx (Printf.sprintf "unexpected character %C" c)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type state = { lx : lexer; mutable tok : token }
+
+let next st = st.tok <- lex_token st.lx
+
+let expect st tok what =
+  if st.tok = tok then next st else error st.lx (Printf.sprintf "expected %s" what)
+
+let expect_ident st what =
+  match st.tok with
+  | Ident s ->
+    next st;
+    s
+  | _ -> error st.lx (Printf.sprintf "expected %s" what)
+
+let ident_list st =
+  let rec go acc =
+    let id = expect_ident st "identifier" in
+    match st.tok with
+    | Comma ->
+      next st;
+      go (id :: acc)
+    | _ -> List.rev (id :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Two-phase front end: syntactic module definitions, then
+   elaboration with hierarchy flattening.                             *)
+(* ------------------------------------------------------------------ *)
+
+type vmodule = {
+  vm_name : string;
+  vm_line : int;
+  vm_inputs : string list;
+  vm_outputs : string list;
+  vm_wires : string list;
+  vm_instances : (string * string * (string * string) list) list;
+      (* referenced name (cell or module), instance name, connections *)
+}
+
+let parse_modules src =
+  let st = { lx = { src; pos = 0; line = 1 }; tok = Eof } in
+  next st;
+  let parse_connections () =
+    expect st Lparen "'('";
+    let rec connections acc =
+      expect st Dot "'.'";
+      let pin = expect_ident st "pin name" in
+      expect st Lparen "'('";
+      let net = expect_ident st "net name" in
+      expect st Rparen "')'";
+      let acc = (pin, net) :: acc in
+      match st.tok with
+      | Comma ->
+        next st;
+        connections acc
+      | _ -> List.rev acc
+    in
+    let conns = connections [] in
+    expect st Rparen "')'";
+    expect st Semi "';'";
+    conns
+  in
+  let parse_module () =
+    let vm_line = st.lx.line in
+    let name = expect_ident st "module name" in
+    expect st Lparen "'('";
+    let _ports = match st.tok with Rparen -> [] | _ -> ident_list st in
+    expect st Rparen "')'";
+    expect st Semi "';'";
+    let inputs = ref [] and outputs = ref [] and wires = ref [] in
+    let instances = ref [] in
+    let rec items () =
+      match st.tok with
+      | Ident "endmodule" -> next st
+      | Ident "input" ->
+        next st;
+        inputs := !inputs @ ident_list st;
+        expect st Semi "';'";
+        items ()
+      | Ident "output" ->
+        next st;
+        outputs := !outputs @ ident_list st;
+        expect st Semi "';'";
+        items ()
+      | Ident "wire" ->
+        next st;
+        wires := !wires @ ident_list st;
+        expect st Semi "';'";
+        items ()
+      | Ident ("assign" | "always" | "initial" | "reg" | "parameter") ->
+        error st.lx "behavioural constructs are not supported by the Verilog-lite subset"
+      | Ident refname ->
+        next st;
+        let inst = expect_ident st "instance name" in
+        let conns = parse_connections () in
+        instances := (refname, inst, conns) :: !instances;
+        items ()
+      | Eof -> error st.lx "missing endmodule"
+      | Lparen | Rparen | Semi | Comma | Dot ->
+        error st.lx "expected a declaration or instance"
+    in
+    items ();
+    {
+      vm_name = name;
+      vm_line;
+      vm_inputs = !inputs;
+      vm_outputs = !outputs;
+      vm_wires = !wires;
+      vm_instances = List.rev !instances;
+    }
+  in
+  let rec all acc =
+    match st.tok with
+    | Eof -> List.rev acc
+    | Ident "module" ->
+      next st;
+      all (parse_module () :: acc)
+    | _ -> error st.lx "expected 'module'"
+  in
+  match all [] with
+  | [] -> error st.lx "no module found"
+  | ms -> ms
+
+(* Flattening: leaf instances are library cells; other instances refer
+   to modules in the same source and are expanded recursively with
+   "inst/" name prefixes. The top module is the one never instantiated
+   (or the last module if all are instantiated). *)
+let parse ~lookup src =
+  let ms = parse_modules src in
+  let fail line message = raise (Parse_error { line; message }) in
+  let by_name = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      if Hashtbl.mem by_name m.vm_name then
+        fail m.vm_line (Printf.sprintf "module %S defined twice" m.vm_name);
+      Hashtbl.replace by_name m.vm_name m)
+    ms;
+  let instantiated = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (r, _, _) ->
+          if Hashtbl.mem by_name r then Hashtbl.replace instantiated r ())
+        m.vm_instances)
+    ms;
+  let top =
+    match List.filter (fun m -> not (Hashtbl.mem instantiated m.vm_name)) ms with
+    | [ m ] -> m
+    | [] -> List.nth ms (List.length ms - 1)
+    | m :: _ -> m (* several roots: take the first *)
+  in
+  let b = Builder.create ~name:top.vm_name () in
+  let declared_outputs = ref [] in
+  (* Elaborate module [m] under [prefix]; [port_map] maps the module's
+     port names to already-created net ids in the parent. Returns
+     nothing; nets and gates are added to the builder. *)
+  let rec elaborate ~stack ~prefix ~port_map (m : vmodule) =
+    if List.mem m.vm_name stack then
+      fail m.vm_line
+        (Printf.sprintf "recursive instantiation of module %S" m.vm_name);
+    let ids = Hashtbl.create 32 in
+    let declare kind n =
+      if Hashtbl.mem ids n then
+        fail m.vm_line (Printf.sprintf "net %S declared twice in %s" n m.vm_name);
+      match List.assoc_opt n port_map with
+      | Some parent_id -> Hashtbl.replace ids n parent_id
+      | None ->
+        let full = prefix ^ n in
+        let id =
+          match kind with
+          | `Input when prefix = "" -> Builder.add_input b full
+          | `Input | `Output | `Wire -> (
+            try Builder.add_net b full
+            with Builder.Invalid msg -> fail m.vm_line msg)
+        in
+        if kind = `Output && prefix = "" then
+          declared_outputs := id :: !declared_outputs;
+        Hashtbl.replace ids n id
+    in
+    (* a child input port left unconnected would have no driver: treat
+       as an error when finalize reports it *)
+    List.iter (declare `Input) m.vm_inputs;
+    List.iter (declare `Output) m.vm_outputs;
+    List.iter (declare `Wire) m.vm_wires;
+    let resolve n =
+      match Hashtbl.find_opt ids n with
+      | Some id -> id
+      | None -> fail m.vm_line (Printf.sprintf "undeclared net %S in %s" n m.vm_name)
+    in
+    List.iter
+      (fun (refname, inst, conns) ->
+        match (lookup refname, Hashtbl.find_opt by_name refname) with
+        | Some cell, _ ->
+          let out_pin = cell.Tka_cell.Cell.output.Tka_cell.Cell.pin_name in
+          let output =
+            match List.assoc_opt out_pin conns with
+            | Some n -> resolve n
+            | None ->
+              fail m.vm_line
+                (Printf.sprintf "instance %S: output pin %s unconnected" inst out_pin)
+          in
+          let inputs =
+            List.filter (fun (p, _) -> p <> out_pin) conns
+            |> List.map (fun (p, n) -> (p, resolve n))
+          in
+          (try ignore (Builder.add_gate b ~name:(prefix ^ inst) ~cell ~inputs ~output)
+           with Builder.Invalid msg -> fail m.vm_line msg)
+        | None, Some child ->
+          let ports = child.vm_inputs @ child.vm_outputs in
+          List.iter
+            (fun (p, _) ->
+              if not (List.mem p ports) then
+                fail m.vm_line
+                  (Printf.sprintf "instance %S: %S is not a port of module %s"
+                     inst p child.vm_name))
+            conns;
+          let port_map =
+            List.map (fun (p, n) -> (p, resolve n)) conns
+          in
+          elaborate ~stack:(m.vm_name :: stack)
+            ~prefix:(prefix ^ inst ^ "/")
+            ~port_map child
+        | None, None ->
+          fail m.vm_line (Printf.sprintf "unknown cell or module %S" refname))
+      m.vm_instances
+  in
+  elaborate ~stack:[] ~prefix:"" ~port_map:[] top;
+  List.iter (Builder.mark_output b) !declared_outputs;
+  try Builder.finalize b with Builder.Invalid msg -> fail top.vm_line msg
+
+let parse_file ~lookup path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse ~lookup src
+
+let print nl =
+  let buf = Buffer.create 4096 in
+  let name id = (N.net nl id).N.net_name in
+  let inputs = N.inputs nl in
+  (* a sink-less primary input is an implicit output of the netlist
+     model, but in Verilog it is just an input port *)
+  let outputs =
+    List.filter
+      (fun id -> (N.net nl id).N.driver <> N.Primary_input)
+      (N.outputs nl)
+  in
+  let ports = List.map name inputs @ List.map name outputs in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s (%s);\n" (N.name nl) (String.concat ", " ports));
+  if inputs <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  input %s;\n" (String.concat ", " (List.map name inputs)));
+  if outputs <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  output %s;\n" (String.concat ", " (List.map name outputs)));
+  let wires =
+    Array.to_list (N.nets nl)
+    |> List.filter (fun n ->
+           n.N.driver <> N.Primary_input && not n.N.is_output)
+    |> List.map (fun n -> n.N.net_name)
+  in
+  if wires <> [] then
+    Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (String.concat ", " wires));
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun g ->
+      let conns =
+        List.map (fun (p, id) -> Printf.sprintf ".%s(%s)" p (name id)) g.N.fanin
+        @ [
+            Printf.sprintf ".%s(%s)"
+              g.N.cell.Tka_cell.Cell.output.Tka_cell.Cell.pin_name
+              (name g.N.fanout);
+          ]
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s (%s);\n" g.N.cell.Tka_cell.Cell.name g.N.gate_name
+           (String.concat ", " conns)))
+    (N.gates nl);
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file nl path =
+  let oc = open_out path in
+  output_string oc (print nl);
+  close_out oc

@@ -1,0 +1,76 @@
+module Iterate = Tka_noise.Iterate
+
+type t = { result : Engine.result; topo : Tka_circuit.Topo.t }
+
+let compute ?(capacity = Ilist.default_capacity) ?(use_pseudo = true)
+    ?(use_higher_order = true) ?fixpoint ~k topo =
+  let config = { Engine.k; capacity; use_pseudo; use_higher_order } in
+  { result = Engine.compute ~config ?fixpoint ~mode:Engine.Addition topo; topo }
+
+let candidates t i =
+  if i < 1 || i >= Array.length t.result.Engine.res_top then []
+  else List.map (fun c -> c.Engine.ch_set) t.result.Engine.res_top.(i)
+
+let estimated_delay t i = Engine.estimated_delay t.result i
+
+let evaluate_set topo s =
+  Iterate.circuit_delay (Iterate.run ~active:(Coupling_set.contains_fn s) topo)
+
+(* The engine's objectives are first-order; the paper evaluates the
+   whole sink I-list. Rank the retained candidates by the exact
+   iterative analysis and keep the strongest. *)
+let best_choice t i =
+  match candidates t i with
+  | [] -> None
+  | first :: rest ->
+    let score s = (s, evaluate_set t.topo s) in
+    Some
+      (List.fold_left
+         (fun (bs, bd) c ->
+           let s, d = score c in
+           if d > bd then (s, d) else (bs, bd))
+         (score first) rest)
+
+let set t i = Option.map fst (best_choice t i)
+
+let evaluate t i =
+  match best_choice t i with
+  | None -> t.result.Engine.res_noiseless_delay
+  | Some (_, d) -> d
+
+(* Exact, monotone top-k curve: each cardinality's set is re-evaluated
+   with the full iterative analysis; when the engine's pick evaluates
+   worse than the previous cardinality's, the previous set padded with
+   an extra coupling is used instead (sound: supersets are always at
+   least as strong). *)
+let evaluate_curve t ~ks =
+  let nl = Tka_circuit.Topo.netlist t.topo in
+  let universe = 2 * Tka_circuit.Netlist.num_couplings nl in
+  let ks = List.sort_uniq Int.compare ks in
+  let best = ref None in
+  List.filter_map
+    (fun k ->
+      let cands =
+        candidates t k
+        @ (match !best with
+          | Some (s, _) -> Option.to_list (Coupling_set.pad ~universe ~target:k s)
+          | None -> [])
+      in
+      match cands with
+      | [] -> None
+      | first :: rest ->
+        let score s = (s, evaluate_set t.topo s) in
+        let s, d =
+          List.fold_left
+            (fun (bs, bd) c ->
+              let s, d = score c in
+              if d > bd then (s, d) else (bs, bd))
+            (score first) rest
+        in
+        best := Some (s, d);
+        Some (k, s, d))
+    ks
+
+let noiseless_delay t = t.result.Engine.res_noiseless_delay
+let all_aggressor_delay t = t.result.Engine.res_noisy_delay
+let runtime t = t.result.Engine.res_runtime

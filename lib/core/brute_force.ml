@@ -1,0 +1,102 @@
+module N = Tka_circuit.Netlist
+module Iterate = Tka_noise.Iterate
+
+type outcome = {
+  bf_set : Coupling_set.t option;
+  bf_delay : float;
+  bf_evaluated : int;
+  bf_total : int;
+  bf_completed : bool;
+  bf_runtime : float;
+}
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let rec go acc i =
+      if i > k then acc
+      else
+        let acc' = acc * (n - k + i) / i in
+        if acc' < acc then max_int (* overflow *) else go acc' (i + 1)
+    in
+    go 1 1
+  end
+
+(* Enumerate k-subsets of [0..n-1] in lexicographic order, calling
+   [visit] until it returns false (budget expired). *)
+let iter_subsets ~n ~k visit =
+  if k <= n && k > 0 then begin
+    let idx = Array.init k (fun i -> i) in
+    let continue_ = ref true in
+    let advance () =
+      (* find rightmost index that can move *)
+      let rec find i =
+        if i < 0 then false
+        else if idx.(i) < n - k + i then begin
+          idx.(i) <- idx.(i) + 1;
+          for j = i + 1 to k - 1 do
+            idx.(j) <- idx.(j - 1) + 1
+          done;
+          true
+        end
+        else find (i - 1)
+      in
+      find (k - 1)
+    in
+    let running = ref true in
+    while !running && !continue_ do
+      continue_ := visit (Array.to_list idx);
+      if !continue_ then running := advance ()
+    done
+  end
+
+let clock = Unix.gettimeofday
+
+let run ~budget_s ~k ~better ~delay_of topo =
+  let nl = Tka_circuit.Topo.netlist topo in
+  let n = 2 * N.num_couplings nl in
+  let total = binomial n k in
+  let t0 = clock () in
+  let best = ref None in
+  let evaluated = ref 0 in
+  let completed = ref true in
+  iter_subsets ~n ~k (fun ids ->
+      if clock () -. t0 > budget_s then begin
+        completed := false;
+        false
+      end
+      else begin
+        let set = Coupling_set.of_list ids in
+        let d = delay_of set in
+        incr evaluated;
+        (match !best with
+        | Some (_, bd) when not (better d bd) -> ()
+        | Some _ | None -> best := Some (set, d));
+        true
+      end);
+  let bf_set, bf_delay =
+    match !best with
+    | Some (s, d) -> (Some s, d)
+    | None -> (None, Float.nan)
+  in
+  {
+    bf_set;
+    bf_delay;
+    bf_evaluated = !evaluated;
+    bf_total = total;
+    bf_completed = !completed;
+    bf_runtime = clock () -. t0;
+  }
+
+let addition ?(budget_s = 60.) ~k topo =
+  let delay_of set =
+    Iterate.circuit_delay (Iterate.run ~active:(Coupling_set.contains_fn set) topo)
+  in
+  run ~budget_s ~k ~better:(fun d bd -> d > bd) ~delay_of topo
+
+let elimination ?(budget_s = 60.) ~k topo =
+  let delay_of set =
+    Iterate.circuit_delay (Iterate.run ~active:(Coupling_set.excludes_fn set) topo)
+  in
+  run ~budget_s ~k ~better:(fun d bd -> d < bd) ~delay_of topo

@@ -1,0 +1,30 @@
+(** Brute-force top-k baselines (Section 2 / Table 1 of the paper).
+
+    Enumerates all [C(r, k)] subsets of the circuit's directed
+    aggressor–victim couplings ([r = 2 * #coupling caps]) and
+    runs a full iterative noise analysis per subset — the reference the
+    proposed algorithm is validated against. Complexity is binomial, so
+    a wall-clock budget aborts the enumeration exactly as the paper's
+    1800-second cutoff did (they could not complete [k > 3] on the
+    smallest benchmark). *)
+
+type outcome = {
+  bf_set : Coupling_set.t option;  (** best subset found, [None] if none finished *)
+  bf_delay : float;  (** circuit delay with that subset applied *)
+  bf_evaluated : int;  (** subsets fully evaluated *)
+  bf_total : int;  (** C(r, k) over directed couplings *)
+  bf_completed : bool;  (** false when the time budget expired first *)
+  bf_runtime : float;  (** wall-clock seconds spent *)
+}
+
+val addition :
+  ?budget_s:float -> k:int -> Tka_circuit.Topo.t -> outcome
+(** Best k-subset to {e activate} (max circuit delay over subsets).
+    Default budget 60 s. *)
+
+val elimination :
+  ?budget_s:float -> k:int -> Tka_circuit.Topo.t -> outcome
+(** Best k-subset to {e remove} (min circuit delay). *)
+
+val binomial : int -> int -> int
+(** [binomial n k] with saturation at [max_int] instead of overflow. *)

@@ -1,0 +1,83 @@
+module N = Tka_circuit.Netlist
+module CN = Tka_noise.Coupled_noise
+
+type t = int list (* sorted, duplicate-free *)
+
+type elt = int
+
+let empty = []
+let singleton c = [ c ]
+
+let of_list cs = List.sort_uniq Int.compare cs
+let to_list t = t
+
+let cardinality = List.length
+let mem c t = List.exists (Int.equal c) t
+
+let rec union a b =
+  match (a, b) with
+  | [], x | x, [] -> x
+  | ha :: ta, hb :: tb ->
+    if ha < hb then ha :: union ta b
+    else if hb < ha then hb :: union a tb
+    else ha :: union ta tb
+
+let add c t = union [ c ] t
+
+let rec inter a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | ha :: ta, hb :: tb ->
+    if ha < hb then inter ta b
+    else if hb < ha then inter a tb
+    else ha :: inter ta tb
+
+let rec diff a b =
+  match (a, b) with
+  | [], _ -> []
+  | x, [] -> x
+  | ha :: ta, hb :: tb ->
+    if ha < hb then ha :: diff ta b
+    else if hb < ha then diff a tb
+    else diff ta tb
+
+let disjoint a b = inter a b = []
+
+let rec subset a b =
+  match (a, b) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | ha :: ta, hb :: tb ->
+    if ha < hb then false else if hb < ha then subset a tb else subset ta tb
+
+let equal = List.equal Int.equal
+let compare = List.compare Int.compare
+
+let fold f t acc = List.fold_left (fun acc c -> f c acc) acc t
+let iter = List.iter
+let exists = List.exists
+
+let contains_fn t d = mem (CN.directed_id d) t
+let excludes_fn t d = not (mem (CN.directed_id d) t)
+
+let pad ~universe ~target t =
+  let rec go acc next needed =
+    if needed = 0 then Some acc
+    else if next >= universe then None
+    else if mem next acc then go acc (next + 1) needed
+    else go (add next acc) (next + 1) (needed - 1)
+  in
+  let needed = target - cardinality t in
+  if needed < 0 then None else go t 0 needed
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int t))
+
+let describe nl t =
+  let one id =
+    let d = CN.of_directed_id nl id in
+    let c = N.coupling nl d.CN.dc_coupling in
+    Printf.sprintf "%s->%s(%.4g)" (N.net nl d.CN.dc_aggressor).N.net_name
+      (N.net nl d.CN.dc_victim).N.net_name c.N.coupling_cap
+  in
+  String.concat ", " (List.map one t)

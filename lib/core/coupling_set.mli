@@ -1,0 +1,55 @@
+(** Immutable sets of directed aggressor–victim couplings.
+
+    The unit of the top-k problem, matching the paper's "aggressor–
+    victim coupling": elements are {e directed} coupling ids
+    ({!Tka_noise.Coupled_noise.directed_id} — a physical coupling cap
+    seen from one victim side). A top-k addition/elimination set is a
+    value of this type with {!cardinality} k. Represented as sorted
+    duplicate-free int lists — the sets are tiny (≤ k ≈ 75) and
+    comparison/union dominate. *)
+
+type t
+
+type elt = int
+(** A directed coupling id. *)
+
+val empty : t
+val singleton : elt -> t
+val of_list : elt list -> t
+val to_list : t -> elt list
+
+val cardinality : t -> int
+val mem : elt -> t -> bool
+val add : elt -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val disjoint : t -> t -> bool
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val fold : (elt -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (elt -> unit) -> t -> unit
+val exists : (elt -> bool) -> t -> bool
+
+val contains_fn :
+  t -> Tka_noise.Coupled_noise.directed -> bool
+(** [contains_fn s] as a predicate over directed couplings, for
+    [Iterate.run ~active]. *)
+
+val excludes_fn :
+  t -> Tka_noise.Coupled_noise.directed -> bool
+(** Complement of {!contains_fn} (elimination evaluation). *)
+
+val pad : universe:int -> target:int -> t -> t option
+(** [pad ~universe ~target s] grows [s] to exactly [target] elements by
+    adding the smallest directed ids below [universe] not already in
+    [s]; [None] when the universe is too small. Used to keep reported
+    top-k curves monotone: activating (removing) a superset never adds
+    (recovers) less delay. *)
+
+val pp : Format.formatter -> t -> unit
+val describe : Tka_circuit.Netlist.t -> t -> string
+(** Human-readable "aggressor->victim (cap)" listing. *)

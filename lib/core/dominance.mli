@@ -1,0 +1,32 @@
+(** The dominance partial order on noise envelopes (Section 3.2).
+
+    Envelope [A] dominates [B] at a victim when [A] encapsulates [B]
+    over the victim's dominance interval; by Theorem 1, extending a
+    dominated aggressor set can never produce more delay noise than
+    extending the dominating one, so dominated sets are pruned from the
+    enumeration. *)
+
+val interval :
+  victim:Tka_waveform.Transition.t -> Tka_util.Interval.t
+(** The dominance interval of a victim transition. Its lower end is the
+    noiseless [t50] (a pulse ending earlier cannot create delay noise);
+    its upper end is [t50] plus the per-stage saturation bound
+    ({!Tka_noise.Victim_noise.saturation_slews} slews) — a sound upper
+    bound on where the noisy crossing can land, slightly padded. *)
+
+val dominates :
+  interval:Tka_util.Interval.t ->
+  Tka_waveform.Envelope.t ->
+  Tka_waveform.Envelope.t ->
+  bool
+(** [dominates ~interval a b]: [a] encapsulates [b] on [interval]. A
+    (non-strict) partial order: reflexive, transitive, antisymmetric up
+    to envelope equality on the interval. *)
+
+val mutually_undominated :
+  interval:Tka_util.Interval.t ->
+  Tka_waveform.Envelope.t ->
+  Tka_waveform.Envelope.t ->
+  bool
+(** Neither dominates the other (envelopes that cross, like A and B in
+    Fig. 6). *)

@@ -1,0 +1,114 @@
+module Iterate = Tka_noise.Iterate
+
+type t = {
+  result : Engine.result;
+  topo : Tka_circuit.Topo.t;
+  dual : Engine.result;
+      (* addition-mode enumeration over the same circuit: the paper's
+         dual problem. The strongest noise *contributors* are also prime
+         removal candidates, and the addition objective sees the
+         window-feedback amplification that the first-order removal
+         benefit misses; per-k reports pick whichever candidate
+         evaluates better. *)
+}
+
+let compute ?(capacity = Ilist.default_capacity) ?(use_pseudo = true)
+    ?(use_higher_order = true) ?fixpoint ~k topo =
+  let config = { Engine.k; capacity; use_pseudo; use_higher_order } in
+  (* the two dual enumerations share one all-aggressor fixpoint *)
+  let fixpoint =
+    match fixpoint with Some f -> f | None -> Tka_noise.Iterate.run topo
+  in
+  {
+    result = Engine.compute ~config ~fixpoint ~mode:Engine.Elimination topo;
+    topo;
+    dual = Engine.compute ~config ~fixpoint ~mode:Engine.Addition topo;
+  }
+
+let set_of_result (r : Engine.result) i =
+  if i < 1 || i >= Array.length r.Engine.res_per_k then None
+  else Option.map (fun c -> c.Engine.ch_set) r.Engine.res_per_k.(i)
+
+let top_of_result (r : Engine.result) i =
+  if i < 1 || i >= Array.length r.Engine.res_top then []
+  else List.map (fun c -> c.Engine.ch_set) r.Engine.res_top.(i)
+
+let set t i = set_of_result t.result i
+let dual_set t i = set_of_result t.dual i
+
+(* candidates for exact re-ranking: the elimination engine's retained
+   sink entries plus the dual (addition) engine's best pick *)
+let candidates t i =
+  let dedup sets =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun s ->
+        let key = Coupling_set.to_list s in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      sets
+  in
+  dedup (top_of_result t.result i @ Option.to_list (set_of_result t.dual i))
+
+let estimated_delay t i = Engine.estimated_delay t.result i
+
+let evaluate_set topo s =
+  Iterate.circuit_delay (Iterate.run ~active:(Coupling_set.excludes_fn s) topo)
+
+(* exact re-ranking over the retained candidates and the dual pick *)
+let best_choice t i =
+  match candidates t i with
+  | [] -> None
+  | first :: rest ->
+    let score s = (s, evaluate_set t.topo s) in
+    Some
+      (List.fold_left
+         (fun (bs, bd) c ->
+           let s, d = score c in
+           if d < bd then (s, d) else (bs, bd))
+         (score first) rest)
+
+let evaluate t i =
+  match best_choice t i with
+  | None -> t.result.Engine.res_noisy_delay
+  | Some (_, d) -> d
+
+(* Exact, monotone top-k curve; see Addition.evaluate_curve. For each
+   cardinality both the elimination pick and the dual (addition) pick
+   are evaluated and the better kept; if neither beats the previous
+   cardinality's set, that set padded with one more coupling is used
+   (removing a superset never recovers less). *)
+let evaluate_curve t ~ks =
+  let nl = Tka_circuit.Topo.netlist t.topo in
+  let universe = 2 * Tka_circuit.Netlist.num_couplings nl in
+  let ks = List.sort_uniq Int.compare ks in
+  let best = ref None in
+  List.filter_map
+    (fun k ->
+      let cands =
+        candidates t k
+        @ (match !best with
+          | Some (s, _) -> Option.to_list (Coupling_set.pad ~universe ~target:k s)
+          | None -> [])
+      in
+      match cands with
+      | [] -> None
+      | first :: rest ->
+        let score s = (s, evaluate_set t.topo s) in
+        let s, d =
+          List.fold_left
+            (fun (bs, bd) c ->
+              let s, d = score c in
+              if d < bd then (s, d) else (bs, bd))
+            (score first) rest
+        in
+        best := Some (s, d);
+        Some (k, s, d))
+    ks
+
+let noiseless_delay t = t.result.Engine.res_noiseless_delay
+let all_aggressor_delay t = t.result.Engine.res_noisy_delay
+let runtime t = t.result.Engine.res_runtime +. t.dual.Engine.res_runtime

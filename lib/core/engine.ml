@@ -1,0 +1,506 @@
+module N = Tka_circuit.Netlist
+module Topo = Tka_circuit.Topo
+module TW = Tka_sta.Timing_window
+module Analysis = Tka_sta.Analysis
+module Iterate = Tka_noise.Iterate
+module CN = Tka_noise.Coupled_noise
+module EB = Tka_noise.Envelope_builder
+module VN = Tka_noise.Victim_noise
+module Envelope = Tka_waveform.Envelope
+module Transition = Tka_waveform.Transition
+module Pwl = Tka_waveform.Pwl
+
+let log_src = Logs.Src.create "tka.topk" ~doc:"top-k aggressor enumeration"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Addition | Elimination
+
+type config = {
+  k : int;
+  capacity : int;
+  use_pseudo : bool;
+  use_higher_order : bool;
+}
+
+let default_config ~k =
+  { k; capacity = Ilist.default_capacity; use_pseudo = true; use_higher_order = true }
+
+type choice = {
+  ch_set : Coupling_set.t;
+  ch_objective : float;
+  ch_sink : N.net_id;
+}
+
+type result = {
+  res_mode : mode;
+  res_config : config;
+  res_per_k : choice option array;
+  res_top : choice list array;
+  res_stats : Ilist.stats;
+  res_noiseless_delay : float;
+  res_noisy_delay : float;
+  res_runtime : float;
+}
+
+(* How many sink candidates per cardinality are retained for exact
+   re-ranking by the callers (the paper superposes every member of the
+   sink's I-list; we keep the best few by the first-order score). *)
+let sink_candidates = 6
+
+(* Per-net, per-cardinality summaries retained after a net is processed:
+   the best few coupling sets (by objective at that net), best first.
+   Propagating more than the single best set (the paper's step 5) lets
+   downstream victims recover upstream sets whose first-order rank was
+   slightly off — the exact re-ranking at the sink then corrects it. *)
+type summary = (Coupling_set.t * float) list array
+
+let summaries_per_cardinality = 2
+
+let eps = 1e-9
+
+let compute ?config ?fixpoint ~mode topo =
+  let config = match config with Some c -> c | None -> default_config ~k:10 in
+  if config.k < 1 then invalid_arg "Engine.compute: k must be >= 1";
+  let t_start = Sys.time () in
+  let nl = Topo.netlist topo in
+  let nn = N.num_nets nl in
+  let k = config.k in
+  let fix = match fixpoint with Some f -> f | None -> Iterate.run topo in
+  let base = fix.Iterate.base in
+  let base_w = Analysis.window base in
+  let noisy_w = Analysis.window fix.Iterate.analysis in
+  let mode_w = match mode with Addition -> base_w | Elimination -> noisy_w in
+  let base_lat v = (base_w v).TW.lat in
+  let noisy_lat v = (noisy_w v).TW.lat in
+  let stats = Ilist.fresh_stats () in
+  let summaries : summary array = Array.make nn [||] in
+  let direct_memo : (int, summary) Hashtbl.t = Hashtbl.create 64 in
+
+  (* The victim's latest transition, anchored at the noiseless arrival:
+     objectives measure noise added to / removed from the noiseless
+     timing. *)
+  let victim_tr v =
+    Transition.make ~t50:(base_lat v) ~slew:(mode_w v).TW.slew_late ()
+  in
+
+  (* Upstream component of the fixpoint shift at [v] (elimination). *)
+  let upstream_shift v =
+    Float.max 0. (noisy_lat v -. base_lat v -. Iterate.net_noise fix v)
+  in
+
+  (* --------------------------------------------------------------- *)
+  (* Per-victim enumeration                                          *)
+  (* --------------------------------------------------------------- *)
+  let summary_of_ilists upto (ilists : Ilist.entry list array) : summary =
+    Array.init (upto + 1) (fun i ->
+        if i = 0 then [ (Coupling_set.empty, 0.) ]
+        else
+          ilists.(i)
+          |> List.filteri (fun j _ -> j < summaries_per_cardinality)
+          |> List.map (fun (e : Ilist.entry) ->
+                 (e.Ilist.couplings, e.Ilist.objective)))
+  in
+
+  let rec enumerate ~use_pseudo ~use_higher ~upto v : Ilist.entry list array =
+    let all_primaries = CN.aggressors_of_victim nl v in
+    let victim = victim_tr v in
+    let interval = Dominance.interval ~victim in
+    let prim_env_tbl = Hashtbl.create 16 in
+    let prim_env (d : CN.directed) =
+      match Hashtbl.find_opt prim_env_tbl (CN.directed_id d) with
+      | Some e -> e
+      | None ->
+        let e = EB.of_directed nl ~windows:mode_w d in
+        Hashtbl.replace prim_env_tbl (CN.directed_id d) e;
+        e
+    in
+    (* A primary whose envelope is zero everywhere on the dominance
+       interval cannot change any candidate's objective (the saturated
+       crossing never leaves the interval), so it is inert at this
+       victim — on dense circuits most couplings are inert for most
+       victims, and dropping them up front shrinks every later step.
+       For the elimination objective the interval test is the same: the
+       removed envelope only matters where the crossing can sit. *)
+    let primaries =
+      List.filter
+        (fun d ->
+          Pwl.max_on interval (Envelope.waveform (prim_env d)) > eps)
+        all_primaries
+    in
+    (* Elimination reference: the total envelope of everything attacking
+       this victim (direct + propagated), and the noise it causes. *)
+    let total_env =
+      lazy
+        (let direct = Envelope.combine (List.map prim_env primaries) in
+         match mode with
+         | Addition -> direct
+         | Elimination ->
+           Envelope.add direct
+             (Pseudo.envelope ~victim ~shift:(upstream_shift v)))
+    in
+    let total_noise =
+      lazy (VN.delay_noise_of_envelope ~victim (Lazy.force total_env))
+    in
+    (* one-pass elimination objective: precompute (ramp - total envelope)
+       once; the remaining noise after removing env is the crossing of
+       that floor plus env *)
+    let noisy_floor =
+      lazy
+        (Pwl.sub (Transition.waveform victim)
+           (Envelope.waveform (Lazy.force total_env)))
+    in
+    let objective env =
+      match mode with
+      | Addition -> VN.delay_noise_of_envelope ~victim env
+      | Elimination ->
+        let restored = Pwl.add (Lazy.force noisy_floor) (Envelope.waveform env) in
+        let remaining_noise =
+          match Pwl.last_upcrossing restored 0.5 with
+          | None -> 0.
+          | Some t ->
+            Float.min
+              (Float.max 0. (t -. victim.Transition.t50))
+              (VN.saturation_slews *. victim.Transition.slew)
+        in
+        Lazy.force total_noise -. remaining_noise
+    in
+    let entry set env =
+      { Ilist.couplings = set; envelope = env; objective = objective env }
+    in
+    (* Extension rule (Theorem 1): extending a set S with primary d is
+       redundant when some primary d' NOT in S strictly dominates d —
+       S ∪ {d'} dominates S ∪ {d}. So each primary carries its list of
+       strict dominators (ties broken by id so equal envelopes do not
+       eliminate each other), and is allowed as an extension of S only
+       when all of them already belong to S. Non-dominated primaries
+       are always allowed. *)
+    let prim_arr = Array.of_list primaries in
+    let dominators =
+      Array.map
+        (fun (d : CN.directed) ->
+          let ed = prim_env d in
+          Array.to_list prim_arr
+          |> List.filter_map (fun (d' : CN.directed) ->
+                 if CN.directed_id d' = CN.directed_id d then None
+                 else
+                   let ed' = prim_env d' in
+                   let fwd = Dominance.dominates ~interval ed' ed in
+                   let bwd = Dominance.dominates ~interval ed ed' in
+                   if fwd && ((not bwd) || CN.directed_id d' < CN.directed_id d)
+                   then Some (CN.directed_id d')
+                   else None))
+        prim_arr
+    in
+    (* extension fan-out bound: only the strongest primaries (by
+       singleton objective) plus any primary whose dominators are all in
+       the set already (the stacking case) are tried *)
+    let strong =
+      let scored =
+        Array.mapi
+          (fun idx d -> (idx, VN.delay_noise_of_envelope ~victim (prim_env d)))
+          prim_arr
+      in
+      Array.sort (fun (_, a) (_, b) -> Float.compare b a) scored;
+      let set = Hashtbl.create 16 in
+      Array.iteri
+        (fun rank (idx, _) -> if rank < 8 then Hashtbl.replace set idx ())
+        scored;
+      set
+    in
+    let allowed_extension set (idx : int) =
+      (Hashtbl.mem strong idx
+      || List.exists (fun id -> Coupling_set.mem id set) dominators.(idx))
+      && List.for_all (fun id -> Coupling_set.mem id set) dominators.(idx)
+    in
+    let ilists = Array.make (upto + 1) [] in
+    ilists.(0) <-
+      [ { Ilist.couplings = Coupling_set.empty; envelope = Envelope.zero; objective = 0. } ];
+    (* Pseudo candidates of a given cardinality, one per driver input. *)
+    let pseudo_candidates i =
+      if not use_pseudo then []
+      else
+        match N.driver_gate nl v with
+        | None -> []
+        | Some g ->
+          let delay = Tka_sta.Delay_calc.stage_delay nl g.N.gate_id in
+          List.concat_map
+            (fun (_, u) ->
+              let sums =
+                if Array.length summaries.(u) > i then summaries.(u).(i) else []
+              in
+              List.filter_map
+                (fun (set, du) ->
+                  if du <= eps then None
+                  else
+                    match mode with
+                    | Addition ->
+                      let slack = base_lat v -. (base_lat u +. delay) in
+                      let shift = Float.max 0. (du -. Float.max 0. slack) in
+                      if shift <= eps then None
+                      else Some (entry set (Pseudo.envelope ~victim ~shift))
+                    | Elimination ->
+                      let p_v = upstream_shift v in
+                      let slack = noisy_lat v -. (noisy_lat u +. delay) in
+                      let reduction =
+                        Float.max 0. (Float.min p_v (du -. Float.max 0. slack))
+                      in
+                      if reduction <= eps then None
+                      else
+                        Some
+                          (entry set
+                             (Pseudo.reduction_envelope ~victim ~total:p_v
+                                ~removed:reduction)))
+                sums)
+            g.N.fanin
+    in
+    (* Higher-order candidates of innate cardinality i: primary d whose
+       window is altered by the best (i-1)-set attacking the aggressor
+       net itself. *)
+    (* higher-order construction is the most expensive candidate source
+       (each needs a fresh widened-envelope build): restrict it to the
+       strongest primaries and to the aggressor net's best summary *)
+    let higher_order_pool =
+      lazy
+        (List.stable_sort
+           (fun a b ->
+             Float.compare (Envelope.peak (prim_env b)) (Envelope.peak (prim_env a)))
+           primaries
+        |> List.filteri (fun j _ -> j < 8))
+    in
+    let higher_candidates i =
+      if (not use_higher) || i < 2 then []
+      else
+        List.concat_map
+          (fun (d : CN.directed) ->
+            let a = d.CN.dc_aggressor in
+            let s = summary_of_aggressor a in
+            let t = i - 1 in
+            let sums =
+              match (if Array.length s > t then s.(t) else []) with
+              | best :: _ -> [ best ]
+              | [] -> []
+            in
+            List.filter_map
+              (fun (set_t, delta) ->
+                if delta <= eps || Coupling_set.mem (CN.directed_id d) set_t then
+                  None
+                else
+                  let combo = Coupling_set.add (CN.directed_id d) set_t in
+                  if Coupling_set.cardinality combo <> i then None
+                  else
+                    match mode with
+                    | Addition ->
+                      Some
+                        (entry combo
+                           (EB.of_directed_widened nl ~windows:mode_w
+                              ~extra_lat:delta d))
+                    | Elimination ->
+                      (* removing the combo shrinks the aggressor window:
+                         the envelope that disappears is (full − narrowed) *)
+                      let w = mode_w a in
+                      let lat' = Float.max w.TW.eat (w.TW.lat -. delta) in
+                      let narrowed =
+                        EB.with_window nl ~window:{ w with TW.lat = lat' } d
+                      in
+                      let gone =
+                        Envelope.of_waveform
+                          (Pwl.sub
+                             (Envelope.waveform (prim_env d))
+                             (Envelope.waveform narrowed))
+                      in
+                      Some (entry combo gone))
+              sums)
+          (Lazy.force higher_order_pool)
+    in
+    (* deep in the sweep candidates differ marginally; tapering the
+       list capacity there keeps the k-sweep near-linear without
+       touching the small-k region the validation checks *)
+    let capacity_at i =
+      if i <= 20 then config.capacity
+      else max 8 (config.capacity - ((i - 20) / 4))
+    in
+    for i = 1 to upto do
+      let extensions =
+        List.concat_map
+          (fun (e : Ilist.entry) ->
+            let out = ref [] in
+            Array.iteri
+              (fun idx (d : CN.directed) ->
+                let id = CN.directed_id d in
+                if
+                  (not (Coupling_set.mem id e.Ilist.couplings))
+                  && allowed_extension e.Ilist.couplings idx
+                then
+                  out :=
+                    entry
+                      (Coupling_set.add id e.Ilist.couplings)
+                      (Envelope.add e.Ilist.envelope (prim_env d))
+                    :: !out)
+              prim_arr;
+            !out)
+          ilists.(i - 1)
+      in
+      let cands = extensions @ pseudo_candidates i @ higher_candidates i in
+      ilists.(i) <- Ilist.prune ~capacity:(capacity_at i) ~interval ~stats cands
+    done;
+    ilists
+
+  (* Best sets attacking an aggressor net: the full summary when the
+     net was already processed (it precedes the victim topologically),
+     otherwise a memoised direct-aggressors-only enumeration. *)
+  and summary_of_aggressor a : summary =
+    if Array.length summaries.(a) > 0 then summaries.(a)
+    else
+      match Hashtbl.find_opt direct_memo a with
+      | Some s -> s
+      | None ->
+        let upto = max 0 (k - 1) in
+        let ilists = enumerate ~use_pseudo:false ~use_higher:false ~upto a in
+        let s = summary_of_ilists upto ilists in
+        Hashtbl.replace direct_memo a s;
+        s
+  in
+
+  (* --------------------------------------------------------------- *)
+  (* Topological sweep                                               *)
+  (* --------------------------------------------------------------- *)
+  let po_entries : (N.net_id * Ilist.entry list array) list ref = ref [] in
+  Array.iter
+    (fun v ->
+      let ilists =
+        enumerate ~use_pseudo:config.use_pseudo
+          ~use_higher:config.use_higher_order ~upto:k v
+      in
+      summaries.(v) <- summary_of_ilists k ilists;
+      if (N.net nl v).N.is_output then po_entries := (v, ilists) :: !po_entries)
+    (Topo.net_order topo);
+
+  (* --------------------------------------------------------------- *)
+  (* Sink selection                                                  *)
+  (* --------------------------------------------------------------- *)
+  let outputs = N.outputs nl in
+  (* For each cardinality, gather every entry of every primary output's
+     irredundant list (the paper reads the whole I-list_k of the sink),
+     score by the resulting circuit arrival, and keep the best few for
+     exact re-ranking by the caller. *)
+  let top =
+    Array.init (k + 1) (fun i ->
+        if i = 0 then []
+        else begin
+          let score po obj =
+            match mode with
+            | Addition ->
+              List.fold_left
+                (fun acc q ->
+                  Float.max acc (base_lat q +. if q = po then obj else 0.))
+                Float.neg_infinity outputs
+            | Elimination ->
+              List.fold_left
+                (fun acc q ->
+                  Float.max acc (noisy_lat q -. if q = po then obj else 0.))
+                Float.neg_infinity outputs
+          in
+          let scored =
+            List.concat_map
+              (fun (po, ilists) ->
+                List.map
+                  (fun (e : Ilist.entry) ->
+                    ( score po e.Ilist.objective,
+                      {
+                        ch_set = e.Ilist.couplings;
+                        ch_objective = e.Ilist.objective;
+                        ch_sink = po;
+                      } ))
+                  ilists.(i))
+              !po_entries
+          in
+          let sorted =
+            List.stable_sort
+              (fun (a, _) (b, _) ->
+                match mode with
+                | Addition -> Float.compare b a
+                | Elimination -> Float.compare a b)
+              scored
+          in
+          (* dedupe identical sets, keep the best few *)
+          let seen = Hashtbl.create 8 in
+          List.filter_map
+            (fun (_, c) ->
+              let key = Coupling_set.to_list c.ch_set in
+              if Hashtbl.mem seen key then None
+              else begin
+                Hashtbl.replace seen key ();
+                Some c
+              end)
+            sorted
+          |> List.filteri (fun j _ -> j < sink_candidates)
+        end)
+  in
+  let per_k = Array.map (fun l -> match l with c :: _ -> Some c | [] -> None) top in
+  (* Monotone fix-up: a cardinality-i set can always contain the best
+     (i-1)-set plus one more coupling, so the achievable objective never
+     decreases with i. When a sink's irredundant list thins out (e.g. a
+     primary output with a single primary aggressor), pad the previous
+     choice with an arbitrary unused coupling instead of regressing. *)
+  let pad_with_any set =
+    let n = 2 * N.num_couplings nl in
+    let rec find c =
+      if c >= n then None
+      else if Coupling_set.mem c set then find (c + 1)
+      else Some (Coupling_set.add c set)
+    in
+    find 0
+  in
+  (match mode with
+  | Addition | Elimination ->
+    for i = 2 to k do
+      let prev = per_k.(i - 1) in
+      let keep_prev =
+        match (per_k.(i), prev) with
+        | _, None -> false
+        | None, Some _ -> true
+        | Some ci, Some cp -> ci.ch_objective < cp.ch_objective
+      in
+      if keep_prev then begin
+        let padded_choice =
+          Option.bind prev (fun cp ->
+              Option.map
+                (fun padded -> { cp with ch_set = padded })
+                (pad_with_any cp.ch_set))
+        in
+        per_k.(i) <- padded_choice;
+        (match padded_choice with
+        | Some c -> top.(i) <- c :: top.(i)
+        | None -> ())
+      end
+    done);
+  let res_runtime = Sys.time () -. t_start in
+  Log.debug (fun m ->
+      m "%s: k=%d %s in %.2fs (candidates=%d dominated=%d capped=%d)" (N.name nl)
+        k
+        (match mode with Addition -> "addition" | Elimination -> "elimination")
+        res_runtime stats.Ilist.candidates stats.Ilist.dominated stats.Ilist.capped);
+  {
+    res_mode = mode;
+    res_config = config;
+    res_per_k = per_k;
+    res_top = top;
+    res_stats = stats;
+    res_noiseless_delay = Analysis.circuit_delay base;
+    res_noisy_delay = Iterate.circuit_delay fix;
+    res_runtime;
+  }
+
+let estimated_delay r i =
+  if i < 0 || i >= Array.length r.res_per_k then
+    invalid_arg "Engine.estimated_delay: cardinality out of range";
+  match r.res_per_k.(i) with
+  | None -> (
+    match r.res_mode with
+    | Addition -> r.res_noiseless_delay
+    | Elimination -> r.res_noisy_delay)
+  | Some c -> (
+    match r.res_mode with
+    | Addition -> Float.max r.res_noiseless_delay (r.res_noiseless_delay +. c.ch_objective)
+    | Elimination -> Float.max r.res_noiseless_delay (r.res_noisy_delay -. c.ch_objective))

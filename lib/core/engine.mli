@@ -1,0 +1,77 @@
+(** The implicit-enumeration engine (Fig. 9 of the paper).
+
+    Shared machinery behind {!Addition} and {!Elimination}. Victim nets
+    are visited in topological order; for each victim, irredundant lists
+    [I-list_1 .. I-list_k] of candidate coupling sets are built by:
+
+    + extending every entry of [I-list_{i-1}] with one more
+      non-dominated primary aggressor;
+    + adding pseudo input aggressor sets of cardinality [i], propagated
+      from the driver's input nets (each input contributes according to
+      how much its delay noise actually moves this net's latest
+      arrival);
+    + adding higher-order aggressors of innate cardinality [i]: a
+      primary aggressor whose switching window is widened (addition) or
+      narrowed (elimination) by the best [(i-1)]-set attacking the
+      aggressor net itself;
+    + pruning by envelope dominance over the victim's dominance
+      interval.
+
+    Each net retains only a per-cardinality summary (best set and its
+    objective); the full lists live only while their victim is being
+    processed, so memory stays linear in circuit size.
+
+    The final per-cardinality answers are read from the irredundant
+    lists of the primary outputs ("the sink node"), selecting, for each
+    [i], the output and entry with the worst resulting arrival. *)
+
+type mode = Addition | Elimination
+
+type config = {
+  k : int;  (** maximum cardinality to enumerate *)
+  capacity : int;  (** irredundant-list capacity per cardinality *)
+  use_pseudo : bool;  (** enable pseudo input aggressors (ablation) *)
+  use_higher_order : bool;  (** enable higher-order aggressors (ablation) *)
+}
+
+val default_config : k:int -> config
+(** Capacity {!Ilist.default_capacity}, both features on. *)
+
+type choice = {
+  ch_set : Coupling_set.t;
+  ch_objective : float;
+      (** delay noise added (addition) or removed (elimination), at the
+          chosen sink, in ns *)
+  ch_sink : Tka_circuit.Netlist.net_id;  (** primary output it was read from *)
+}
+
+type result = {
+  res_mode : mode;
+  res_config : config;
+  res_per_k : choice option array;  (** index 1..k; [None] if no candidates *)
+  res_top : choice list array;
+      (** per cardinality, the best few sink candidates by first-order
+          score (best first) — the paper reads the sink's whole
+          irredundant list; callers re-rank these by exact analysis *)
+  res_stats : Ilist.stats;
+  res_noiseless_delay : float;
+  res_noisy_delay : float;  (** all-aggressor fixpoint delay *)
+  res_runtime : float;  (** CPU seconds for the enumeration *)
+}
+
+val compute :
+  ?config:config ->
+  ?fixpoint:Tka_noise.Iterate.t ->
+  mode:mode ->
+  Tka_circuit.Topo.t ->
+  result
+(** Run the enumeration. [config] defaults to [default_config ~k:10].
+    [fixpoint] supplies a precomputed all-aggressor iterative analysis
+    of the same topology (it is recomputed otherwise); callers sweeping
+    k share it so the measured runtime is the enumeration itself. *)
+
+val estimated_delay : result -> int -> float
+(** [estimated_delay r i]: the circuit delay the engine predicts for
+    the top-[i] set — noiseless delay + objective for addition, noisy
+    delay − objective for elimination. Exact re-evaluation is provided
+    by {!Addition.evaluate} / {!Elimination.evaluate}. *)

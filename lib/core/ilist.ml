@@ -1,0 +1,82 @@
+type entry = {
+  couplings : Coupling_set.t;
+  envelope : Tka_waveform.Envelope.t;
+  objective : float;
+}
+
+type stats = {
+  mutable candidates : int;
+  mutable dominated : int;
+  mutable duplicates : int;
+  mutable capped : int;
+}
+
+let fresh_stats () = { candidates = 0; dominated = 0; duplicates = 0; capped = 0 }
+
+let merge_stats acc s =
+  acc.candidates <- acc.candidates + s.candidates;
+  acc.dominated <- acc.dominated + s.dominated;
+  acc.duplicates <- acc.duplicates + s.duplicates;
+  acc.capped <- acc.capped + s.capped
+
+let default_capacity = 10
+
+let prune ?(capacity = default_capacity) ~interval ~stats entries =
+  stats.candidates <- stats.candidates + List.length entries;
+  (* dedupe identical coupling sets (same set => same envelope) *)
+  let by_set = Hashtbl.create 32 in
+  let deduped =
+    List.filter
+      (fun e ->
+        let key = Coupling_set.to_list e.couplings in
+        if Hashtbl.mem by_set key then begin
+          stats.duplicates <- stats.duplicates + 1;
+          false
+        end
+        else begin
+          Hashtbl.replace by_set key ();
+          true
+        end)
+      entries
+  in
+  let sorted =
+    List.stable_sort (fun a b -> Float.compare b.objective a.objective) deduped
+  in
+  (* Prescreen: entries far down the objective order cannot enter the
+     capacity-bounded result, and the pairwise dominance scan on large
+     PWL envelopes is the expensive part — truncate first (counted as
+     capped, never silent). *)
+  let prescreen = 3 * capacity in
+  let sorted, prescreened =
+    let n = List.length sorted in
+    if n <= prescreen then (sorted, 0)
+    else (List.filteri (fun i _ -> i < prescreen) sorted, n - prescreen)
+  in
+  stats.capped <- stats.capped + prescreened;
+  (* Objective-descending scan: an entry can only be dominated by one
+     with an objective at least as large (Theorem 1), i.e. by an entry
+     already kept. A peak comparison cheaply rules out most pairs. *)
+  let kept = ref [] in
+  List.iter
+    (fun e ->
+      let pe = Tka_waveform.Envelope.peak e.envelope in
+      let dominated =
+        List.exists
+          (fun (k, pk) ->
+            pk >= pe -. Tka_util.Float_cmp.default_eps
+            && Dominance.dominates ~interval k.envelope e.envelope)
+          !kept
+      in
+      if dominated then stats.dominated <- stats.dominated + 1
+      else kept := (e, pe) :: !kept)
+    sorted;
+  let kept = ref (List.map fst !kept) in
+  let result = List.rev !kept in
+  let n = List.length result in
+  if n > capacity then begin
+    stats.capped <- stats.capped + (n - capacity);
+    List.filteri (fun i _ -> i < capacity) result
+  end
+  else result
+
+let best = function [] -> None | e :: _ -> Some e

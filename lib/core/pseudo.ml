@@ -1,0 +1,22 @@
+module Transition = Tka_waveform.Transition
+module Envelope = Tka_waveform.Envelope
+module Pwl = Tka_waveform.Pwl
+
+let envelope ~victim ~shift =
+  if shift < 0. then invalid_arg "Pseudo.envelope: negative shift";
+  if shift = 0. then Envelope.zero
+  else begin
+    let nominal = Transition.waveform victim in
+    let delayed = Transition.waveform (Transition.shift shift victim) in
+    Envelope.of_waveform (Pwl.sub nominal delayed)
+  end
+
+let reduction_envelope ~victim ~total ~removed =
+  if removed < 0. || removed > total +. Tka_util.Float_cmp.default_eps then
+    invalid_arg "Pseudo.reduction_envelope: removed outside [0, total]";
+  let full = Envelope.waveform (envelope ~victim ~shift:total) in
+  let rest = Envelope.waveform (envelope ~victim ~shift:(Float.max 0. (total -. removed))) in
+  Envelope.of_waveform (Pwl.sub full rest)
+
+let shift_of_envelope ~victim env =
+  Tka_noise.Victim_noise.delay_noise_of_envelope ~victim env

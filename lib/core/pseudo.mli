@@ -1,0 +1,30 @@
+(** Pseudo input aggressors (Section 3.1, Fig. 5).
+
+    The delay noise a set of upstream couplings creates on a victim
+    driver's input shifts the victim's output transition. Subtracting
+    the noiseless output transition from the delayed one yields a
+    waveform shaped like a primary-aggressor noise envelope — the
+    pseudo input aggressor — which lets candidate sets propagate in
+    topological order without re-analysing fanin cones. *)
+
+val envelope :
+  victim:Tka_waveform.Transition.t -> shift:float -> Tka_waveform.Envelope.t
+(** [envelope ~victim ~shift] is (noiseless − delayed-by-[shift])
+    clipped at zero: the exact pseudo-noise envelope for a victim whose
+    transition is pushed late by [shift >= 0]. Zero envelope for zero
+    shift. *)
+
+val reduction_envelope :
+  victim:Tka_waveform.Transition.t ->
+  total:float ->
+  removed:float ->
+  Tka_waveform.Envelope.t
+(** For the elimination analysis: the envelope component that
+    {e disappears} when upstream fixing shrinks a total propagated
+    shift of [total] down to [total - removed]:
+    [envelope total − envelope (total − removed)], clipped at zero. *)
+
+val shift_of_envelope :
+  victim:Tka_waveform.Transition.t -> Tka_waveform.Envelope.t -> float
+(** Inverse check: the delay noise the pseudo envelope reproduces on
+    the victim (equals [shift] up to saturation; used by tests). *)

@@ -1,0 +1,285 @@
+module N = Tka_circuit.Netlist
+module Builder = Tka_circuit.Builder
+module Topo = Tka_circuit.Topo
+module Spef = Tka_circuit.Spef_lite
+module Cell = Tka_cell.Cell
+module Lib = Tka_cell.Default_lib
+module Rng = Tka_util.Rng
+
+let log_src = Logs.Src.create "tka.layout" ~doc:"synthetic layout and benchmarks"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type spec = {
+  sp_name : string;
+  sp_gates : int;
+  sp_inputs : int;
+  sp_depth : int;
+  sp_couplings : int;
+  sp_seed : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Random levelised DAG                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Pick a gate arity: two-input cells dominate, as in mapped netlists. *)
+let pick_arity rng =
+  let r = Rng.float rng 1.0 in
+  if r < 0.25 then 1 else if r < 0.80 then 2 else 3
+
+(* Bias toward X1 drives: real netlists upsize only critical drivers. *)
+let pick_cell rng arity =
+  let r = Rng.float rng 1.0 in
+  let drive = if r < 0.70 then "X1" else if r < 0.92 then "X2" else "X4" in
+  let has_suffix c =
+    let n = c.Cell.name in
+    String.length n > 3 && String.sub n (String.length n - 2) 2 = drive
+  in
+  let candidates =
+    Array.of_list (List.filter has_suffix (Lib.combinational_of_arity arity))
+  in
+  Rng.pick rng candidates
+
+(* Distribute [gates] over [depth] levels, at least one per level, with
+   a mild bulge in the middle (netlists are widest mid-cone). *)
+let level_sizes rng ~gates ~depth =
+  let sizes = Array.make depth 1 in
+  let remaining = ref (gates - depth) in
+  if !remaining < 0 then
+    invalid_arg "Benchmarks: more levels than gates";
+  let weights =
+    Array.init depth (fun i ->
+        let x = (float_of_int i +. 0.5) /. float_of_int depth in
+        0.5 +. (sin (Float.pi *. x) *. (1.0 +. Rng.float rng 0.4)))
+  in
+  let wsum = Array.fold_left ( +. ) 0. weights in
+  (* proportional allocation, then distribute the remainder randomly *)
+  let planned = Array.map (fun w -> w /. wsum *. float_of_int !remaining) weights in
+  Array.iteri
+    (fun i p ->
+      let extra = int_of_float p in
+      sizes.(i) <- sizes.(i) + extra;
+      remaining := !remaining - extra)
+    planned;
+  while !remaining > 0 do
+    let i = Rng.int rng depth in
+    sizes.(i) <- sizes.(i) + 1;
+    decr remaining
+  done;
+  sizes
+
+(* Choose a source net for a gate input: strong locality bias toward the
+   immediately preceding levels, occasional long hop — this is what
+   creates deep fanin cones and hence indirect (secondary, tertiary)
+   aggressors. *)
+let pick_source rng ~levels_nets ~sink_count ~max_fanout ~level =
+  let max_back = level in
+  let attempt () =
+    let back =
+      let r = Rng.float rng 1.0 in
+      if r < 0.65 then 1
+      else if r < 0.95 then min 2 max_back
+      else 1 + Rng.int rng (min max_back 5)
+    in
+    let src_level = max 0 (level - back) in
+    let pool : N.net_id array = levels_nets.(src_level) in
+    Rng.pick rng pool
+  in
+  (* Resample a few times to avoid mega-fanout nets; synthesis would
+     have buffered those. *)
+  let rec go tries =
+    let nid = attempt () in
+    if tries = 0 || sink_count nid < max_fanout then nid else go (tries - 1)
+  in
+  go 6
+
+let build_dag spec rng =
+  let b = Builder.create ~name:spec.sp_name () in
+  let inputs =
+    Array.init spec.sp_inputs (fun i -> Builder.add_input b (Printf.sprintf "pi%d" i))
+  in
+  let depth = spec.sp_depth in
+  let sizes = level_sizes rng ~gates:spec.sp_gates ~depth in
+  let levels_nets = Array.make (depth + 1) [||] in
+  levels_nets.(0) <- inputs;
+  let sink_counts = Hashtbl.create (spec.sp_gates * 2) in
+  let sink_count nid = Option.value ~default:0 (Hashtbl.find_opt sink_counts nid) in
+  let note_sink nid = Hashtbl.replace sink_counts nid (sink_count nid + 1) in
+  let max_fanout = 5 in
+  let gate_no = ref 0 in
+  for level = 1 to depth do
+    let count = sizes.(level - 1) in
+    let outs = Array.make count 0 in
+    for j = 0 to count - 1 do
+      let cell = pick_cell rng (pick_arity rng) in
+      incr gate_no;
+      let gname = Printf.sprintf "g%d" !gate_no in
+      let out = Builder.add_net b (Printf.sprintf "n%d" !gate_no) in
+      (* first input pinned to the previous level to guarantee depth *)
+      let pins = Cell.input_names cell in
+      let bindings =
+        List.mapi
+          (fun k pin ->
+            let src =
+              if k = 0 then Rng.pick rng levels_nets.(level - 1)
+              else pick_source rng ~levels_nets ~sink_count ~max_fanout ~level
+            in
+            note_sink src;
+            (pin, src))
+          pins
+      in
+      ignore (Builder.add_gate b ~name:gname ~cell ~inputs:bindings ~output:out);
+      outs.(j) <- out
+    done;
+    levels_nets.(level) <- outs
+  done;
+  (* sink-less nets become primary outputs implicitly at finalize *)
+  Builder.finalize b
+
+(* ------------------------------------------------------------------ *)
+(* Full flow: DAG -> placement -> routing -> extraction -> annotate   *)
+(* ------------------------------------------------------------------ *)
+
+(* Post-route driver sizing: upsize cells whose output load is heavy,
+   as synthesis would after routing estimates. One pass suffices for the
+   generated load distributions. Pin names are identical across drive
+   variants, so the substitution is structure-preserving. *)
+let resize_drivers nl =
+  let pick_variant cell load =
+    let name = cell.Cell.name in
+    match String.rindex_opt name '_' with
+    | None -> cell
+    | Some i ->
+      let base = String.sub name 0 i in
+      let want = if load > 0.050 then "X4" else if load > 0.025 then "X2" else "X1" in
+      Option.value ~default:cell (Lib.find (base ^ "_" ^ want))
+  in
+  Tka_circuit.Transform.map
+    ~cell_of:(fun g -> pick_variant g.N.cell (N.total_cap nl g.N.fanout))
+    nl
+
+let generate spec =
+  let rng = Rng.create spec.sp_seed in
+  let logical = build_dag spec (Rng.split rng) in
+  let topo = Topo.create logical in
+  let placement = Placement.place ~rng:(Rng.split rng) topo in
+  let routing = Routing.route placement in
+  let extracted = Coupling_extract.extract routing in
+  let kept, available = Coupling_extract.trim ~target:spec.sp_couplings extracted in
+  if available < spec.sp_couplings then
+    Log.warn (fun m ->
+        m "%s: extraction produced %d couplings, target was %d" spec.sp_name
+          available spec.sp_couplings);
+  let net_name id = (N.net logical id).N.net_name in
+  let annotation =
+    {
+      Spef.design = Some spec.sp_name;
+      ground =
+        Array.to_list (N.nets logical)
+        |> List.map (fun n ->
+               ( n.N.net_name,
+                 Routing.wire_cap routing n.N.net_id,
+                 Routing.wire_res routing n.N.net_id ));
+      couplings =
+        List.map
+          (fun e ->
+            ( net_name e.Coupling_extract.ex_net_a,
+              net_name e.Coupling_extract.ex_net_b,
+              e.Coupling_extract.ex_cap ))
+          kept;
+    }
+  in
+  resize_drivers (Spef.apply annotation logical)
+
+(* Depths tuned so the noiseless circuit delays land in the same range
+   as the paper's Table 2 "no aggressor" column. *)
+let all_specs =
+  [
+    { sp_name = "i1"; sp_gates = 59; sp_inputs = 8; sp_depth = 7; sp_couplings = 232; sp_seed = 101 };
+    { sp_name = "i2"; sp_gates = 222; sp_inputs = 18; sp_depth = 9; sp_couplings = 706; sp_seed = 102 };
+    { sp_name = "i3"; sp_gates = 132; sp_inputs = 14; sp_depth = 6; sp_couplings = 551; sp_seed = 103 };
+    { sp_name = "i4"; sp_gates = 236; sp_inputs = 20; sp_depth = 10; sp_couplings = 1181; sp_seed = 104 };
+    { sp_name = "i5"; sp_gates = 204; sp_inputs = 12; sp_depth = 13; sp_couplings = 1835; sp_seed = 105 };
+    { sp_name = "i6"; sp_gates = 735; sp_inputs = 30; sp_depth = 12; sp_couplings = 7298; sp_seed = 106 };
+    { sp_name = "i7"; sp_gates = 937; sp_inputs = 33; sp_depth = 11; sp_couplings = 9605; sp_seed = 107 };
+    { sp_name = "i8"; sp_gates = 1609; sp_inputs = 44; sp_depth = 19; sp_couplings = 10235; sp_seed = 108 };
+    { sp_name = "i9"; sp_gates = 1018; sp_inputs = 36; sp_depth = 17; sp_couplings = 14140; sp_seed = 109 };
+    { sp_name = "i10"; sp_gates = 3379; sp_inputs = 64; sp_depth = 30; sp_couplings = 18318; sp_seed = 110 };
+  ]
+
+let spec_of_name n = List.find_opt (fun s -> s.sp_name = n) all_specs
+
+let by_name n = Option.map generate (spec_of_name n)
+
+(* The classic ISCAS-85 c17: six NAND2 gates, five inputs, two outputs.
+   Coupling caps are placed between the internal nets as a small
+   realistic crosstalk scenario. *)
+let c17 () =
+  let b = Builder.create ~name:"c17" () in
+  let i1 = Builder.add_input b "G1" in
+  let i2 = Builder.add_input b "G2" in
+  let i3 = Builder.add_input b "G3" in
+  let i4 = Builder.add_input b "G4" in
+  let i5 = Builder.add_input b "G5" in
+  let n10 = Builder.add_net b "G10" in
+  let n11 = Builder.add_net b "G11" in
+  let n16 = Builder.add_net b "G16" in
+  let n19 = Builder.add_net b "G19" in
+  let n22 = Builder.add_net b "G22" in
+  let n23 = Builder.add_net b "G23" in
+  let nand2 = Lib.find_exn "NAND2_X1" in
+  ignore (Builder.add_gate b ~name:"g10" ~cell:nand2 ~inputs:[ ("A", i1); ("B", i3) ] ~output:n10);
+  ignore (Builder.add_gate b ~name:"g11" ~cell:nand2 ~inputs:[ ("A", i3); ("B", i4) ] ~output:n11);
+  ignore (Builder.add_gate b ~name:"g16" ~cell:nand2 ~inputs:[ ("A", i2); ("B", n11) ] ~output:n16);
+  ignore (Builder.add_gate b ~name:"g19" ~cell:nand2 ~inputs:[ ("A", n11); ("B", i5) ] ~output:n19);
+  ignore (Builder.add_gate b ~name:"g22" ~cell:nand2 ~inputs:[ ("A", n10); ("B", n16) ] ~output:n22);
+  ignore (Builder.add_gate b ~name:"g23" ~cell:nand2 ~inputs:[ ("A", n16); ("B", n19) ] ~output:n23);
+  Builder.mark_output b n22;
+  Builder.mark_output b n23;
+  List.iter
+    (fun (x, z, cap) -> ignore (Builder.add_coupling b x z cap))
+    [
+      (n10, n11, 0.0035);
+      (n11, n16, 0.0040);
+      (n16, n19, 0.0045);
+      (n10, n16, 0.0020);
+      (n19, n23, 0.0030);
+      (n22, n23, 0.0038);
+    ];
+  Builder.finalize b
+
+let tiny () =
+  let b = Builder.create ~name:"tiny" () in
+  let a = Builder.add_input b "a" in
+  let c = Builder.add_input b "c" in
+  let d = Builder.add_input b "d" in
+  let n1 = Builder.add_net b "n1" in
+  let n2 = Builder.add_net b "n2" in
+  let n3 = Builder.add_net b "n3" in
+  let n4 = Builder.add_net b "n4" in
+  let n5 = Builder.add_net b "n5" in
+  let y = Builder.add_net b "y" in
+  let inv = Lib.find_exn "INV_X1" in
+  let nand2 = Lib.find_exn "NAND2_X1" in
+  let nor2 = Lib.find_exn "NOR2_X1" in
+  ignore (Builder.add_gate b ~name:"g1" ~cell:inv ~inputs:[ ("A", a) ] ~output:n1);
+  ignore (Builder.add_gate b ~name:"g2" ~cell:nand2 ~inputs:[ ("A", n1); ("B", c) ] ~output:n2);
+  ignore (Builder.add_gate b ~name:"g3" ~cell:inv ~inputs:[ ("A", d) ] ~output:n3);
+  ignore (Builder.add_gate b ~name:"g4" ~cell:nor2 ~inputs:[ ("A", n2); ("B", n3) ] ~output:n4);
+  ignore (Builder.add_gate b ~name:"g5" ~cell:inv ~inputs:[ ("A", n3) ] ~output:n5);
+  ignore (Builder.add_gate b ~name:"g6" ~cell:nand2 ~inputs:[ ("A", n4); ("B", n5) ] ~output:y);
+  Builder.mark_output b y;
+  List.iter
+    (fun (x, z, cap) -> ignore (Builder.add_coupling b x z cap))
+    [
+      (n1, n2, 0.004);
+      (n1, n3, 0.003);
+      (n2, n4, 0.005);
+      (n2, n3, 0.002);
+      (n3, n4, 0.004);
+      (n4, n5, 0.006);
+      (n5, y, 0.005);
+      (n2, y, 0.003);
+    ];
+  Builder.finalize b

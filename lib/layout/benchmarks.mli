@@ -1,0 +1,44 @@
+(** Deterministic benchmark circuit generation (the i1–i10 suite).
+
+    The paper evaluates on ten placed-and-routed benchmark circuits
+    whose sizes are listed in Table 2 (# gates, # nets, # coupling
+    caps). The original netlists and their commercial place-and-route
+    data are not available, so this module regenerates statistically
+    comparable circuits: a random levelised cell DAG with matched gate
+    count and target logic depth, placed and routed by {!Placement} /
+    {!Routing}, with coupling capacitances extracted geometrically by
+    {!Coupling_extract} and trimmed to the paper's coupling-cap count.
+
+    Generation is fully deterministic in the seed, so every build of
+    the benchmark tables analyses byte-identical circuits. *)
+
+type spec = {
+  sp_name : string;
+  sp_gates : int;
+  sp_inputs : int;
+  sp_depth : int;  (** target logic depth, tuned to land near the paper's noiseless delay *)
+  sp_couplings : int;  (** coupling-cap count from Table 2 *)
+  sp_seed : int;
+}
+
+val generate : spec -> Tka_circuit.Netlist.t
+(** Build the circuit. Logs a warning (library [tka.layout]) if
+    extraction yields fewer couplings than [sp_couplings]; the netlist
+    then carries what was extracted. *)
+
+val spec_of_name : string -> spec option
+(** ["i1"] … ["i10"]. *)
+
+val all_specs : spec list
+(** The ten Table-2 benchmarks in order. *)
+
+val by_name : string -> Tka_circuit.Netlist.t option
+(** [generate] composed with {!spec_of_name}. *)
+
+val tiny : unit -> Tka_circuit.Netlist.t
+(** A 6-gate hand-written circuit with 8 coupling caps — small enough
+    for brute-force validation in tests and examples. *)
+
+val c17 : unit -> Tka_circuit.Netlist.t
+(** The classic ISCAS-85 c17 (six NAND2 gates, two outputs), decorated
+    with six coupling capacitors between its internal nets. *)

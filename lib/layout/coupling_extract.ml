@@ -1,0 +1,75 @@
+module N = Tka_circuit.Netlist
+module G = Geometry
+
+type extracted = { ex_net_a : N.net_id; ex_net_b : N.net_id; ex_cap : float }
+
+let unit_cap = 0.00016
+let max_gap_tracks = 4
+
+let pair_key a b = if a < b then (a, b) else (b, a)
+
+(* Bucket parallel segments by integer track index; only nearby buckets
+   need comparing. *)
+let extract routing =
+  let track_pitch = Placement.row_pitch in
+  let buckets : (G.orientation * int, (N.net_id * G.segment) list) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let bucket_of (s : G.segment) =
+    (s.G.orientation, int_of_float (Float.round (s.G.track /. track_pitch)))
+  in
+  List.iter
+    (fun (nid, seg) ->
+      let key = bucket_of seg in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt buckets key) in
+      Hashtbl.replace buckets key ((nid, seg) :: prev))
+    (Routing.all_segments routing);
+  let caps : (N.net_id * N.net_id, float) Hashtbl.t = Hashtbl.create 1024 in
+  let consider (na, sa) (nb, sb) =
+    if na <> nb then begin
+      let overlap = G.parallel_overlap sa sb in
+      if overlap > 0. then
+        match G.track_distance sa sb with
+        | Some d when d > 0. ->
+          let gap = Float.max 1. (d /. track_pitch) in
+          let cap = unit_cap *. overlap /. (gap *. gap) in
+          if cap > 0. then begin
+            let key = pair_key na nb in
+            let prev = Option.value ~default:0. (Hashtbl.find_opt caps key) in
+            Hashtbl.replace caps key (prev +. cap)
+          end
+        | Some _ | None -> ()
+    end
+  in
+  Hashtbl.iter
+    (fun (orient, track) segs ->
+      (* same bucket: compare each unordered pair once *)
+      let rec pairs = function
+        | [] -> ()
+        | x :: tl ->
+          List.iter (consider x) tl;
+          pairs tl
+      in
+      pairs segs;
+      (* nearby buckets: only look upward to avoid double counting *)
+      for dt = 1 to max_gap_tracks do
+        match Hashtbl.find_opt buckets (orient, track + dt) with
+        | None -> ()
+        | Some others -> List.iter (fun x -> List.iter (consider x) others) segs
+      done)
+    buckets;
+  Hashtbl.fold
+    (fun (a, b) cap acc -> { ex_net_a = a; ex_net_b = b; ex_cap = cap } :: acc)
+    caps []
+  |> List.sort (fun x y ->
+         let c = Float.compare y.ex_cap x.ex_cap in
+         if c <> 0 then c else compare (x.ex_net_a, x.ex_net_b) (y.ex_net_a, y.ex_net_b))
+
+let trim ~target caps =
+  let available = List.length caps in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  (take target caps, available)

@@ -1,0 +1,42 @@
+type point = { x : float; y : float }
+
+type orientation = Horizontal | Vertical
+
+type segment = {
+  orientation : orientation;
+  track : float;
+  s_lo : float;
+  s_hi : float;
+}
+
+let point x y = { x; y }
+
+let ordered a b = if a <= b then (a, b) else (b, a)
+
+let hseg ~y ~x0 ~x1 =
+  let lo, hi = ordered x0 x1 in
+  { orientation = Horizontal; track = y; s_lo = lo; s_hi = hi }
+
+let vseg ~x ~y0 ~y1 =
+  let lo, hi = ordered y0 y1 in
+  { orientation = Vertical; track = x; s_lo = lo; s_hi = hi }
+
+let length s = s.s_hi -. s.s_lo
+
+let parallel_overlap a b =
+  if a.orientation <> b.orientation then 0.
+  else Float.max 0. (Float.min a.s_hi b.s_hi -. Float.max a.s_lo b.s_lo)
+
+let track_distance a b =
+  if a.orientation <> b.orientation then None
+  else Some (Float.abs (a.track -. b.track))
+
+let l_route p q =
+  let segs = ref [] in
+  if Float.abs (q.x -. p.x) > 0. then segs := hseg ~y:p.y ~x0:p.x ~x1:q.x :: !segs;
+  if Float.abs (q.y -. p.y) > 0. then segs := vseg ~x:q.x ~y0:p.y ~y1:q.y :: !segs;
+  List.rev !segs
+
+let manhattan p q = Float.abs (q.x -. p.x) +. Float.abs (q.y -. p.y)
+
+let total_length segs = List.fold_left (fun acc s -> acc +. length s) 0. segs

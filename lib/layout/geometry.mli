@@ -1,0 +1,41 @@
+(** Rectilinear geometry for the synthetic layout.
+
+    Coordinates are in microns on a standard-cell-style grid: gates sit
+    at grid points, wires run on horizontal and vertical tracks. *)
+
+type point = { x : float; y : float }
+
+type orientation = Horizontal | Vertical
+
+type segment = {
+  orientation : orientation;
+  track : float;  (** y for horizontal segments, x for vertical *)
+  s_lo : float;  (** start along the running direction *)
+  s_hi : float;  (** end, [s_hi >= s_lo] *)
+}
+
+val point : float -> float -> point
+
+val hseg : y:float -> x0:float -> x1:float -> segment
+(** Horizontal segment; endpoints in either order. *)
+
+val vseg : x:float -> y0:float -> y1:float -> segment
+
+val length : segment -> float
+
+val parallel_overlap : segment -> segment -> float
+(** Length of the common projection of two {e parallel} segments along
+    their running direction; 0 for perpendicular segments or disjoint
+    projections. *)
+
+val track_distance : segment -> segment -> float option
+(** Distance between the tracks of two parallel segments; [None] for
+    perpendicular segments. *)
+
+val l_route : point -> point -> segment list
+(** Horizontal-then-vertical connection between two points (at most two
+    non-degenerate segments). *)
+
+val manhattan : point -> point -> float
+
+val total_length : segment list -> float

@@ -1,0 +1,122 @@
+module N = Tka_circuit.Netlist
+module Topo = Tka_circuit.Topo
+module Rng = Tka_util.Rng
+
+type t = {
+  topo : Topo.t;
+  gate_pos : Geometry.point array; (* by gate id *)
+  input_pos : (N.net_id, Geometry.point) Hashtbl.t;
+  rows : int;
+  right_edge : float;
+}
+
+let row_pitch = 2.0
+let column_pitch = 8.0
+
+let place ~rng topo =
+  let nl = Topo.netlist topo in
+  let ng = N.num_gates nl in
+  (* Column of a gate = logic level of its output net. *)
+  let column g = Topo.net_level topo (N.gate nl g).N.fanout in
+  let max_col = ref 1 in
+  for g = 0 to ng - 1 do
+    max_col := max !max_col (column g)
+  done;
+  (* Rows: enough to hold the widest column, times a small whitespace
+     factor so routed trunks do not all collide. *)
+  let col_occupancy = Array.make (!max_col + 1) 0 in
+  for g = 0 to ng - 1 do
+    let c = column g in
+    col_occupancy.(c) <- col_occupancy.(c) + 1
+  done;
+  let pis = List.length (N.inputs nl) in
+  let widest = Array.fold_left max pis col_occupancy in
+  let rows = max 2 (widest + (widest / 4) + 1) in
+  let gate_pos = Array.make ng (Geometry.point 0. 0.) in
+  (* Locality-aware rows: each gate wants the mean row of its fanin
+     (plus jitter), like a crude quadratic placement; collisions within
+     a column are resolved to the nearest free row. This keeps wire
+     length independent of circuit size, as a real placer would. *)
+  let net_row = Array.make (N.num_nets nl) 0. in
+  let input_pos = Hashtbl.create (max 1 pis) in
+  List.iteri
+    (fun i nid ->
+      (* spread primary inputs evenly over the rows *)
+      let row =
+        if pis <= 1 then rows / 2
+        else i * (rows - 1) / (pis - 1)
+      in
+      net_row.(nid) <- float_of_int row;
+      Hashtbl.replace input_pos nid
+        (Geometry.point 0. (float_of_int row *. row_pitch)))
+    (N.inputs nl);
+  let occupied : (int * int, unit) Hashtbl.t = Hashtbl.create ng in
+  let nearest_free_row col desired =
+    let desired = max 0 (min (rows - 1) desired) in
+    let rec probe d =
+      let candidates =
+        if d = 0 then [ desired ]
+        else [ desired - d; desired + d ]
+      in
+      match
+        List.find_opt
+          (fun r -> r >= 0 && r < rows && not (Hashtbl.mem occupied (col, r)))
+          candidates
+      with
+      | Some r -> r
+      | None ->
+        if d > rows then desired (* full column: allow overlap *)
+        else probe (d + 1)
+    in
+    probe 0
+  in
+  Array.iter
+    (fun g ->
+      let c = column g in
+      let fanin = (N.gate nl g).N.fanin in
+      let mean =
+        match fanin with
+        | [] -> float_of_int (rows / 2)
+        | _ :: _ ->
+          List.fold_left (fun acc (_, nid) -> acc +. net_row.(nid)) 0. fanin
+          /. float_of_int (List.length fanin)
+      in
+      let desired =
+        int_of_float (Float.round (Rng.gaussian rng ~mean ~stddev:1.5))
+      in
+      let row = nearest_free_row c desired in
+      Hashtbl.replace occupied (c, row) ();
+      net_row.((N.gate nl g).N.fanout) <- float_of_int row;
+      gate_pos.(g) <-
+        Geometry.point
+          (float_of_int c *. column_pitch)
+          (float_of_int row *. row_pitch))
+    (Topo.gate_order topo);
+  {
+    topo;
+    gate_pos;
+    input_pos;
+    rows;
+    right_edge = float_of_int (!max_col + 1) *. column_pitch;
+  }
+
+let topo t = t.topo
+let netlist t = Topo.netlist t.topo
+
+let gate_position t g = t.gate_pos.(g)
+
+let net_source t nid =
+  let nl = netlist t in
+  match (N.net nl nid).N.driver with
+  | N.Primary_input -> Hashtbl.find t.input_pos nid
+  | N.Driven_by g -> t.gate_pos.(g)
+
+let net_sinks t nid =
+  let nl = netlist t in
+  match (N.net nl nid).N.sinks with
+  | [] ->
+    (* primary output pad on the right edge, same row as the source *)
+    [ Geometry.point t.right_edge (net_source t nid).Geometry.y ]
+  | sinks -> List.map (fun s -> t.gate_pos.(s.N.sink_gate)) sinks
+
+let num_rows t = t.rows

@@ -1,0 +1,34 @@
+(** Levelised grid placement.
+
+    Replaces the commercial APR step of the paper's flow: gates are
+    placed column-by-logic-level on a row grid, with a random row
+    permutation per column so that physical adjacency (which drives
+    coupling) is not perfectly correlated with logic structure —
+    matching the statistical situation a real placer produces, where a
+    victim couples both to logically-related and unrelated nets. *)
+
+type t
+
+val row_pitch : float
+(** Vertical distance between adjacent rows, µm (2.0). *)
+
+val column_pitch : float
+(** Horizontal distance between logic levels, µm (8.0). *)
+
+val place : rng:Tka_util.Rng.t -> Tka_circuit.Topo.t -> t
+(** Compute coordinates for all gates and primary-input ports. *)
+
+val topo : t -> Tka_circuit.Topo.t
+val netlist : t -> Tka_circuit.Netlist.t
+
+val gate_position : t -> Tka_circuit.Netlist.gate_id -> Geometry.point
+
+val net_source : t -> Tka_circuit.Netlist.net_id -> Geometry.point
+(** Where the net is driven from: its driver gate's output, or the
+    primary-input port on the left edge. *)
+
+val net_sinks : t -> Tka_circuit.Netlist.net_id -> Geometry.point list
+(** Input-pin positions of the gates the net feeds (the right edge for
+    primary outputs without sinks). *)
+
+val num_rows : t -> int

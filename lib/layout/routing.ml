@@ -1,0 +1,43 @@
+module N = Tka_circuit.Netlist
+
+type t = {
+  placement : Placement.t;
+  segments : Geometry.segment list array; (* by net id *)
+  lengths : float array;
+}
+
+let cap_per_um = 0.00020
+let res_per_um = 0.0008
+let fixed_cap = 0.002
+let fixed_res = 0.05
+
+let route placement =
+  let nl = Placement.netlist placement in
+  let nn = N.num_nets nl in
+  let segments = Array.make nn [] in
+  let lengths = Array.make nn 0. in
+  for nid = 0 to nn - 1 do
+    let src = Placement.net_source placement nid in
+    let sinks = Placement.net_sinks placement nid in
+    let segs = List.concat_map (fun dst -> Geometry.l_route src dst) sinks in
+    segments.(nid) <- segs;
+    lengths.(nid) <- Geometry.total_length segs
+  done;
+  { placement; segments; lengths }
+
+let placement t = t.placement
+
+let segments_of_net t nid = t.segments.(nid)
+
+let all_segments t =
+  let out = ref [] in
+  Array.iteri
+    (fun nid segs -> List.iter (fun s -> out := (nid, s) :: !out) segs)
+    t.segments;
+  List.rev !out
+
+let wire_length t nid = t.lengths.(nid)
+
+let wire_cap t nid = fixed_cap +. (cap_per_um *. t.lengths.(nid))
+
+let wire_res t nid = fixed_res +. (res_per_um *. t.lengths.(nid))

@@ -1,0 +1,32 @@
+(** Trunk-and-branch global routing.
+
+    Each net is routed as an L-shape from its source to every sink
+    (shared trunk not modelled; overlapping branch segments simply add
+    length, which is a pessimism comparable to real global routes).
+    Wire parasitics derive from routed length:
+    cap {!cap_per_um} pF/µm, resistance {!res_per_um} kΩ/µm. *)
+
+type t
+
+val cap_per_um : float
+(** 0.00020 pF/µm (0.2 fF/µm). *)
+
+val res_per_um : float
+(** 0.0008 kΩ/µm. *)
+
+val route : Placement.t -> t
+
+val placement : t -> Placement.t
+
+val segments_of_net : t -> Tka_circuit.Netlist.net_id -> Geometry.segment list
+
+val all_segments : t -> (Tka_circuit.Netlist.net_id * Geometry.segment) list
+
+val wire_length : t -> Tka_circuit.Netlist.net_id -> float
+(** Total routed length, µm. *)
+
+val wire_cap : t -> Tka_circuit.Netlist.net_id -> float
+(** pF, includes a fixed 2 fF via/pin allowance. *)
+
+val wire_res : t -> Tka_circuit.Netlist.net_id -> float
+(** kΩ, includes a fixed 0.05 kΩ driver/via allowance. *)

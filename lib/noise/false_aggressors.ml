@@ -1,0 +1,45 @@
+module N = Tka_circuit.Netlist
+module TW = Tka_sta.Timing_window
+module Interval = Tka_util.Interval
+
+type classification = {
+  fa_true : Coupled_noise.directed list;
+  fa_false : Coupled_noise.directed list;
+}
+
+let sensitive_interval ?(margin = 0.) w =
+  let t50 = w.TW.lat and slew = w.TW.slew_late in
+  Interval.make
+    (t50 -. slew -. margin)
+    (t50 +. (Victim_noise.saturation_slews *. slew) +. margin)
+
+let is_false ~margin ~windows nl (d : Coupled_noise.directed) =
+  let vw : TW.t = windows d.Coupled_noise.dc_victim in
+  let aw : TW.t = windows d.Coupled_noise.dc_aggressor in
+  let margin =
+    match margin with Some m -> m | None -> 0.1 *. vw.TW.slew_late
+  in
+  let sensitive = sensitive_interval ~margin vw in
+  let pulse = Coupled_noise.pulse nl ~agg_slew:aw.TW.slew_late d in
+  let onset = TW.onset_interval aw in
+  (* earliest and latest instants the pulse can be non-zero *)
+  let reach =
+    Interval.make (Interval.lo onset)
+      (Interval.hi onset +. Tka_waveform.Pulse.end_time pulse)
+  in
+  not (Interval.overlaps reach sensitive)
+
+let classify ?margin ~windows nl =
+  let fa_true = ref [] and fa_false = ref [] in
+  for v = N.num_nets nl - 1 downto 0 do
+    List.iter
+      (fun d ->
+        if is_false ~margin ~windows nl d then fa_false := d :: !fa_false
+        else fa_true := d :: !fa_true)
+      (Coupled_noise.aggressors_of_victim nl v)
+  done;
+  { fa_true = !fa_true; fa_false = !fa_false }
+
+let false_fraction c =
+  let t = List.length c.fa_true and f = List.length c.fa_false in
+  if t + f = 0 then 0. else float_of_int f /. float_of_int (t + f)

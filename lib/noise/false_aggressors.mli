@@ -1,0 +1,44 @@
+(** False-aggressor identification by timing filtering.
+
+    The paper's introduction points at [Belkhale/Suess '95] and
+    [Chai et al. '03]: many couplings can never produce delay noise
+    because the aggressor's switching window cannot align with the
+    victim's transition, and pruning them up front shrinks every later
+    analysis. This module implements the timing filter: a directed
+    coupling is {e false} when the aggressor's noise envelope —
+    however it is placed inside the aggressor's own window — ends
+    before the victim's sensitive interval begins or starts after it
+    ends.
+
+    The victim's sensitive interval is
+    [\[t50 − slew, t50 + saturation_slews·slew\]]: disturbances wholly
+    before it act on a settled-low node, wholly after it act on a node
+    the driver has already restored.
+
+    The filter is sound with respect to the single-pass analysis: a
+    coupling classified false has exactly zero delay noise in those
+    windows (windows may widen across noise iterations, so a margin is
+    applied for use as a pre-filter). *)
+
+type classification = {
+  fa_true : Coupled_noise.directed list;  (** can contribute delay noise *)
+  fa_false : Coupled_noise.directed list;  (** provably zero contribution *)
+}
+
+val sensitive_interval :
+  ?margin:float -> Tka_sta.Timing_window.t -> Tka_util.Interval.t
+(** The interval of instants at which a disturbance can shift the
+    window's latest transition, expanded by [margin] (default 0) on
+    both sides. *)
+
+val classify :
+  ?margin:float ->
+  windows:Envelope_builder.windows ->
+  Tka_circuit.Netlist.t ->
+  classification
+(** Partition every directed coupling of the design. [margin] (ns,
+    default 10% of the victim slew) guards against window growth in
+    later noise iterations. *)
+
+val false_fraction : classification -> float
+(** Share of directed couplings classified false. *)

@@ -1,0 +1,31 @@
+module N = Tka_circuit.Netlist
+module TW = Tka_sta.Timing_window
+module Analysis = Tka_sta.Analysis
+
+type violation = { gl_net : N.net_id; gl_peak : float; gl_margin : float }
+
+let default_margin = 0.40
+
+let peak_noise nl ~windows victim =
+  List.fold_left
+    (fun acc d ->
+      let w : TW.t = windows d.Coupled_noise.dc_aggressor in
+      acc +. (Coupled_noise.pulse nl ~agg_slew:w.TW.slew_late d).Tka_waveform.Pulse.peak)
+    0.
+    (Coupled_noise.aggressors_of_victim nl victim)
+
+let check ?(margin = default_margin) topo =
+  let nl = Tka_circuit.Topo.netlist topo in
+  let a = Analysis.run topo in
+  let windows = Analysis.window a in
+  let out = ref [] in
+  for v = 0 to N.num_nets nl - 1 do
+    let peak = peak_noise nl ~windows v in
+    if peak > margin then
+      out := { gl_net = v; gl_peak = peak; gl_margin = margin } :: !out
+  done;
+  List.sort (fun x y -> Float.compare y.gl_peak x.gl_peak) !out
+
+let pp_violation nl ppf v =
+  Format.fprintf ppf "%s: peak %.3f Vdd (margin %.2f)"
+    (N.net nl v.gl_net).N.net_name v.gl_peak v.gl_margin

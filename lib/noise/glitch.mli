@@ -1,0 +1,37 @@
+(** Functional (glitch) noise screening.
+
+    Besides delaying switching victims, crosstalk can flip a {e quiet}
+    victim: if the stacked worst-case noise peak exceeds the receiving
+    gates' noise margin, a spurious transition may propagate. This is
+    the classic static noise analysis of Shepard et al. that the
+    paper's framework builds on; the library includes it so a user can
+    screen both failure modes from one extraction.
+
+    The check is alignment-free (all aggressors stack at their peaks —
+    their timing windows could always be made to overlap by a shift in
+    input timing), making it a conservative screen. *)
+
+type violation = {
+  gl_net : Tka_circuit.Netlist.net_id;
+  gl_peak : float;  (** stacked worst-case peak, Vdd units *)
+  gl_margin : float;  (** the margin it was checked against *)
+}
+
+val default_margin : float
+(** 0.40 Vdd — a typical static-gate DC noise margin. *)
+
+val peak_noise :
+  Tka_circuit.Netlist.t ->
+  windows:Envelope_builder.windows ->
+  Tka_circuit.Netlist.net_id ->
+  float
+(** Sum of the pulse peaks of every aggressor of the net (late-arrival
+    slews from [windows]). *)
+
+val check :
+  ?margin:float -> Tka_circuit.Topo.t -> violation list
+(** Runs a noiseless STA for slews, computes every net's stacked peak
+    and reports nets over the margin, worst first. *)
+
+val pp_violation :
+  Tka_circuit.Netlist.t -> Format.formatter -> violation -> unit

@@ -1,0 +1,69 @@
+module N = Tka_circuit.Netlist
+module Topo = Tka_circuit.Topo
+module Analysis = Tka_sta.Analysis
+
+let log_src = Logs.Src.create "tka.noise" ~doc:"iterative noise analysis"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = From_noiseless | From_all_overlap
+
+type t = {
+  analysis : Analysis.t;
+  base : Analysis.t;
+  noise : float array;
+  iterations : int;
+  converged : bool;
+}
+
+let run ?(mode = From_noiseless) ?(active = fun _ -> true) ?(max_iterations = 30)
+    ?(tolerance = 1e-4) topo =
+  let nl = Topo.netlist topo in
+  let nn = N.num_nets nl in
+  let base = Analysis.run topo in
+  let aggressors =
+    Array.init nn (fun v ->
+        List.filter active (Coupled_noise.aggressors_of_victim nl v))
+  in
+  let noise = Array.make nn 0. in
+  (match mode with
+  | From_noiseless -> ()
+  | From_all_overlap ->
+    (* start from the infinite-window bound of each net *)
+    let w = Analysis.window base in
+    for v = 0 to nn - 1 do
+      noise.(v) <-
+        Victim_noise.upper_bound nl ~windows:w ~victim:v aggressors.(v)
+    done);
+  let iterations = ref 0 in
+  let converged = ref false in
+  let analysis = ref base in
+  while (not !converged) && !iterations < max_iterations do
+    incr iterations;
+    let a = Analysis.run ~extra_lat:(fun nid -> noise.(nid)) topo in
+    let w = Analysis.window a in
+    let delta = ref 0. in
+    for v = 0 to nn - 1 do
+      let fresh =
+        Victim_noise.delay_noise nl ~windows:w ~own_noise:noise.(v) ~victim:v
+          aggressors.(v)
+      in
+      delta := Float.max !delta (Float.abs (fresh -. noise.(v)));
+      noise.(v) <- fresh
+    done;
+    analysis := a;
+    if !delta <= tolerance then converged := true
+  done;
+  (* final STA consistent with the converged noise vector *)
+  let final = Analysis.run ~extra_lat:(fun nid -> noise.(nid)) topo in
+  if not !converged then
+    Log.warn (fun m ->
+        m "noise iteration did not converge in %d sweeps on %s" max_iterations
+          (N.name nl));
+  { analysis = final; base; noise; iterations = !iterations; converged = !converged }
+
+let circuit_delay t = Analysis.circuit_delay t.analysis
+let noiseless_delay t = Analysis.circuit_delay t.base
+let total_delay_noise t = circuit_delay t -. noiseless_delay t
+let windows t = Analysis.window t.analysis
+let net_noise t nid = t.noise.(nid)

@@ -1,0 +1,49 @@
+module N = Tka_circuit.Netlist
+module TW = Tka_sta.Timing_window
+module Interval = Tka_util.Interval
+module Rng = Tka_util.Rng
+module Pwl = Tka_waveform.Pwl
+module Envelope = Tka_waveform.Envelope
+
+type stats = {
+  mc_samples : int;
+  mc_mean : float;
+  mc_max : float;
+  mc_p95 : float;
+  mc_bound : float;
+}
+
+let sample_victim ~rng ~samples ~windows nl victim =
+  if samples <= 0 then invalid_arg "Monte_carlo.sample_victim: samples must be positive";
+  let ds = Coupled_noise.aggressors_of_victim nl victim in
+  let vt = Victim_noise.victim_transition ~windows ~own_noise:0. victim in
+  let prepared =
+    List.map
+      (fun d ->
+        let aw : TW.t = windows d.Coupled_noise.dc_aggressor in
+        let pulse = Coupled_noise.pulse nl ~agg_slew:aw.TW.slew_late d in
+        (Tka_waveform.Pulse.waveform pulse, TW.onset_interval aw))
+      ds
+  in
+  let one_trial () =
+    let placed =
+      List.map
+        (fun (wave, onset) ->
+          let t = Rng.float_in rng (Interval.lo onset) (Interval.hi onset) in
+          Pwl.shift_x t wave)
+        prepared
+    in
+    let combined = Envelope.of_waveform (Pwl.sum placed) in
+    Victim_noise.delay_noise_of_envelope ~victim:vt combined
+  in
+  let draws = List.init samples (fun _ -> one_trial ()) in
+  let bound =
+    Victim_noise.delay_noise nl ~windows ~victim ds
+  in
+  {
+    mc_samples = samples;
+    mc_mean = Tka_util.Stats.mean draws;
+    mc_max = snd (Tka_util.Stats.min_max draws);
+    mc_p95 = Tka_util.Stats.percentile 95. draws;
+    mc_bound = bound;
+  }

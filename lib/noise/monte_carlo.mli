@@ -1,0 +1,29 @@
+(** Monte-Carlo alignment sampling.
+
+    The trapezoidal envelope is a {e bound}: it assumes every aggressor
+    can align adversarially within its window. Sampling concrete
+    alignments uniformly from the windows gives the distribution of
+    delay noise an actual silicon instance would see, quantifies the
+    bound's conservatism, and — because every sample must stay below
+    the bound — provides a strong differential check on the envelope
+    machinery (used by the property tests). *)
+
+type stats = {
+  mc_samples : int;
+  mc_mean : float;  (** mean sampled delay noise, ns *)
+  mc_max : float;  (** worst sampled delay noise, ns *)
+  mc_p95 : float;
+  mc_bound : float;  (** the envelope worst case it must stay under *)
+}
+
+val sample_victim :
+  rng:Tka_util.Rng.t ->
+  samples:int ->
+  windows:Envelope_builder.windows ->
+  Tka_circuit.Netlist.t ->
+  Tka_circuit.Netlist.net_id ->
+  stats
+(** Sample delay noise at one victim: each trial draws one switching
+    instant per aggressor uniformly from its onset window, superposes
+    the concretely-placed pulses and measures the t50 shift of the
+    victim's latest transition. *)

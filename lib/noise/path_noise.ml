@@ -1,0 +1,65 @@
+module N = Tka_circuit.Netlist
+module TW = Tka_sta.Timing_window
+module Analysis = Tka_sta.Analysis
+module CP = Tka_sta.Critical_path
+
+type stage = {
+  ps_net : N.net_id;
+  ps_arrival_noiseless : float;
+  ps_arrival_noisy : float;
+  ps_own_noise : float;
+  ps_aggressors : int;
+}
+
+type t = {
+  pn_stages : stage list;
+  pn_noiseless_arrival : float;
+  pn_noisy_arrival : float;
+}
+
+let of_path (it : Iterate.t) path =
+  let nl = Analysis.netlist it.Iterate.analysis in
+  let base = Analysis.window it.Iterate.base in
+  let noisy = Analysis.window it.Iterate.analysis in
+  let stages =
+    List.map
+      (fun s ->
+        let nid = s.CP.step_net in
+        {
+          ps_net = nid;
+          ps_arrival_noiseless = (base nid).TW.lat;
+          ps_arrival_noisy = (noisy nid).TW.lat;
+          ps_own_noise = Iterate.net_noise it nid;
+          ps_aggressors = List.length (Coupled_noise.aggressors_of_victim nl nid);
+        })
+      path
+  in
+  let endpoint f default =
+    match List.rev stages with s :: _ -> f s | [] -> default
+  in
+  {
+    pn_stages = stages;
+    pn_noiseless_arrival = endpoint (fun s -> s.ps_arrival_noiseless) 0.;
+    pn_noisy_arrival = endpoint (fun s -> s.ps_arrival_noisy) 0.;
+  }
+
+let worst_path it = of_path it (CP.worst it.Iterate.analysis)
+
+let total_path_noise t = t.pn_noisy_arrival -. t.pn_noiseless_arrival
+
+let render nl t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-14s %12s %12s %10s %6s\n" "net" "noiseless" "noisy"
+       "own noise" "#aggr");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-14s %12.4f %12.4f %10.4f %6d\n"
+           (N.net nl s.ps_net).N.net_name s.ps_arrival_noiseless
+           s.ps_arrival_noisy s.ps_own_noise s.ps_aggressors))
+    t.pn_stages;
+  Buffer.add_string buf
+    (Printf.sprintf "path noise: %.4f ns (%.4f -> %.4f)\n" (total_path_noise t)
+       t.pn_noiseless_arrival t.pn_noisy_arrival);
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Path-oriented delay-noise accounting.
+
+    Circuit delay noise accumulates stage by stage along the critical
+    path; designers reason about "how much of my path's slack did
+    crosstalk eat, and at which stage". This module projects a fixpoint
+    noise analysis onto a timing path and reports the per-stage
+    breakdown, the classic path report of a noise-aware STA. *)
+
+type stage = {
+  ps_net : Tka_circuit.Netlist.net_id;
+  ps_arrival_noiseless : float;  (** LAT without noise, ns *)
+  ps_arrival_noisy : float;  (** LAT in the fixpoint analysis, ns *)
+  ps_own_noise : float;  (** delay noise injected at this net, ns *)
+  ps_aggressors : int;  (** directed couplings attacking this net *)
+}
+
+type t = {
+  pn_stages : stage list;  (** input-to-output order *)
+  pn_noiseless_arrival : float;  (** path endpoint LAT without noise *)
+  pn_noisy_arrival : float;  (** path endpoint LAT with noise *)
+}
+
+val of_path : Iterate.t -> Tka_sta.Critical_path.path -> t
+(** Annotate a path (usually from {!Tka_sta.Critical_path.worst} on the
+    noisy analysis) with both analyses' arrivals. *)
+
+val worst_path : Iterate.t -> t
+(** The noisy critical path of the design, annotated. *)
+
+val total_path_noise : t -> float
+(** [pn_noisy_arrival − pn_noiseless_arrival]. *)
+
+val render : Tka_circuit.Netlist.t -> t -> string
+(** Human-readable stage table. *)

@@ -1,0 +1,66 @@
+module N = Tka_circuit.Netlist
+
+type contribution = {
+  xc_aggressor : N.net_id;
+  xc_coupling : N.coupling_id;
+  xc_cap : float;
+  xc_alone : float;
+  xc_incremental : float;
+}
+
+type victim_report = {
+  xr_victim : N.net_id;
+  xr_total : float;
+  xr_contributions : contribution list;
+}
+
+let victim ~analysis v =
+  let nl = Tka_sta.Analysis.netlist analysis.Iterate.analysis in
+  let windows = Iterate.windows analysis in
+  let own = Iterate.net_noise analysis v in
+  let all = Coupled_noise.aggressors_of_victim nl v in
+  let noise ds = Victim_noise.delay_noise nl ~windows ~own_noise:own ~victim:v ds in
+  let total = noise all in
+  let contributions =
+    List.map
+      (fun d ->
+        let others =
+          List.filter
+            (fun o -> o.Coupled_noise.dc_coupling <> d.Coupled_noise.dc_coupling
+                      || o.Coupled_noise.dc_aggressor <> d.Coupled_noise.dc_aggressor)
+            all
+        in
+        {
+          xc_aggressor = d.Coupled_noise.dc_aggressor;
+          xc_coupling = d.Coupled_noise.dc_coupling;
+          xc_cap = (N.coupling nl d.Coupled_noise.dc_coupling).N.coupling_cap;
+          xc_alone = noise [ d ];
+          xc_incremental = Float.max 0. (total -. noise others);
+        })
+      all
+    |> List.sort (fun a b -> Float.compare b.xc_incremental a.xc_incremental)
+  in
+  { xr_victim = v; xr_total = total; xr_contributions = contributions }
+
+let worst_victims ?(count = 5) analysis =
+  let nl = Tka_sta.Analysis.netlist analysis.Iterate.analysis in
+  List.init (N.num_nets nl) (fun v -> (v, Iterate.net_noise analysis v))
+  |> List.filter (fun (_, d) -> d > 0.)
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  |> List.filteri (fun i _ -> i < count)
+  |> List.map (fun (v, _) -> victim ~analysis v)
+
+let render nl r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "victim %s: delay noise %.4f ns from %d aggressor(s)\n"
+       (N.net nl r.xr_victim).N.net_name r.xr_total
+       (List.length r.xr_contributions));
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s cap %.4g pF  alone %.4f ns  incremental %.4f ns\n"
+           (N.net nl c.xc_aggressor).N.net_name c.xc_cap c.xc_alone
+           c.xc_incremental))
+    r.xr_contributions;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Per-victim crosstalk breakdown reports.
+
+    After an iterative analysis, a designer wants to know {e why} a net
+    is noisy: which aggressors contribute how much, alone and
+    incrementally. This module decomposes a victim's delay noise and
+    renders it, and ranks the noisiest victims of a design. *)
+
+type contribution = {
+  xc_aggressor : Tka_circuit.Netlist.net_id;
+  xc_coupling : Tka_circuit.Netlist.coupling_id;
+  xc_cap : float;  (** pF *)
+  xc_alone : float;  (** delay noise if this aggressor acted alone, ns *)
+  xc_incremental : float;
+      (** loss of delay noise if only this aggressor were fixed, ns *)
+}
+
+type victim_report = {
+  xr_victim : Tka_circuit.Netlist.net_id;
+  xr_total : float;  (** victim delay noise with all its aggressors, ns *)
+  xr_contributions : contribution list;  (** sorted by [xc_incremental] desc *)
+}
+
+val victim : analysis:Iterate.t -> Tka_circuit.Netlist.net_id -> victim_report
+(** Breakdown of one net, using the fixpoint windows of the given
+    analysis. *)
+
+val worst_victims : ?count:int -> Iterate.t -> victim_report list
+(** The [count] (default 5) nets with the largest fixpoint delay noise,
+    each with its breakdown. *)
+
+val render : Tka_circuit.Netlist.t -> victim_report -> string
+(** Multi-line, human-readable table. *)

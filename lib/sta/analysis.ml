@@ -1,0 +1,72 @@
+module N = Tka_circuit.Netlist
+module Topo = Tka_circuit.Topo
+
+type t = {
+  topo : Topo.t;
+  windows : Timing_window.t array;
+}
+
+let default_input_arrival _ =
+  Timing_window.point ~t50:0. ~slew:Delay_calc.default_input_slew
+
+let run ?(input_arrival = default_input_arrival) ?(extra_lat = fun _ -> 0.) topo =
+  let nl = Topo.netlist topo in
+  let nn = N.num_nets nl in
+  let windows = Array.make nn (Timing_window.point ~t50:0. ~slew:1.) in
+  let extra nid =
+    let d = extra_lat nid in
+    if d < 0. then invalid_arg "Analysis.run: negative extra_lat";
+    d
+  in
+  Array.iter
+    (fun nid ->
+      let w =
+        match (N.net nl nid).N.driver with
+        | N.Primary_input -> input_arrival nid
+        | N.Driven_by gid ->
+          let g = N.gate nl gid in
+          let delay = Delay_calc.stage_delay nl gid in
+          let through (_, in_net) =
+            let wi = windows.(in_net) in
+            Timing_window.make
+              ~eat:(wi.Timing_window.eat +. delay)
+              ~lat:(wi.Timing_window.lat +. delay)
+              ~slew_early:
+                (Delay_calc.stage_output_slew nl gid
+                   ~input_slew:wi.Timing_window.slew_early)
+              ~slew_late:
+                (Delay_calc.stage_output_slew nl gid
+                   ~input_slew:wi.Timing_window.slew_late)
+          in
+          (match g.N.fanin with
+          | [] -> assert false (* cells have >= 1 input *)
+          | first :: rest ->
+            List.fold_left
+              (fun acc input -> Timing_window.merge acc (through input))
+              (through first) rest)
+      in
+      windows.(nid) <- Timing_window.extend_lat (extra nid) w)
+    (Topo.net_order topo);
+  { topo; windows }
+
+let topo t = t.topo
+let netlist t = Topo.netlist t.topo
+
+let window t nid = t.windows.(nid)
+
+let output_arrivals t =
+  let nl = netlist t in
+  List.map (fun nid -> (nid, t.windows.(nid).Timing_window.lat)) (N.outputs nl)
+
+let worst_output t =
+  match output_arrivals t with
+  | [] -> invalid_arg "Analysis.worst_output: no primary outputs"
+  | (n0, a0) :: rest ->
+    fst
+      (List.fold_left
+         (fun (bn, ba) (n, a) -> if a > ba then (n, a) else (bn, ba))
+         (n0, a0) rest)
+
+let circuit_delay t =
+  List.fold_left (fun acc (_, a) -> Float.max acc a) Float.neg_infinity
+    (output_arrivals t)

@@ -1,0 +1,59 @@
+module N = Tka_circuit.Netlist
+module Topo = Tka_circuit.Topo
+
+type t = {
+  analysis : Analysis.t;
+  period : float;
+  required_times : float array;
+  slacks : float array;
+}
+
+let create ?clock_period ?(output_required = fun _ -> None) analysis =
+  let topo = Analysis.topo analysis in
+  let nl = Analysis.netlist analysis in
+  let period =
+    match clock_period with
+    | Some p -> p
+    | None -> 1.05 *. Analysis.circuit_delay analysis
+  in
+  let nn = N.num_nets nl in
+  let required_times = Array.make nn Float.infinity in
+  List.iter
+    (fun po ->
+      required_times.(po) <-
+        (match output_required po with Some r -> r | None -> period))
+    (N.outputs nl);
+  (* backward pass: required at a gate input = required at its output
+     minus the stage delay *)
+  let order = Topo.net_order topo in
+  for i = Array.length order - 1 downto 0 do
+    let nid = order.(i) in
+    match (N.net nl nid).N.driver with
+    | N.Primary_input -> ()
+    | N.Driven_by gid ->
+      let delay = Delay_calc.stage_delay nl gid in
+      List.iter
+        (fun (_, in_net) ->
+          required_times.(in_net) <-
+            Float.min required_times.(in_net) (required_times.(nid) -. delay))
+        (N.gate nl gid).N.fanin
+  done;
+  let slacks =
+    Array.init nn (fun nid ->
+        required_times.(nid) -. (Analysis.window analysis nid).Timing_window.lat)
+  in
+  { analysis; period; required_times; slacks }
+
+let clock_period t = t.period
+let required t nid = t.required_times.(nid)
+let slack t nid = t.slacks.(nid)
+
+let worst_slack t = Array.fold_left Float.min Float.infinity t.slacks
+
+let violations t =
+  let out = ref [] in
+  Array.iteri (fun nid s -> if s < 0. then out := (nid, s) :: !out) t.slacks;
+  List.sort (fun (_, a) (_, b) -> Float.compare a b) !out |> List.map fst
+
+let critical_through t nid =
+  Tka_util.Float_cmp.approx ~eps:1e-9 t.slacks.(nid) (worst_slack t)

@@ -1,0 +1,37 @@
+(** Timing constraints: required times and slacks.
+
+    A clock period turns arrival times into pass/fail information —
+    which is how delay noise becomes a *violation*: the paper's
+    motivation is fixing designs where crosstalk pushes endpoints past
+    their required time. Required times propagate backward from primary
+    outputs; slack = required − arrival (late mode). *)
+
+type t
+
+val create :
+  ?clock_period:float ->
+  ?output_required:(Tka_circuit.Netlist.net_id -> float option) ->
+  Analysis.t ->
+  t
+(** [create analysis] computes required times against [clock_period]
+    (default: 5% above the circuit delay, a just-passing clock).
+    [output_required] can pin individual primary outputs; unpinned
+    outputs default to the clock period. *)
+
+val clock_period : t -> float
+
+val required : t -> Tka_circuit.Netlist.net_id -> float
+(** Latest allowed arrival at the net ([infinity] for nets that reach
+    no constrained output). *)
+
+val slack : t -> Tka_circuit.Netlist.net_id -> float
+(** [required − LAT]; negative means violated. *)
+
+val worst_slack : t -> float
+
+val violations : t -> Tka_circuit.Netlist.net_id list
+(** Nets with negative slack, worst first. *)
+
+val critical_through : t -> Tka_circuit.Netlist.net_id -> bool
+(** True when the net lies on a path with the worst slack (within
+    tolerance) — the classic "is this net timing-critical" query. *)

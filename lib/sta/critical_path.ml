@@ -1,0 +1,78 @@
+module N = Tka_circuit.Netlist
+
+type step = { step_net : N.net_id; step_arrival : float }
+
+type path = step list
+
+let lat a nid = (Analysis.window a nid).Timing_window.lat
+
+(* Latest path ending at [nid], greedy backward walk. *)
+let to_output a nid =
+  let nl = Analysis.netlist a in
+  let rec back acc nid =
+    let acc = { step_net = nid; step_arrival = lat a nid } :: acc in
+    match N.driver_gate nl nid with
+    | None -> acc
+    | Some g ->
+      let delay = Delay_calc.stage_delay nl g.N.gate_id in
+      let best =
+        List.fold_left
+          (fun best (_, in_net) ->
+            let arr = lat a in_net +. delay in
+            match best with
+            | Some (_, barr) when barr >= arr -> best
+            | Some _ | None -> Some (in_net, arr))
+          None g.N.fanin
+      in
+      (match best with
+      | Some (in_net, _) -> back acc in_net
+      | None -> acc)
+  in
+  back [] nid
+
+let worst a = to_output a (Analysis.worst_output a)
+
+let near_critical ?slack ?(limit = 64) a =
+  let nl = Analysis.netlist a in
+  let total = Analysis.circuit_delay a in
+  let slack = match slack with Some s -> s | None -> 0.1 *. total in
+  (* DFS backward accumulating deviation from the latest path. *)
+  let results = ref [] in
+  let count = ref 0 in
+  let rec back suffix deviation nid =
+    if !count < limit * 8 then begin
+      let suffix = { step_net = nid; step_arrival = lat a nid } :: suffix in
+      match N.driver_gate nl nid with
+      | None ->
+        results := (deviation, suffix) :: !results;
+        incr count
+      | Some g ->
+        let delay = Delay_calc.stage_delay nl g.N.gate_id in
+        let here = lat a nid in
+        List.iter
+          (fun (_, in_net) ->
+            let dev = deviation +. (here -. (lat a in_net +. delay)) in
+            if dev <= slack +. Tka_util.Float_cmp.default_eps then
+              back suffix dev in_net)
+          g.N.fanin
+    end
+  in
+  List.iter
+    (fun (po, arrival) ->
+      let dev0 = total -. arrival in
+      if dev0 <= slack then back [] dev0 po)
+    (Analysis.output_arrivals a);
+  !results
+  |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
+  |> List.filteri (fun i _ -> i < limit)
+  |> List.map snd
+
+let pp a ppf path =
+  let nl = Analysis.netlist a in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%s @ %.4f@ " (N.net nl s.step_net).N.net_name
+        s.step_arrival)
+    path;
+  Format.fprintf ppf "@]"

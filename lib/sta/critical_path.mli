@@ -1,0 +1,31 @@
+(** Critical-path extraction.
+
+    Traces the latest-arrival path backward from a primary output. The
+    top-k aggressor analysis must consider the critical {e and}
+    near-critical paths (Section 1 of the paper): {!near_critical}
+    enumerates every path whose arrival is within a slack margin of the
+    worst. *)
+
+type step = {
+  step_net : Tka_circuit.Netlist.net_id;
+  step_arrival : float;  (** LAT at this net *)
+}
+
+type path = step list
+(** Input-to-output order. *)
+
+val worst : Analysis.t -> path
+(** The critical path to {!Analysis.worst_output}. *)
+
+val to_output : Analysis.t -> Tka_circuit.Netlist.net_id -> path
+(** Critical path ending at the given primary output. *)
+
+val near_critical : ?slack:float -> ?limit:int -> Analysis.t -> path list
+(** All paths (to any primary output) whose end arrival is within
+    [slack] (default 10% of the worst delay) of the circuit delay,
+    worst first, at most [limit] (default 64) paths. Enumeration is
+    depth-first over fanin edges whose arrival supports the path
+    arrival within the slack budget. *)
+
+val pp : Analysis.t -> Format.formatter -> path -> unit
+(** Renders net names with arrivals. *)

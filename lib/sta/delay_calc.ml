@@ -1,0 +1,24 @@
+module N = Tka_circuit.Netlist
+module DM = Tka_cell.Delay_model
+
+let input_driver_resistance = 1.5
+let default_input_slew = 0.04
+
+let net_load nl nid = N.total_cap nl nid
+
+let stage_delay nl gid =
+  let g = N.gate nl gid in
+  let out = g.N.fanout in
+  let load = net_load nl out in
+  DM.gate_delay ~cell:g.N.cell ~load
+  +. DM.rc ~resistance:(N.net nl out).N.wire_res ~capacitance:(0.5 *. load)
+
+let stage_output_slew nl gid ~input_slew =
+  let g = N.gate nl gid in
+  DM.output_slew ~cell:g.N.cell ~input_slew ~load:(net_load nl g.N.fanout)
+
+let holding_resistance nl nid =
+  let wire = (N.net nl nid).N.wire_res in
+  match N.driver_gate nl nid with
+  | None -> input_driver_resistance +. wire
+  | Some g -> DM.holding_resistance g.N.cell +. wire

@@ -1,0 +1,50 @@
+module N = Tka_circuit.Netlist
+module TW = Timing_window
+
+let path ?constraints ?(extra_delay = fun _ -> 0.) analysis p =
+  let nl = Analysis.netlist analysis in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-14s %-12s %10s %10s %10s %10s\n" "point" "cell" "incr"
+       "noise" "arrival" "slew");
+  Buffer.add_string buf (String.make 70 '-');
+  Buffer.add_char buf '\n';
+  let prev_arrival = ref None in
+  List.iter
+    (fun s ->
+      let nid = s.Critical_path.step_net in
+      let w = Analysis.window analysis nid in
+      let arrival = s.Critical_path.step_arrival in
+      let incr =
+        match !prev_arrival with Some p -> arrival -. p | None -> arrival
+      in
+      prev_arrival := Some arrival;
+      let point, cell =
+        match N.driver_gate nl nid with
+        | Some g ->
+          ( Printf.sprintf "%s/%s" g.N.gate_name (N.net nl nid).N.net_name,
+            g.N.cell.Tka_cell.Cell.name )
+        | None -> ((N.net nl nid).N.net_name, "(input)")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-14s %-12s %10.4f %10.4f %10.4f %10.4f\n" point cell
+           incr (extra_delay nid) arrival w.TW.slew_late))
+    p;
+  (match (constraints, List.rev p) with
+  | Some c, last :: _ ->
+    let nid = last.Critical_path.step_net in
+    let arrival = last.Critical_path.step_arrival in
+    let required = Constraints.required c nid in
+    let slack = required -. arrival in
+    Buffer.add_string buf (String.make 70 '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Printf.sprintf "%-38s %10s %10.4f\n" "data arrival time" "" arrival);
+    Buffer.add_string buf (Printf.sprintf "%-38s %10s %10.4f\n" "data required time" "" required);
+    Buffer.add_string buf
+      (Printf.sprintf "%-38s %10s %10.4f  (%s)\n" "slack" "" slack
+         (if slack >= 0. then "MET" else "VIOLATED"))
+  | _, _ -> ());
+  Buffer.contents buf
+
+let worst ?constraints ?extra_delay analysis =
+  path ?constraints ?extra_delay analysis (Critical_path.worst analysis)

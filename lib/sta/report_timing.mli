@@ -1,0 +1,27 @@
+(** Industry-style timing path reports.
+
+    Formats a timing path the way designers expect from an STA shell —
+    one row per stage with instance, cell, incremental delay, cumulative
+    arrival and slew — plus the endpoint summary against a clock
+    constraint when one is given. *)
+
+val path :
+  ?constraints:Constraints.t ->
+  ?extra_delay:(Tka_circuit.Netlist.net_id -> float) ->
+  Analysis.t ->
+  Critical_path.path ->
+  string
+(** [path analysis p] renders [p].
+
+    - [extra_delay] (default 0) annotates a per-net adder shown in its
+      own column — pass the fixpoint delay noise to render a
+      noise-aware report;
+    - [constraints] appends required time / slack lines for the
+      endpoint. *)
+
+val worst :
+  ?constraints:Constraints.t ->
+  ?extra_delay:(Tka_circuit.Netlist.net_id -> float) ->
+  Analysis.t ->
+  string
+(** The report for the critical path. *)

@@ -1,0 +1,48 @@
+(** Per-net switching windows.
+
+    A timing window bounds when a net's transition can cross 50% of the
+    supply: the early arrival time (EAT) and late arrival time (LAT) of
+    Section 2 of the paper, together with the transition times (slews)
+    of the fastest and slowest arrivals. *)
+
+type t = {
+  eat : float;  (** earliest possible t50 *)
+  lat : float;  (** latest possible t50 *)
+  slew_early : float;  (** slew of the earliest transition *)
+  slew_late : float;  (** slew of the latest transition *)
+}
+
+val make : eat:float -> lat:float -> slew_early:float -> slew_late:float -> t
+(** Requires [eat <= lat] (within tolerance) and positive slews. *)
+
+val point : t50:float -> slew:float -> t
+(** Degenerate window: the net switches at exactly [t50]. *)
+
+val interval : t -> Tka_util.Interval.t
+(** [\[eat, lat\]]. *)
+
+val width : t -> float
+
+val merge : t -> t -> t
+(** Union of possible arrivals: min EAT (keeping its slew), max LAT
+    (keeping its slew) — how windows combine across the inputs of a
+    multi-input gate. *)
+
+val shift : float -> t -> t
+
+val extend_lat : float -> t -> t
+(** Push the latest arrival out by [d >= 0] (delay noise on this net);
+    EAT is unchanged. *)
+
+val onset_interval : t -> Tka_util.Interval.t
+(** Window of transition {e start} times: [\[eat - slew_early/2,
+    lat - slew_late/2\]] (clamped to be non-degenerate). This is the
+    window swept when constructing a noise envelope from a pulse whose
+    time origin is the aggressor transition onset. *)
+
+val latest_transition : t -> Tka_waveform.Transition.t
+(** The slowest, latest arrival: [t50 = lat], [slew = slew_late] — the
+    victim waveform used for worst-case delay noise. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

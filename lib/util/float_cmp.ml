@@ -1,0 +1,14 @@
+let default_eps = 1e-9
+
+let approx ?(eps = default_eps) a b = Float.abs (a -. b) <= eps
+let leq ?(eps = default_eps) a b = a <= b +. eps
+let geq ?(eps = default_eps) a b = a >= b -. eps
+let lt ?(eps = default_eps) a b = a < b -. eps
+let gt ?(eps = default_eps) a b = a > b +. eps
+let is_zero ?eps x = approx ?eps x 0.
+
+let clamp ~lo ~hi x =
+  if x < lo then lo else if x > hi then hi else x
+
+let compare_approx ?eps a b =
+  if approx ?eps a b then 0 else compare a b

@@ -1,0 +1,33 @@
+(** Tolerant floating-point comparison.
+
+    All waveform and timing quantities in this library are nanoseconds or
+    normalised volts in roughly [1e-4, 1e2]; the default absolute
+    tolerance of [1e-9] is far below any physically meaningful difference
+    while absorbing accumulated PWL arithmetic error. *)
+
+val default_eps : float
+(** The library-wide absolute tolerance, [1e-9]. *)
+
+val approx : ?eps:float -> float -> float -> bool
+(** [approx a b] is true when [|a - b| <= eps]. *)
+
+val leq : ?eps:float -> float -> float -> bool
+(** [leq a b] is [a <= b + eps]. *)
+
+val geq : ?eps:float -> float -> float -> bool
+(** [geq a b] is [a >= b - eps]. *)
+
+val lt : ?eps:float -> float -> float -> bool
+(** [lt a b] is [a < b - eps] (strictly less beyond tolerance). *)
+
+val gt : ?eps:float -> float -> float -> bool
+(** [gt a b] is [a > b + eps]. *)
+
+val is_zero : ?eps:float -> float -> bool
+(** [is_zero x] is [approx x 0.]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] restricts [x] to [\[lo, hi\]]. *)
+
+val compare_approx : ?eps:float -> float -> float -> int
+(** Three-way comparison treating values within [eps] as equal. *)

@@ -1,0 +1,47 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if lo > hi then
+    if Float_cmp.approx lo hi then { lo; hi = lo }
+    else
+      invalid_arg
+        (Printf.sprintf "Interval.make: lo (%g) > hi (%g)" lo hi)
+  else { lo; hi }
+
+let point x = { lo = x; hi = x }
+let lo t = t.lo
+let hi t = t.hi
+let width t = t.hi -. t.lo
+let mid t = 0.5 *. (t.lo +. t.hi)
+
+let contains t x = Float_cmp.geq x t.lo && Float_cmp.leq x t.hi
+
+let subset a b = Float_cmp.geq a.lo b.lo && Float_cmp.leq a.hi b.hi
+
+let overlaps a b = Float_cmp.leq a.lo b.hi && Float_cmp.leq b.lo a.hi
+
+let intersect a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if Float_cmp.leq lo hi then Some (make (Float.min lo hi) (Float.max lo hi))
+  else None
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let shift d t = { lo = t.lo +. d; hi = t.hi +. d }
+
+let expand_hi d t =
+  if d < 0. then invalid_arg "Interval.expand_hi: negative";
+  { t with hi = t.hi +. d }
+
+let expand d t =
+  if d < 0. then invalid_arg "Interval.expand: negative";
+  { lo = t.lo -. d; hi = t.hi +. d }
+
+let equal ?eps a b = Float_cmp.approx ?eps a.lo b.lo && Float_cmp.approx ?eps a.hi b.hi
+
+let compare a b =
+  let c = Float.compare a.lo b.lo in
+  if c <> 0 then c else Float.compare a.hi b.hi
+
+let pp ppf t = Format.fprintf ppf "[%g, %g]" t.lo t.hi
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,53 @@
+(** Closed real intervals.
+
+    Used for switching/timing windows ([EAT, LAT]) and for the dominance
+    interval of Section 3.2 of the paper. An interval is always
+    non-degenerate in representation: [lo <= hi]. *)
+
+type t = private { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi]. Raises [Invalid_argument] if [lo > hi] (beyond
+    tolerance); values within tolerance are snapped. *)
+
+val point : float -> t
+(** Degenerate interval [\[x, x\]]. *)
+
+val lo : t -> float
+val hi : t -> float
+
+val width : t -> float
+(** [hi - lo], always >= 0. *)
+
+val mid : t -> float
+
+val contains : t -> float -> bool
+(** Membership with tolerance. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true when [a] lies inside [b] (with tolerance). *)
+
+val overlaps : t -> t -> bool
+(** True when the intersection is non-empty (closed intervals; touching
+    endpoints overlap). *)
+
+val intersect : t -> t -> t option
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val shift : float -> t -> t
+(** Translate both endpoints. *)
+
+val expand_hi : float -> t -> t
+(** [expand_hi d t] extends the upper endpoint by [d >= 0]. This is how a
+    higher-order aggressor's timing window grows when indirect aggressors
+    add delay noise to its latest arrival. *)
+
+val expand : float -> t -> t
+(** Symmetric expansion of both endpoints by [d >= 0]. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

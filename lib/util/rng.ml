@@ -1,0 +1,77 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+(* Non-negative 62-bit int from the top bits. *)
+let bits_int t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits_int t mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 random bits scaled to [0,1). *)
+  let u = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int u *. 0x1.0p-53
+
+let float t bound = unit_float t *. bound
+
+let float_in t lo hi = lo +. (unit_float t *. (hi -. lo))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p = unit_float t < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ :: _ -> List.nth xs (int t (List.length xs))
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t n arr =
+  if n < 0 || n > Array.length arr then invalid_arg "Rng.sample: bad count";
+  let pool = Array.copy arr in
+  shuffle_in_place t pool;
+  Array.sub pool 0 n
+
+let gaussian t ~mean ~stddev =
+  let rec draw () =
+    let u1 = unit_float t in
+    if u1 <= 0. then draw ()
+    else
+      let u2 = unit_float t in
+      mean +. (stddev *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+  in
+  draw ()

@@ -1,0 +1,56 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the library (benchmark circuit
+    generation, placement jitter, property-test corpora) draws from this
+    generator so that a given seed always reproduces the same circuit and
+    therefore the same experimental tables. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator duplicating [t]'s state. *)
+
+val split : t -> t
+(** [split t] derives a new independent stream from [t], advancing [t].
+    Used to give each subsystem (placement, routing, netlist shape) its
+    own stream so adding draws in one does not perturb the others. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val sample : t -> int -> 'a array -> 'a array
+(** [sample t n arr] draws [n] distinct elements (n <= length). *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller normal deviate. *)

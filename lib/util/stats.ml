@@ -1,0 +1,57 @@
+let require_non_empty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | _ :: _ -> ()
+
+let sum xs = List.fold_left ( +. ) 0. xs
+
+let mean xs =
+  require_non_empty "Stats.mean" xs;
+  sum xs /. float_of_int (List.length xs)
+
+let min_max xs =
+  require_non_empty "Stats.min_max" xs;
+  List.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (Float.infinity, Float.neg_infinity)
+    xs
+
+let stddev xs =
+  require_non_empty "Stats.stddev" xs;
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+  sqrt var
+
+let sorted xs = List.sort Float.compare xs
+
+let median xs =
+  require_non_empty "Stats.median" xs;
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  if n mod 2 = 1 then arr.(n / 2)
+  else 0.5 *. (arr.((n / 2) - 1) +. arr.(n / 2))
+
+let percentile p xs =
+  require_non_empty "Stats.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  arr.(max 0 (min (n - 1) (rank - 1)))
+
+let histogram ~bins xs =
+  require_non_empty "Stats.histogram" xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo, hi = min_max xs in
+  let span = if hi > lo then hi -. lo else 1. in
+  let w = span /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  let bucket x =
+    let i = int_of_float ((x -. lo) /. w) in
+    if i >= bins then bins - 1 else if i < 0 then 0 else i
+  in
+  List.iter (fun x -> counts.(bucket x) <- counts.(bucket x) + 1) xs;
+  Array.mapi
+    (fun i c ->
+      let b_lo = lo +. (float_of_int i *. w) in
+      (b_lo, b_lo +. w, c))
+    counts

@@ -1,0 +1,22 @@
+(** Small descriptive-statistics helpers for benchmark reporting. *)
+
+val mean : float list -> float
+(** Arithmetic mean; raises [Invalid_argument] on the empty list. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element; raises on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; raises on the empty list. *)
+
+val median : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank method. *)
+
+val sum : float list -> float
+
+val histogram : bins:int -> float list -> (float * float * int) array
+(** [histogram ~bins xs] buckets [xs] into [bins] equal-width ranges;
+    each entry is [(lo, hi, count)]. Raises on the empty list or
+    non-positive [bins]. *)

@@ -1,0 +1,68 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers =
+  if headers = [] then invalid_arg "Text_table.create: no columns";
+  { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Text_table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+      let left = fill / 2 in
+      String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure (List.map fst t.headers);
+  List.iter (function Cells cs -> measure cs | Separator -> ()) rows;
+  let aligns = List.map snd t.headers in
+  let line cells =
+    let padded =
+      List.mapi (fun i (a, c) -> pad a widths.(i) c) (List.combine aligns cells)
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule () =
+    let bars = List.init ncols (fun i -> String.make (widths.(i) + 2) '-') in
+    "|" ^ String.concat "+" bars ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line (List.map fst t.headers));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (rule ());
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      (match r with
+      | Cells cs -> Buffer.add_string buf (line cs)
+      | Separator -> Buffer.add_string buf (rule ()));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let cell_f ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+let cell_i = string_of_int

@@ -1,0 +1,31 @@
+(** Fixed-width text table rendering for benchmark reports.
+
+    Used by [bench/main.exe] to print Table 1 / Table 2(a)(b) of the
+    paper in a shape directly comparable with the published rows. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : headers:(string * align) list -> t
+(** A table with one column per header. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; must have exactly as many cells as headers. *)
+
+val add_separator : t -> unit
+(** Appends a horizontal rule row. *)
+
+val render : t -> string
+(** Renders with column widths fitted to content, e.g.
+
+    {v
+    | ckt | gates | delay |
+    |-----+-------+-------|
+    | i1  |    59 | 0.546 |
+    v} *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Formats a float cell, default 3 decimals. *)
+
+val cell_i : int -> string

@@ -1,0 +1,46 @@
+module Interval = Tka_util.Interval
+
+type t = Pwl.t
+
+let of_waveform w = Pwl.clip_min 0. w
+
+let of_pulse ~window p =
+  let base = Pwl.shift_x (Interval.lo window -. p.Pulse.onset) (Pulse.waveform p) in
+  Pwl.sliding_max ~window:(Interval.width window) base
+
+let zero = Pwl.zero
+
+let is_zero e = Pwl.max_value e <= Tka_util.Float_cmp.default_eps
+
+let waveform e = e
+
+let add = Pwl.add
+
+let combine = function
+  | [] -> zero
+  | es -> Pwl.sum es
+
+let widen d e =
+  if d < 0. then invalid_arg "Envelope.widen: negative widening";
+  if d = 0. then e else Pwl.sliding_max ~window:d e
+
+let peak = Pwl.max_value
+
+let encapsulates ?interval a b =
+  match interval with
+  | None -> Pwl.dominates a b
+  | Some i -> Pwl.dominates_on i a b
+
+let noisy_waveform ~victim e = Pwl.sub (Transition.waveform victim) e
+
+let delay_noise ~victim e =
+  let noisy = noisy_waveform ~victim e in
+  match Pwl.last_upcrossing noisy 0.5 with
+  | None -> 0.
+  | Some t -> Float.max 0. (t -. victim.Transition.t50)
+
+let support e = Pwl.support e
+
+let equal = Pwl.equal
+
+let pp = Pwl.pp

@@ -1,0 +1,70 @@
+(** Noise envelopes (Figures 2, 3, 5 and 6 of the paper).
+
+    A noise envelope bounds the disturbance an aggressor — or a set of
+    aggressors, or the noise propagated from a fanin cone — can couple
+    onto a victim at each point in time, given the freedom the aggressor
+    has to switch anywhere inside its timing window.
+
+    Envelopes are non-negative PWL waveforms. The key operations are:
+
+    - {!of_pulse}: sweep a single-switching noise pulse over the
+      aggressor timing window, producing the trapezoidal envelope of
+      Fig. 2 (leading edge of the pulse placed at EAT, flat top, trailing
+      edge placed at LAT);
+    - {!combine}: linear superposition of simultaneous aggressors
+      (Fig. 3);
+    - {!encapsulates}: the dominance test of Section 3.2;
+    - {!delay_noise}: worst-case [t50] shift when the envelope is
+      superimposed against the victim transition. *)
+
+type t
+(** A non-negative PWL disturbance bound. *)
+
+val of_pulse : window:Tka_util.Interval.t -> Pulse.t -> t
+(** [of_pulse ~window p] sweeps [p]'s waveform over switching times in
+    [window] ([window] gives the possible onset times; [Interval.point]
+    for a fixed switching time). *)
+
+val of_waveform : Pwl.t -> t
+(** Clips a PWL to be non-negative. Used for pseudo input aggressor
+    envelopes, obtained as (noisy − noiseless) victim transitions. *)
+
+val zero : t
+
+val is_zero : t -> bool
+
+val waveform : t -> Pwl.t
+
+val combine : t list -> t
+(** Pointwise sum (linear superposition). [combine [] = zero]. *)
+
+val add : t -> t -> t
+
+val widen : float -> t -> t
+(** [widen d e] extends the envelope as if the underlying aggressor's
+    latest switching time increased by [d >= 0]: sliding-max over the
+    extra window. Peak height is unchanged, width grows — exactly the
+    higher-order aggressor construction of Section 3.3. Requires a
+    unimodal envelope. *)
+
+val peak : t -> float
+
+val encapsulates : ?interval:Tka_util.Interval.t -> t -> t -> bool
+(** [encapsulates a b]: [a] is pointwise >= [b], over the given interval
+    if any, else everywhere. [encapsulates a b] implies the delay noise
+    of [a] is never below that of [b] (Theorem 1). *)
+
+val delay_noise : victim:Transition.t -> t -> float
+(** [delay_noise ~victim e]: increase of the victim's [t50] when [e] is
+    subtracted from its normalised rising waveform (opposing-direction
+    noise, the worst case for delay). Always >= 0; 0 when the envelope
+    cannot move the crossing (e.g. ends before [t50]). *)
+
+val noisy_waveform : victim:Transition.t -> t -> Pwl.t
+(** The superposition [victim - e], clipped to [\[0, 1\]] below/above
+    nothing — the raw subtracted waveform used by [delay_noise]. *)
+
+val support : t -> Tka_util.Interval.t option
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+type t = { onset : float; peak : float; rise : float; decay : float }
+
+let make ~onset ~peak ~rise ~decay =
+  if peak <= 0. then invalid_arg "Pulse.make: peak must be positive";
+  if rise <= 0. then invalid_arg "Pulse.make: rise must be positive";
+  if decay <= 0. then invalid_arg "Pulse.make: decay must be positive";
+  { onset; peak; rise; decay }
+
+let peak_time p = p.onset +. p.rise
+let end_time p = p.onset +. p.rise +. (3. *. p.decay)
+
+let waveform p =
+  (* Two-segment linearisation of the exponential tail: half the peak one
+     time constant after the peak, zero after three. *)
+  Pwl.create
+    [
+      (p.onset, 0.);
+      (peak_time p, p.peak);
+      (peak_time p +. p.decay, p.peak /. 2.);
+      (end_time p, 0.);
+    ]
+
+let width_at level p =
+  if level <= 0. || level >= 1. then invalid_arg "Pulse.width_at: level outside (0,1)";
+  let w = waveform p in
+  match (Pwl.first_upcrossing w (level *. p.peak), Pwl.crossings w (level *. p.peak)) with
+  | Some first, crossings -> (
+    match List.rev crossings with
+    | last :: _ -> last -. first
+    | [] -> 0.)
+  | None, _ -> 0.
+
+let shift d p = { p with onset = p.onset +. d }
+
+let scale k p =
+  if k <= 0. then invalid_arg "Pulse.scale: factor must be positive";
+  { p with peak = k *. p.peak }
+
+let pp ppf p =
+  Format.fprintf ppf "pulse(onset=%g, peak=%g, rise=%g, decay=%g)" p.onset
+    p.peak p.rise p.decay

@@ -1,0 +1,325 @@
+module F = Tka_util.Float_cmp
+module Interval = Tka_util.Interval
+
+type t = { xs : float array; ys : float array }
+
+(* Merge tolerance for abscissae: two breakpoints closer than this are
+   considered the same instant. *)
+let x_eps = 1e-12
+
+let collinear (x0, y0) (x1, y1) (x2, y2) =
+  (* (x1,y1) lies on the segment (x0,y0)-(x2,y2)? Cross-product test with a
+     scale-aware tolerance. *)
+  let cross = ((x1 -. x0) *. (y2 -. y0)) -. ((x2 -. x0) *. (y1 -. y0)) in
+  Float.abs cross <= 1e-12 *. (1. +. Float.abs (x2 -. x0)) *. (1. +. Float.abs y2 +. Float.abs y0)
+
+let simplify_points pts =
+  match pts with
+  | [] | [ _ ] | [ _; _ ] -> pts
+  | first :: rest ->
+    let rec go acc prev = function
+      | [] -> List.rev (prev :: acc)
+      | cur :: tl -> (
+        match tl with
+        | [] -> List.rev (cur :: prev :: acc)
+        | next :: _ ->
+          if collinear prev cur next then go acc prev tl
+          else go (prev :: acc) cur tl)
+    in
+    go [] first rest
+
+let of_points_unchecked pts =
+  let pts = simplify_points pts in
+  { xs = Array.of_list (List.map fst pts); ys = Array.of_list (List.map snd pts) }
+
+let create pts =
+  match pts with
+  | [] -> invalid_arg "Pwl.create: empty point list"
+  | _ :: _ ->
+    let sorted = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) pts in
+    (* Merge coincident abscissae. *)
+    let rec merge acc = function
+      | [] -> List.rev acc
+      | (x, y) :: tl -> (
+        match acc with
+        | (x', y') :: _ when Float.abs (x -. x') <= x_eps ->
+          if F.approx y y' then merge acc tl
+          else
+            invalid_arg
+              (Printf.sprintf
+                 "Pwl.create: conflicting values %g and %g at x = %g" y' y x)
+        | _ -> merge ((x, y) :: acc) tl)
+    in
+    of_points_unchecked (merge [] sorted)
+
+let constant y = { xs = [| 0. |]; ys = [| y |] }
+let zero = constant 0.
+
+let breakpoints t = Array.to_list (Array.map2 (fun x y -> (x, y)) t.xs t.ys)
+
+let first_x t = t.xs.(0)
+let last_x t = t.xs.(Array.length t.xs - 1)
+let is_constant t =
+  let y0 = t.ys.(0) in
+  Array.for_all (fun y -> F.approx y y0) t.ys
+
+(* Index of the last breakpoint with xs.(i) <= x, or -1. *)
+let seg_index t x =
+  let n = Array.length t.xs in
+  if x < t.xs.(0) then -1
+  else if x >= t.xs.(n - 1) then n - 1
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* invariant: xs.(lo) <= x < xs.(hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let eval t x =
+  let n = Array.length t.xs in
+  let i = seg_index t x in
+  if i < 0 then t.ys.(0)
+  else if i >= n - 1 then t.ys.(n - 1)
+  else begin
+    let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+    let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+    y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+  end
+
+let max_value t = Array.fold_left Float.max Float.neg_infinity t.ys
+let min_value t = Array.fold_left Float.min Float.infinity t.ys
+
+let extremum_on ~better interval t =
+  let lo = Interval.lo interval and hi = Interval.hi interval in
+  let acc = ref (better (eval t lo) (eval t hi)) in
+  Array.iteri
+    (fun i x -> if x >= lo && x <= hi then acc := better !acc t.ys.(i))
+    t.xs;
+  !acc
+
+let max_on interval t = extremum_on ~better:Float.max interval t
+let min_on interval t = extremum_on ~better:Float.min interval t
+
+let support ?(eps = F.default_eps) t =
+  let n = Array.length t.xs in
+  let nonzero i = Float.abs t.ys.(i) > eps in
+  let first = ref (-1) and last = ref (-1) in
+  for i = 0 to n - 1 do
+    if nonzero i then begin
+      if !first < 0 then first := i;
+      last := i
+    end
+  done;
+  if !first < 0 then None
+  else begin
+    let lo = if !first > 0 then t.xs.(!first - 1) else t.xs.(0) in
+    let hi = if !last < n - 1 then t.xs.(!last + 1) else t.xs.(n - 1) in
+    Some (Interval.make lo hi)
+  end
+
+let map_y f t = { xs = Array.copy t.xs; ys = Array.map f t.ys }
+
+let scale k t = map_y (fun y -> k *. y) t
+let neg t = map_y (fun y -> -.y) t
+let shift_y d t = map_y (fun y -> y +. d) t
+let shift_x d t = { xs = Array.map (fun x -> x +. d) t.xs; ys = Array.copy t.ys }
+
+(* Sorted union of the abscissae of two waveforms. *)
+let merged_grid a b =
+  let na = Array.length a.xs and nb = Array.length b.xs in
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  let push x =
+    match !out with
+    | x' :: _ when Float.abs (x -. x') <= x_eps -> ()
+    | _ -> out := x :: !out
+  in
+  while !i < na || !j < nb do
+    if !j >= nb || (!i < na && a.xs.(!i) <= b.xs.(!j)) then begin
+      push a.xs.(!i);
+      incr i
+    end
+    else begin
+      push b.xs.(!j);
+      incr j
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let combine2 f a b =
+  let grid = merged_grid a b in
+  let pts =
+    Array.to_list (Array.map (fun x -> (x, f (eval a x) (eval b x))) grid)
+  in
+  of_points_unchecked pts
+
+let add a b = combine2 ( +. ) a b
+let sub a b = combine2 ( -. ) a b
+
+let sum = function
+  | [] -> zero
+  | w :: ws -> List.fold_left add w ws
+
+(* Pointwise max/min need the crossing abscissae inserted: within one cell
+   of the merged grid both functions are linear, so they cross at most
+   once. *)
+let extremum2 pickhi a b =
+  let grid = merged_grid a b in
+  let n = Array.length grid in
+  let pts = ref [] in
+  let push x y = pts := (x, y) :: !pts in
+  let value x =
+    let ya = eval a x and yb = eval b x in
+    if pickhi then Float.max ya yb else Float.min ya yb
+  in
+  for i = 0 to n - 1 do
+    let x = grid.(i) in
+    push x (value x);
+    if i < n - 1 then begin
+      let x' = grid.(i + 1) in
+      let d0 = eval a x -. eval b x and d1 = eval a x' -. eval b x' in
+      if (d0 > 0. && d1 < 0.) || (d0 < 0. && d1 > 0.) then begin
+        let xc = x +. ((x' -. x) *. d0 /. (d0 -. d1)) in
+        if xc > x +. x_eps && xc < x' -. x_eps then push xc (value xc)
+      end
+    end
+  done;
+  of_points_unchecked (List.rev !pts)
+
+let max2 a b = extremum2 true a b
+let min2 a b = extremum2 false a b
+
+let max_list = function
+  | [] -> invalid_arg "Pwl.max_list: empty list"
+  | w :: ws -> List.fold_left max2 w ws
+
+let clip_min lo t = max2 t (constant lo)
+let clip_max hi t = min2 t (constant hi)
+
+let dominates ?(eps = F.default_eps) a b =
+  (* Within each cell of the merged grid (a - b) is linear, so checking
+     grid points suffices; constant extension is covered by the first and
+     last grid points. *)
+  let grid = merged_grid a b in
+  Array.for_all (fun x -> eval a x >= eval b x -. eps) grid
+
+let dominates_on ?(eps = F.default_eps) interval a b =
+  let lo = Interval.lo interval and hi = Interval.hi interval in
+  let ok x = eval a x >= eval b x -. eps in
+  ok lo && ok hi
+  && Array.for_all
+       (fun x -> (x <= lo || x >= hi) || ok x)
+       (merged_grid a b)
+
+let equal ?(eps = F.default_eps) a b = dominates ~eps a b && dominates ~eps b a
+
+let last_upcrossing t level =
+  let n = Array.length t.xs in
+  if t.ys.(n - 1) < level then None
+  else begin
+    (* rightmost index strictly below the level *)
+    let rec find i = if i < 0 then None else if t.ys.(i) < level then Some i else find (i - 1) in
+    match find (n - 1) with
+    | None -> None (* never below: no upward crossing *)
+    | Some i ->
+      (* segment (i, i+1) rises through the level; i < n-1 because the
+         last value is >= level. *)
+      let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+      let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+      Some (x0 +. ((x1 -. x0) *. (level -. y0) /. (y1 -. y0)))
+  end
+
+let first_upcrossing t level =
+  let n = Array.length t.xs in
+  if t.ys.(0) >= level then None
+  else begin
+    let rec find i = if i >= n then None else if t.ys.(i) >= level then Some i else find (i + 1) in
+    match find 1 with
+    | None -> None
+    | Some j ->
+      let x0 = t.xs.(j - 1) and x1 = t.xs.(j) in
+      let y0 = t.ys.(j - 1) and y1 = t.ys.(j) in
+      if F.approx y1 y0 then Some x1
+      else Some (x0 +. ((x1 -. x0) *. (level -. y0) /. (y1 -. y0)))
+  end
+
+let crossings t level =
+  let n = Array.length t.xs in
+  let out = ref [] in
+  let push x =
+    match !out with
+    | x' :: _ when Float.abs (x -. x') <= x_eps -> ()
+    | _ -> out := x :: !out
+  in
+  for i = 0 to n - 1 do
+    if F.approx t.ys.(i) level then push t.xs.(i);
+    if i < n - 1 then begin
+      let d0 = t.ys.(i) -. level and d1 = t.ys.(i + 1) -. level in
+      if (d0 > 0. && d1 < 0.) || (d0 < 0. && d1 > 0.) then
+        push (t.xs.(i) +. ((t.xs.(i + 1) -. t.xs.(i)) *. d0 /. (d0 -. d1)))
+    end
+  done;
+  List.rev !out
+
+let is_unimodal ?(eps = F.default_eps) t =
+  let n = Array.length t.ys in
+  let rec go i seen_down =
+    if i >= n - 1 then true
+    else begin
+      let dy = t.ys.(i + 1) -. t.ys.(i) in
+      if dy > eps then (not seen_down) && go (i + 1) false
+      else if dy < -.eps then go (i + 1) true
+      else go (i + 1) seen_down
+    end
+  in
+  go 0 false
+
+let sliding_max ~window t =
+  if window < 0. then invalid_arg "Pwl.sliding_max: negative window";
+  if not (is_unimodal t) then
+    invalid_arg "Pwl.sliding_max: waveform is not unimodal";
+  if window <= x_eps then t
+  else begin
+    let n = Array.length t.xs in
+    let peak = max_value t in
+    (* first and last abscissae attaining the peak *)
+    let xp_first = ref t.xs.(0) and xp_last = ref t.xs.(0) and found = ref false in
+    for i = 0 to n - 1 do
+      if F.approx t.ys.(i) peak then begin
+        if not !found then xp_first := t.xs.(i);
+        xp_last := t.xs.(i);
+        found := true
+      end
+    done;
+    let rising =
+      List.filter (fun (x, _) -> x < !xp_first -. x_eps) (breakpoints t)
+    in
+    let falling =
+      List.filter (fun (x, _) -> x > !xp_last +. x_eps) (breakpoints t)
+      |> List.map (fun (x, y) -> (x +. window, y))
+    in
+    of_points_unchecked
+      (rising @ [ (!xp_first, peak); (!xp_last +. window, peak) ] @ falling)
+  end
+
+let area t =
+  let n = Array.length t.xs in
+  let acc = ref 0. in
+  for i = 0 to n - 2 do
+    acc := !acc +. (0.5 *. (t.ys.(i) +. t.ys.(i + 1)) *. (t.xs.(i + 1) -. t.xs.(i)))
+  done;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>pwl[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "(%g, %g)" x t.ys.(i))
+    t.xs;
+  Format.fprintf ppf "]@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,119 @@
+(** Exact piecewise-linear functions of time.
+
+    A value represents a total function [f : R -> R] given by breakpoints
+    [(x_i, y_i)] with strictly increasing [x_i], linear interpolation
+    between consecutive breakpoints, and constant extension beyond both
+    ends ([f x = y_0] for [x <= x_0], [f x = y_n] for [x >= x_n]).
+
+    All waveform objects of the noise analysis — transitions, noise
+    pulses, trapezoidal noise envelopes, combined envelopes, noisy
+    transitions — live in this algebra, and every operation below is
+    exact (no sampling), which makes dominance checks and delay-noise
+    [t50] computations exact as well. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : (float * float) list -> t
+(** [create pts] builds the PWL through [pts]. Points are sorted;
+    duplicate abscissae (within tolerance) must carry equal ordinates or
+    [Invalid_argument] is raised. The list must be non-empty. Collinear
+    interior points are simplified away. *)
+
+val constant : float -> t
+(** The constant function. *)
+
+val zero : t
+
+(** {1 Observation} *)
+
+val eval : t -> float -> float
+(** [eval f x]: exact value at [x] (binary search + interpolation). *)
+
+val breakpoints : t -> (float * float) list
+(** Simplified breakpoint list, strictly increasing in x. *)
+
+val first_x : t -> float
+val last_x : t -> float
+
+val is_constant : t -> bool
+
+val max_value : t -> float
+(** Supremum of [f] (attained at a breakpoint or at infinity = end
+    values). *)
+
+val min_value : t -> float
+
+val max_on : Tka_util.Interval.t -> t -> float
+(** Maximum over a closed interval. *)
+
+val min_on : Tka_util.Interval.t -> t -> float
+
+val support : ?eps:float -> t -> Tka_util.Interval.t option
+(** Smallest interval outside which [|f| <= eps], or [None] when [f] is
+    (tolerantly) zero everywhere. Meaningful for pulse-like functions
+    whose end values are zero. *)
+
+(** {1 Pointwise arithmetic} *)
+
+val scale : float -> t -> t
+val neg : t -> t
+val shift_x : float -> t -> t
+val shift_y : float -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val sum : t list -> t
+val max2 : t -> t -> t
+(** Exact pointwise maximum (inserts crossing abscissae). *)
+
+val min2 : t -> t -> t
+val max_list : t list -> t
+val clip_min : float -> t -> t
+(** [clip_min lo f] is [max f lo] pointwise. *)
+
+val clip_max : float -> t -> t
+
+(** {1 Comparison} *)
+
+val dominates : ?eps:float -> t -> t -> bool
+(** [dominates a b]: [a x >= b x - eps] for all [x]. This is the
+    envelope-encapsulation test of the paper's dominance property. *)
+
+val dominates_on : ?eps:float -> Tka_util.Interval.t -> t -> t -> bool
+(** Same, restricted to a closed interval (the dominance interval of
+    Section 3.2). *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+(** {1 Crossings} *)
+
+val last_upcrossing : t -> float -> float option
+(** [last_upcrossing f level] is the largest [x] with [f x = level] and
+    [f] below [level] immediately before [x], i.e. the final time the
+    waveform rises through [level]. [None] if [f] never reaches [level]
+    from below, or only sits at it. For a noisy rising transition this is
+    the noisy [t50] when [level = 0.5]. *)
+
+val first_upcrossing : t -> float -> float option
+
+val crossings : t -> float -> float list
+(** All crossing abscissae of [level], ascending. Intervals where [f]
+    equals [level] exactly contribute their endpoints. *)
+
+(** {1 Specials} *)
+
+val sliding_max : window:float -> t -> t
+(** [sliding_max ~window:w f] is [g x = max over s in \[0, w\] of f (x - s)]
+    for [w >= 0] — the waveform swept over a time window, used to turn a
+    noise pulse into the trapezoidal noise envelope of Fig. 2 of the
+    paper. Requires [f] to be unimodal (non-decreasing then
+    non-increasing); raises [Invalid_argument] otherwise. *)
+
+val is_unimodal : ?eps:float -> t -> bool
+
+val area : t -> float
+(** Integral of [f] between its first and last breakpoints. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

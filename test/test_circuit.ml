@@ -1,0 +1,761 @@
+(* Tests for netlist construction, topological utilities and the two
+   interchange parsers. *)
+
+module N = Tka_circuit.Netlist
+module Builder = Tka_circuit.Builder
+module Topo = Tka_circuit.Topo
+module Nf = Tka_circuit.Netlist_format
+module Spef = Tka_circuit.Spef_lite
+module Dot = Tka_circuit.Dot
+module Cs = Tka_circuit.Circuit_stats
+module Lib = Tka_cell.Default_lib
+
+let check_f = Alcotest.(check (float 1e-9))
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* a -> inv -> n1 -> nand2(n1, b) -> n2 (output), coupling n1~n2 *)
+let small () =
+  let b = Builder.create ~name:"small" () in
+  let a = Builder.add_input b "a" in
+  let bb = Builder.add_input b "b" in
+  let n1 = Builder.add_net b ~wire_cap:0.01 ~wire_res:1.0 "n1" in
+  let n2 = Builder.add_net b "n2" in
+  let g1 =
+    Builder.add_gate b ~name:"g1" ~cell:Lib.inverter ~inputs:[ ("A", a) ]
+      ~output:n1
+  in
+  let g2 =
+    Builder.add_gate b ~name:"g2" ~cell:(Lib.find_exn "NAND2_X1")
+      ~inputs:[ ("A", n1); ("B", bb) ]
+      ~output:n2
+  in
+  Builder.mark_output b n2;
+  let c = Builder.add_coupling b n1 n2 0.004 in
+  (Builder.finalize b, a, bb, n1, n2, g1, g2, c)
+
+(* ------------------------------------------------------------------ *)
+(* Builder and netlist                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_build_small () =
+  let nl, a, _, n1, n2, g1, _, c = small () in
+  Alcotest.(check int) "nets" 4 (N.num_nets nl);
+  Alcotest.(check int) "gates" 2 (N.num_gates nl);
+  Alcotest.(check int) "couplings" 1 (N.num_couplings nl);
+  Alcotest.(check int) "inputs" 2 (List.length (N.inputs nl));
+  Alcotest.(check (list int)) "outputs" [ n2 ] (N.outputs nl);
+  Alcotest.(check bool) "a is PI" true ((N.net nl a).N.driver = N.Primary_input);
+  (match (N.net nl n1).N.driver with
+  | N.Driven_by g -> Alcotest.(check int) "driver" g1 g
+  | N.Primary_input -> Alcotest.fail "n1 should be driven");
+  Alcotest.(check int) "n1 sinks" 1 (List.length (N.net nl n1).N.sinks);
+  Alcotest.(check int) "coupling id" 0 c
+
+let test_netlist_lookup () =
+  let nl, _, _, n1, _, _, _, _ = small () in
+  (match N.find_net nl "n1" with
+  | Some n -> Alcotest.(check int) "by name" n1 n.N.net_id
+  | None -> Alcotest.fail "n1 not found");
+  Alcotest.(check bool) "missing" true (N.find_net nl "zz" = None);
+  Alcotest.(check bool) "gate by name" true (N.find_gate nl "g2" <> None);
+  Alcotest.(check bool) "find_net_exn raises" true
+    (try
+       ignore (N.find_net_exn nl "zz");
+       false
+     with Not_found -> true)
+
+let test_netlist_caps () =
+  let nl, _, _, n1, n2, _, _, _ = small () in
+  check_f "wire cap" 0.01 (N.net nl n1).N.wire_cap;
+  (* n1 feeds NAND2_X1 pin A *)
+  check_f "pin cap" 0.0034 (N.total_pin_cap nl n1);
+  check_f "ground = wire + pins" (0.01 +. 0.0034) (N.ground_cap nl n1);
+  check_f "coupling" 0.004 (N.total_coupling_cap nl n1);
+  check_f "total" (0.01 +. 0.0034 +. 0.004) (N.total_cap nl n1);
+  check_f "n2 no pins" 0. (N.total_pin_cap nl n2)
+
+let test_coupling_partner () =
+  let nl, _, _, n1, n2, _, _, c = small () in
+  Alcotest.(check int) "partner of n1" n2 (N.coupling_partner nl c n1);
+  Alcotest.(check int) "partner of n2" n1 (N.coupling_partner nl c n2);
+  Alcotest.(check bool) "bad net raises" true
+    (try
+       ignore (N.coupling_partner nl c 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fan_queries () =
+  let nl, a, bb, n1, n2, _, _, _ = small () in
+  Alcotest.(check (list int)) "fanin of n2" [ n1; bb ] (N.fanin_nets nl n2);
+  Alcotest.(check (list int)) "fanout of a" [ n1 ] (N.fanout_nets nl a);
+  Alcotest.(check (list int)) "fanin of PI" [] (N.fanin_nets nl a)
+
+let expect_invalid f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Builder.Invalid"
+  with Builder.Invalid _ -> ()
+
+let test_builder_duplicate_net () =
+  expect_invalid (fun () ->
+      let b = Builder.create () in
+      ignore (Builder.add_input b "x");
+      Builder.add_net b "x")
+
+let test_builder_duplicate_gate () =
+  expect_invalid (fun () ->
+      let b = Builder.create () in
+      let a = Builder.add_input b "a" in
+      let n1 = Builder.add_net b "n1" in
+      let n2 = Builder.add_net b "n2" in
+      ignore (Builder.add_gate b ~name:"g" ~cell:Lib.inverter ~inputs:[ ("A", a) ] ~output:n1);
+      Builder.add_gate b ~name:"g" ~cell:Lib.inverter ~inputs:[ ("A", a) ] ~output:n2)
+
+let test_builder_multiple_drivers () =
+  expect_invalid (fun () ->
+      let b = Builder.create () in
+      let a = Builder.add_input b "a" in
+      let n1 = Builder.add_net b "n1" in
+      ignore (Builder.add_gate b ~name:"g1" ~cell:Lib.inverter ~inputs:[ ("A", a) ] ~output:n1);
+      Builder.add_gate b ~name:"g2" ~cell:Lib.inverter ~inputs:[ ("A", a) ] ~output:n1)
+
+let test_builder_drive_input () =
+  expect_invalid (fun () ->
+      let b = Builder.create () in
+      let a = Builder.add_input b "a" in
+      let x = Builder.add_input b "x" in
+      Builder.add_gate b ~name:"g" ~cell:Lib.inverter ~inputs:[ ("A", a) ] ~output:x)
+
+let test_builder_wrong_pins () =
+  expect_invalid (fun () ->
+      let b = Builder.create () in
+      let a = Builder.add_input b "a" in
+      let n1 = Builder.add_net b "n1" in
+      Builder.add_gate b ~name:"g" ~cell:(Lib.find_exn "NAND2_X1")
+        ~inputs:[ ("A", a) ] ~output:n1)
+
+let test_builder_undriven_net () =
+  expect_invalid (fun () ->
+      let b = Builder.create () in
+      let a = Builder.add_input b "a" in
+      let n1 = Builder.add_net b "n1" in
+      let orphan = Builder.add_net b "orphan" in
+      ignore orphan;
+      ignore (Builder.add_gate b ~name:"g" ~cell:Lib.inverter ~inputs:[ ("A", a) ] ~output:n1);
+      Builder.finalize b)
+
+let test_builder_cycle () =
+  expect_invalid (fun () ->
+      let b = Builder.create () in
+      let n1 = Builder.add_net b "n1" in
+      let n2 = Builder.add_net b "n2" in
+      ignore (Builder.add_gate b ~name:"g1" ~cell:Lib.inverter ~inputs:[ ("A", n2) ] ~output:n1);
+      ignore (Builder.add_gate b ~name:"g2" ~cell:Lib.inverter ~inputs:[ ("A", n1) ] ~output:n2);
+      Builder.finalize b)
+
+let test_builder_self_coupling () =
+  expect_invalid (fun () ->
+      let b = Builder.create () in
+      let a = Builder.add_input b "a" in
+      Builder.add_coupling b a a 0.001)
+
+let test_builder_negative_coupling () =
+  expect_invalid (fun () ->
+      let b = Builder.create () in
+      let a = Builder.add_input b "a" in
+      let x = Builder.add_input b "x" in
+      Builder.add_coupling b a x (-0.001))
+
+let test_builder_implicit_outputs () =
+  let b = Builder.create () in
+  let a = Builder.add_input b "a" in
+  let n1 = Builder.add_net b "n1" in
+  ignore (Builder.add_gate b ~name:"g" ~cell:Lib.inverter ~inputs:[ ("A", a) ] ~output:n1);
+  let nl = Builder.finalize b in
+  Alcotest.(check (list int)) "sink-less is output" [ n1 ] (N.outputs nl)
+
+let test_builder_set_wire () =
+  let b = Builder.create () in
+  let a = Builder.add_input b "a" in
+  Builder.set_wire b a ~cap:0.123 ~res:4.5;
+  let n1 = Builder.add_net b "n1" in
+  ignore (Builder.add_gate b ~name:"g" ~cell:Lib.inverter ~inputs:[ ("A", a) ] ~output:n1);
+  let nl = Builder.finalize b in
+  check_f "cap" 0.123 (N.net nl a).N.wire_cap;
+  check_f "res" 4.5 (N.net nl a).N.wire_res
+
+(* ------------------------------------------------------------------ *)
+(* Topo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let chain n =
+  let b = Builder.create ~name:"chain" () in
+  let first = Builder.add_input b "in" in
+  let prev = ref first in
+  for i = 1 to n do
+    let net = Builder.add_net b (Printf.sprintf "c%d" i) in
+    ignore
+      (Builder.add_gate b
+         ~name:(Printf.sprintf "g%d" i)
+         ~cell:Lib.inverter
+         ~inputs:[ ("A", !prev) ]
+         ~output:net);
+    prev := net
+  done;
+  Builder.mark_output b !prev;
+  Builder.finalize b
+
+let test_topo_order_respects_edges () =
+  let nl, _, _, _, _, _, _, _ = small () in
+  let topo = Topo.create nl in
+  let pos = Array.make (N.num_nets nl) 0 in
+  Array.iteri (fun i nid -> pos.(nid) <- i) (Topo.net_order topo);
+  Array.iter
+    (fun g ->
+      List.iter
+        (fun (_, src) ->
+          Alcotest.(check bool) "fanin before fanout" true
+            (pos.(src) < pos.(g.N.fanout)))
+        g.N.fanin)
+    (N.gates nl)
+
+let test_topo_levels_chain () =
+  let nl = chain 5 in
+  let topo = Topo.create nl in
+  Alcotest.(check int) "depth" 5 (Topo.max_level topo);
+  Alcotest.(check int) "PI level" 0 (Topo.net_level topo (List.hd (N.inputs nl)));
+  Alcotest.(check int) "output level" 5
+    (Topo.net_level topo (List.hd (N.outputs nl)))
+
+let test_topo_fanin_cone () =
+  let nl = chain 4 in
+  let topo = Topo.create nl in
+  let out = List.hd (N.outputs nl) in
+  let pi = List.hd (N.inputs nl) in
+  Alcotest.(check bool) "PI in cone" true (Topo.in_fanin_cone topo ~cone_of:out pi);
+  Alcotest.(check bool) "self in cone" true (Topo.in_fanin_cone topo ~cone_of:out out);
+  Alcotest.(check bool) "out not in PI cone" false
+    (Topo.in_fanin_cone topo ~cone_of:pi out)
+
+let test_topo_fanin_cone_couplings () =
+  let nl, _, _, n1, n2, _, _, c = small () in
+  let topo = Topo.create nl in
+  (* the only coupling touches n2 itself, so it is excluded for n2... *)
+  Alcotest.(check (list int)) "excluded for n2" [] (Topo.fanin_cone_couplings topo n2);
+  ignore n1;
+  ignore c
+
+let test_topo_reachable_outputs () =
+  let nl, a, _, _, n2, _, _, _ = small () in
+  let topo = Topo.create nl in
+  Alcotest.(check (list int)) "a reaches out" [ n2 ] (Topo.sinks_reachable_from topo a)
+
+(* ------------------------------------------------------------------ *)
+(* Netlist text format                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_format_roundtrip () =
+  let nl, _, _, _, _, _, _, _ = small () in
+  let text = Nf.print nl in
+  let nl2 = Nf.parse ~lookup:Lib.find text in
+  Alcotest.(check string) "name" (N.name nl) (N.name nl2);
+  Alcotest.(check int) "nets" (N.num_nets nl) (N.num_nets nl2);
+  Alcotest.(check int) "gates" (N.num_gates nl) (N.num_gates nl2);
+  Alcotest.(check int) "couplings" (N.num_couplings nl) (N.num_couplings nl2);
+  Alcotest.(check string) "stable fixpoint" text (Nf.print nl2)
+
+let test_format_parse_minimal () =
+  let src =
+    "circuit t\n# comment line\ninput a\nnet n1 cap=0.01 res=0.5\ngate g1 \
+     INV_X1 A=a Y=n1\noutput n1\n"
+  in
+  let nl = Nf.parse ~lookup:Lib.find src in
+  Alcotest.(check int) "gates" 1 (N.num_gates nl);
+  check_f "cap" 0.01 (N.find_net_exn nl "n1").N.wire_cap;
+  check_f "res" 0.5 (N.find_net_exn nl "n1").N.wire_res
+
+let expect_parse_error src =
+  try
+    ignore (Nf.parse ~lookup:Lib.find src);
+    Alcotest.fail "expected Parse_error"
+  with Nf.Parse_error { line; _ } ->
+    Alcotest.(check bool) "line positive" true (line >= 0)
+
+let test_format_errors () =
+  expect_parse_error "input a\ninput a\n";
+  expect_parse_error "gate g1 INV_X1 A=a Y=n1\n";
+  expect_parse_error "input a\nnet n1\ngate g1 NOPE A=a Y=n1\n";
+  expect_parse_error "input a\nnet n1\ngate g1 INV_X1 A=a\n";
+  expect_parse_error "frobnicate x\n";
+  expect_parse_error "input a\nnet n1 cap=abc\n";
+  expect_parse_error "input a\ncircuit late\n";
+  expect_parse_error "coupling a b cap=0.1\n"
+
+let test_format_comments_and_blank () =
+  let src = "\n\n# full comment\ncircuit c\ninput a # trailing comment\n" in
+  let nl = Nf.parse ~lookup:Lib.find src in
+  Alcotest.(check string) "name" "c" (N.name nl)
+
+(* ------------------------------------------------------------------ *)
+(* SPEF-lite                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_spef_roundtrip () =
+  let nl, _, _, _, _, _, _, _ = small () in
+  let text = Spef.print nl in
+  let ann = Spef.parse text in
+  let nl2 = Spef.apply ann nl in
+  Alcotest.(check int) "couplings preserved" (N.num_couplings nl) (N.num_couplings nl2);
+  Array.iter
+    (fun n ->
+      let n2 = N.find_net_exn nl2 n.N.net_name in
+      check_f (n.N.net_name ^ " cap") n.N.wire_cap n2.N.wire_cap;
+      check_f (n.N.net_name ^ " res") n.N.wire_res n2.N.wire_res)
+    (N.nets nl)
+
+let test_spef_parse_fields () =
+  let src =
+    {|*SPEF "IEEE 1481-lite"
+*DESIGN demo
+*T_UNIT 1 NS
+*C_UNIT 1 PF
+*R_UNIT 1 KOHM
+
+*D_NET n1 0.014
+*RES 1.3
+*CAP
+1 n1 0.0093
+2 n1 n2 0.0030
+*END
+
+*D_NET n2 0.02
+*CAP
+1 n2 0.0170
+2 n2 n1 0.0030
+*END
+|}
+  in
+  let ann = Spef.parse src in
+  Alcotest.(check (option string)) "design" (Some "demo") ann.Spef.design;
+  Alcotest.(check int) "grounds" 2 (List.length ann.Spef.ground);
+  (* the duplicated coupling listing collapses to one *)
+  Alcotest.(check int) "couplings deduped" 1 (List.length ann.Spef.couplings)
+
+let expect_spef_error src =
+  try
+    ignore (Spef.parse src);
+    Alcotest.fail "expected Parse_error"
+  with Spef.Parse_error _ -> ()
+
+let test_spef_errors () =
+  expect_spef_error "*CAP\n";
+  expect_spef_error "*END\n";
+  expect_spef_error "*D_NET a 1\n*D_NET b 1\n";
+  expect_spef_error "*D_NET a 1\n*CAP\n1 b 0.1\n*END\n";
+  expect_spef_error "*D_NET a x\n"
+
+let test_spef_apply_unknown_net () =
+  let nl, _, _, _, _, _, _, _ = small () in
+  let ann = { Spef.design = None; ground = []; couplings = [ ("zz", "n1", 0.001) ] } in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Spef.apply ann nl);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Transform                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module T = Tka_circuit.Transform
+
+let test_transform_identity () =
+  let nl, _, _, _, _, _, _, _ = small () in
+  let nl2 = T.map nl in
+  Alcotest.(check string) "identical print" (Nf.print nl) (Nf.print nl2)
+
+let test_transform_remove_couplings () =
+  let nl, _, _, _, _, _, _, c = small () in
+  let nl2 = T.remove_couplings nl [ c ] in
+  Alcotest.(check int) "coupling gone" 0 (N.num_couplings nl2);
+  Alcotest.(check string) "renamed" "small_fixed" (N.name nl2);
+  Alcotest.(check int) "structure kept" (N.num_gates nl) (N.num_gates nl2)
+
+let test_transform_scale_coupling () =
+  let nl, _, _, n1, n2, _, _, c = small () in
+  ignore n1;
+  ignore n2;
+  let nl2 = T.scale_coupling ~factor:0.5 nl [ c ] in
+  check_f "halved" 0.002 (N.coupling nl2 0).N.coupling_cap;
+  (* scaling to zero removes the cap *)
+  let nl3 = T.scale_coupling ~factor:0. nl [ c ] in
+  Alcotest.(check int) "zero removes" 0 (N.num_couplings nl3);
+  Alcotest.(check bool) "bad factor" true
+    (try
+       ignore (T.scale_coupling ~factor:2. nl [ c ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_transform_resize_driver () =
+  let nl, _, _, _, _, g1, _, _ = small () in
+  let x4 = Lib.find_exn "INV_X4" in
+  let nl2 = T.resize_driver nl g1 x4 in
+  Alcotest.(check string) "cell swapped" "INV_X4"
+    (N.gate nl2 g1).N.cell.Tka_cell.Cell.name;
+  (* other gates untouched *)
+  Alcotest.(check string) "other kept" "NAND2_X1"
+    (N.gate nl2 (g1 + 1)).N.cell.Tka_cell.Cell.name
+
+let test_transform_wire_of () =
+  let nl, a, _, _, _, _, _, _ = small () in
+  let nl2 = T.map ~wire_of:(fun n -> (n.N.wire_cap *. 2., n.N.wire_res)) nl in
+  check_f "cap doubled" ((N.net nl a).N.wire_cap *. 2.) (N.net nl2 a).N.wire_cap
+
+(* ------------------------------------------------------------------ *)
+(* Verilog-lite                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module V = Tka_circuit.Verilog_lite
+
+let verilog_src =
+  {|
+// a mapped netlist
+module demo (a, b, y);
+  input a, b;
+  output y;
+  wire n1;
+
+  NAND2_X1 g1 (.A(a), .B(b), .Y(n1));
+  INV_X1   g2 (.A(n1), .Y(y));
+endmodule
+|}
+
+let test_verilog_parse () =
+  let nl = V.parse ~lookup:Lib.find verilog_src in
+  Alcotest.(check string) "module name" "demo" (N.name nl);
+  Alcotest.(check int) "gates" 2 (N.num_gates nl);
+  Alcotest.(check int) "inputs" 2 (List.length (N.inputs nl));
+  Alcotest.(check (list int)) "outputs"
+    [ (N.find_net_exn nl "y").N.net_id ]
+    (N.outputs nl);
+  (* connectivity: n1 drives g2's A pin *)
+  let n1 = N.find_net_exn nl "n1" in
+  Alcotest.(check int) "n1 fanout" 1 (List.length n1.N.sinks)
+
+let test_verilog_roundtrip () =
+  let nl = V.parse ~lookup:Lib.find verilog_src in
+  let nl2 = V.parse ~lookup:Lib.find (V.print nl) in
+  Alcotest.(check int) "gates" (N.num_gates nl) (N.num_gates nl2);
+  Alcotest.(check int) "nets" (N.num_nets nl) (N.num_nets nl2);
+  Alcotest.(check string) "stable fixpoint" (V.print nl) (V.print nl2)
+
+let test_verilog_print_of_builder_netlist () =
+  let nl, _, _, _, _, _, _, _ = small () in
+  let nl2 = V.parse ~lookup:Lib.find (V.print nl) in
+  Alcotest.(check int) "gates" (N.num_gates nl) (N.num_gates nl2);
+  (* couplings are not representable in Verilog *)
+  Alcotest.(check int) "no couplings" 0 (N.num_couplings nl2)
+
+let test_verilog_spef_flow () =
+  (* the standard flow: structural Verilog + SPEF parasitics *)
+  let nl, _, _, _, _, _, _, _ = small () in
+  let spef = Spef.print nl in
+  let bare = V.parse ~lookup:Lib.find (V.print nl) in
+  let annotated = Spef.apply (Spef.parse spef) bare in
+  Alcotest.(check int) "couplings recovered" (N.num_couplings nl)
+    (N.num_couplings annotated);
+  let n1 = N.find_net_exn nl "n1" in
+  let n1' = N.find_net_exn annotated "n1" in
+  check_f "wire cap recovered" n1.N.wire_cap n1'.N.wire_cap
+
+let hierarchical_src =
+  {|
+module leaf (a, b, y);
+  input a, b;
+  output y;
+  wire t;
+  NAND2_X1 u1 (.A(a), .B(b), .Y(t));
+  INV_X1   u2 (.A(t), .Y(y));
+endmodule
+
+module top (x1, x2, x3, out);
+  input x1, x2, x3;
+  output out;
+  wire m;
+  leaf i0 (.a(x1), .b(x2), .y(m));
+  leaf i1 (.a(m), .b(x3), .y(out));
+endmodule
+|}
+
+let test_verilog_hierarchy_flattens () =
+  let nl = V.parse ~lookup:Lib.find hierarchical_src in
+  Alcotest.(check string) "top chosen" "top" (N.name nl);
+  (* two leaf instances x two gates each *)
+  Alcotest.(check int) "gates" 4 (N.num_gates nl);
+  Alcotest.(check bool) "hierarchical gate names" true
+    (N.find_gate nl "i0/u1" <> None && N.find_gate nl "i1/u2" <> None);
+  (* the internal wire of each instance is prefixed *)
+  Alcotest.(check bool) "prefixed nets" true (N.find_net nl "i0/t" <> None);
+  (* port connections are shared, not duplicated: m is one net *)
+  let m = N.find_net_exn nl "m" in
+  Alcotest.(check int) "m has one driver and one sink" 1 (List.length m.N.sinks);
+  (* the flattened design is a valid four-level DAG *)
+  let topo = Topo.create nl in
+  Alcotest.(check int) "four logic levels" 4 (Topo.max_level topo)
+
+let test_verilog_hierarchy_deep () =
+  let src =
+    {|
+module inner (a, y);
+  input a;
+  output y;
+  INV_X1 g (.A(a), .Y(y));
+endmodule
+module mid (a, y);
+  input a;
+  output y;
+  wire w;
+  inner p (.a(a), .y(w));
+  inner q (.a(w), .y(y));
+endmodule
+module top2 (a, y);
+  input a;
+  output y;
+  mid m0 (.a(a), .y(y));
+endmodule
+|}
+  in
+  let nl = V.parse ~lookup:Lib.find src in
+  Alcotest.(check int) "two inverters" 2 (N.num_gates nl);
+  Alcotest.(check bool) "nested prefix" true (N.find_net nl "m0/w" <> None);
+  Alcotest.(check bool) "nested gate" true (N.find_gate nl "m0/p/g" <> None)
+
+let test_verilog_hierarchy_errors () =
+  let parses src =
+    try
+      ignore (V.parse ~lookup:Lib.find src);
+      true
+    with V.Parse_error _ -> false
+  in
+  (* recursion *)
+  Alcotest.(check bool) "recursion rejected" false
+    (parses
+       "module a (x, y); input x; output y; a g (.x(x), .y(y)); endmodule");
+  (* bad port name on a module instance, reachable from the top *)
+  Alcotest.(check bool) "bad port rejected" false
+    (parses
+       {|
+module leaf2 (a, y);
+  input a;
+  output y;
+  INV_X1 g (.A(a), .Y(y));
+endmodule
+module badtop (z, w);
+  input z;
+  output w;
+  leaf2 l (.nope(z), .y(w));
+endmodule
+|});
+  (* duplicate module *)
+  Alcotest.(check bool) "duplicate module rejected" false
+    (parses
+       "module d (x); input x; endmodule\nmodule d (x); input x; endmodule")
+
+let expect_verilog_error src =
+  try
+    ignore (V.parse ~lookup:Lib.find src);
+    Alcotest.fail "expected Parse_error"
+  with V.Parse_error { line; _ } ->
+    Alcotest.(check bool) "line recorded" true (line >= 1)
+
+let test_verilog_errors () =
+  expect_verilog_error "wire w;";
+  expect_verilog_error "module m (a); input a;";
+  expect_verilog_error "module m (a); input a; assign b = a; endmodule";
+  expect_verilog_error "module m (a); input a[3:0]; endmodule";
+  expect_verilog_error
+    "module m (a, y); input a; output y; NOPE_X9 g (.A(a), .Y(y)); endmodule";
+  expect_verilog_error
+    "module m (a, y); input a; output y; INV_X1 g (.A(zz), .Y(y)); endmodule";
+  expect_verilog_error
+    "module m (a, y); input a; output y; INV_X1 g (.A(a)); endmodule";
+  expect_verilog_error
+    "module m (a); input a; input a; endmodule"
+
+(* ------------------------------------------------------------------ *)
+(* Dot and stats                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_dot_render () =
+  let nl, _, _, _, _, _, _, _ = small () in
+  let s = Dot.render nl in
+  Alcotest.(check bool) "digraph" true (contains_sub s "digraph");
+  Alcotest.(check bool) "gate node" true (contains_sub s "g_g1");
+  Alcotest.(check bool) "coupling edge" true (contains_sub s "style=dashed");
+  let s2 = Dot.render ~couplings:false nl in
+  Alcotest.(check bool) "no coupling edge" false (contains_sub s2 "style=dashed")
+
+let test_stats () =
+  let nl, _, _, _, _, _, _, _ = small () in
+  let st = Cs.compute nl in
+  Alcotest.(check int) "gates" 2 st.Cs.gates;
+  Alcotest.(check int) "all nets" 4 st.Cs.all_nets;
+  Alcotest.(check int) "internal nets" 2 st.Cs.nets;
+  Alcotest.(check int) "couplings" 1 st.Cs.coupling_caps;
+  Alcotest.(check int) "depth" 2 st.Cs.max_logic_depth;
+  Alcotest.(check int) "header/row same width" (List.length Cs.header)
+    (List.length (Cs.row st))
+
+(* ------------------------------------------------------------------ *)
+(* Parser robustness: random input never escapes Parse_error          *)
+(* ------------------------------------------------------------------ *)
+
+let parser_robustness =
+  let open QCheck in
+  let arb_garbage =
+    make ~print:(Printf.sprintf "%S")
+      Gen.(
+        let* n = int_range 0 200 in
+        string_size ~gen:(char_range ' ' '~') (return n))
+  in
+  let never_panics name parse =
+    Test.make ~name ~count:300 arb_garbage (fun src ->
+        try
+          ignore (parse src);
+          true
+        with
+        | Nf.Parse_error _ | Spef.Parse_error _
+        | Tka_circuit.Verilog_lite.Parse_error _
+        | Tka_cell.Liberty_lite.Parse_error _ ->
+          true)
+  in
+  (* mutation fuzzing digs deeper than pure garbage: start from a valid
+     document and corrupt a few characters *)
+  let mutate_of base =
+    make
+      ~print:(Printf.sprintf "%S")
+      Gen.(
+        let* edits = int_range 1 6 in
+        let* seeds = list_repeat edits (pair (int_bound (String.length base - 1)) (char_range ' ' '~')) in
+        let b = Bytes.of_string base in
+        List.iter (fun (i, c) -> Bytes.set b i c) seeds;
+        return (Bytes.to_string b))
+  in
+  let never_panics_mutated name base parse =
+    Test.make ~name ~count:300 (mutate_of base) (fun src ->
+        try
+          ignore (parse src);
+          true
+        with
+        | Nf.Parse_error _ | Spef.Parse_error _
+        | Tka_circuit.Verilog_lite.Parse_error _
+        | Tka_cell.Liberty_lite.Parse_error _ ->
+          true)
+  in
+  let nl0, _, _, _, _, _, _, _ = small () in
+  [
+    never_panics "netlist format never panics" (Nf.parse ~lookup:Lib.find);
+    never_panics "spef never panics" Spef.parse;
+    never_panics "verilog never panics"
+      (Tka_circuit.Verilog_lite.parse ~lookup:Lib.find);
+    never_panics "liberty never panics" Tka_cell.Liberty_lite.parse;
+    (let open QCheck in
+     Test.make ~name:"sdf never panics" ~count:300
+       (make ~print:(Printf.sprintf "%S")
+          Gen.(
+            let* n = int_range 0 200 in
+            string_size ~gen:(char_range ' ' '~') (return n)))
+       (fun src ->
+         try
+           ignore (Tka_circuit.Sdf_lite.parse src);
+           true
+         with Tka_circuit.Sdf_lite.Parse_error _ -> true));
+    never_panics_mutated "mutated netlist never panics" (Nf.print nl0)
+      (Nf.parse ~lookup:Lib.find);
+    never_panics_mutated "mutated spef never panics" (Spef.print nl0) Spef.parse;
+    never_panics_mutated "mutated verilog never panics"
+      (Tka_circuit.Verilog_lite.print nl0)
+      (Tka_circuit.Verilog_lite.parse ~lookup:Lib.find);
+    never_panics_mutated "mutated liberty never panics"
+      (Tka_cell.Default_lib.to_liberty ())
+      Tka_cell.Liberty_lite.parse;
+  ]
+
+let () =
+  Alcotest.run "tka_circuit"
+    [
+      ( "netlist",
+        [
+          Alcotest.test_case "build small" `Quick test_build_small;
+          Alcotest.test_case "lookup" `Quick test_netlist_lookup;
+          Alcotest.test_case "caps" `Quick test_netlist_caps;
+          Alcotest.test_case "coupling partner" `Quick test_coupling_partner;
+          Alcotest.test_case "fan queries" `Quick test_fan_queries;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "duplicate net" `Quick test_builder_duplicate_net;
+          Alcotest.test_case "duplicate gate" `Quick test_builder_duplicate_gate;
+          Alcotest.test_case "multiple drivers" `Quick test_builder_multiple_drivers;
+          Alcotest.test_case "drive input" `Quick test_builder_drive_input;
+          Alcotest.test_case "wrong pins" `Quick test_builder_wrong_pins;
+          Alcotest.test_case "undriven net" `Quick test_builder_undriven_net;
+          Alcotest.test_case "cycle" `Quick test_builder_cycle;
+          Alcotest.test_case "self coupling" `Quick test_builder_self_coupling;
+          Alcotest.test_case "negative coupling" `Quick test_builder_negative_coupling;
+          Alcotest.test_case "implicit outputs" `Quick test_builder_implicit_outputs;
+          Alcotest.test_case "set wire" `Quick test_builder_set_wire;
+        ] );
+      ( "topo",
+        [
+          Alcotest.test_case "order respects edges" `Quick test_topo_order_respects_edges;
+          Alcotest.test_case "levels" `Quick test_topo_levels_chain;
+          Alcotest.test_case "fanin cone" `Quick test_topo_fanin_cone;
+          Alcotest.test_case "cone couplings" `Quick test_topo_fanin_cone_couplings;
+          Alcotest.test_case "reachable outputs" `Quick test_topo_reachable_outputs;
+        ] );
+      ( "netlist_format",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_format_roundtrip;
+          Alcotest.test_case "parse minimal" `Quick test_format_parse_minimal;
+          Alcotest.test_case "errors" `Quick test_format_errors;
+          Alcotest.test_case "comments" `Quick test_format_comments_and_blank;
+        ] );
+      ( "spef",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spef_roundtrip;
+          Alcotest.test_case "parse fields" `Quick test_spef_parse_fields;
+          Alcotest.test_case "errors" `Quick test_spef_errors;
+          Alcotest.test_case "unknown net" `Quick test_spef_apply_unknown_net;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "identity" `Quick test_transform_identity;
+          Alcotest.test_case "remove couplings" `Quick test_transform_remove_couplings;
+          Alcotest.test_case "scale coupling" `Quick test_transform_scale_coupling;
+          Alcotest.test_case "resize driver" `Quick test_transform_resize_driver;
+          Alcotest.test_case "wire_of" `Quick test_transform_wire_of;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "parse" `Quick test_verilog_parse;
+          Alcotest.test_case "roundtrip" `Quick test_verilog_roundtrip;
+          Alcotest.test_case "print builder netlist" `Quick
+            test_verilog_print_of_builder_netlist;
+          Alcotest.test_case "verilog+spef flow" `Quick test_verilog_spef_flow;
+          Alcotest.test_case "hierarchy flattens" `Quick test_verilog_hierarchy_flattens;
+          Alcotest.test_case "hierarchy deep" `Quick test_verilog_hierarchy_deep;
+          Alcotest.test_case "hierarchy errors" `Quick test_verilog_hierarchy_errors;
+          Alcotest.test_case "errors" `Quick test_verilog_errors;
+        ] );
+      ("parser robustness", List.map QCheck_alcotest.to_alcotest parser_robustness);
+      ( "dot+stats",
+        [
+          Alcotest.test_case "dot" `Quick test_dot_render;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+    ]

@@ -1,0 +1,326 @@
+(* Tests for the synthetic layout flow and benchmark generation. *)
+
+module G = Tka_layout.Geometry
+module Placement = Tka_layout.Placement
+module Routing = Tka_layout.Routing
+module Cx = Tka_layout.Coupling_extract
+module B = Tka_layout.Benchmarks
+module N = Tka_circuit.Netlist
+module Topo = Tka_circuit.Topo
+module Nf = Tka_circuit.Netlist_format
+module Lib = Tka_cell.Default_lib
+
+let check_f = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Geometry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_segments () =
+  let h = G.hseg ~y:2. ~x0:5. ~x1:1. in
+  check_f "normalised lo" 1. h.G.s_lo;
+  check_f "normalised hi" 5. h.G.s_hi;
+  check_f "length" 4. (G.length h);
+  let v = G.vseg ~x:1. ~y0:0. ~y1:3. in
+  check_f "vertical length" 3. (G.length v)
+
+let test_parallel_overlap () =
+  let a = G.hseg ~y:0. ~x0:0. ~x1:4. in
+  let b = G.hseg ~y:2. ~x0:2. ~x1:6. in
+  check_f "overlap" 2. (G.parallel_overlap a b);
+  let c = G.hseg ~y:2. ~x0:5. ~x1:6. in
+  check_f "disjoint" 0. (G.parallel_overlap a c);
+  let v = G.vseg ~x:0. ~y0:0. ~y1:4. in
+  check_f "perpendicular" 0. (G.parallel_overlap a v)
+
+let test_track_distance () =
+  let a = G.hseg ~y:0. ~x0:0. ~x1:4. in
+  let b = G.hseg ~y:3. ~x0:0. ~x1:4. in
+  (match G.track_distance a b with
+  | Some d -> check_f "distance" 3. d
+  | None -> Alcotest.fail "parallel");
+  let v = G.vseg ~x:0. ~y0:0. ~y1:4. in
+  Alcotest.(check bool) "perpendicular none" true (G.track_distance a v = None)
+
+let test_l_route () =
+  let segs = G.l_route (G.point 0. 0.) (G.point 3. 4.) in
+  Alcotest.(check int) "two segments" 2 (List.length segs);
+  check_f "manhattan length" 7. (G.total_length segs);
+  check_f "manhattan" 7. (G.manhattan (G.point 0. 0.) (G.point 3. 4.));
+  Alcotest.(check int) "straight has one" 1
+    (List.length (G.l_route (G.point 0. 0.) (G.point 3. 0.)));
+  Alcotest.(check int) "same point zero" 0
+    (List.length (G.l_route (G.point 1. 1.) (G.point 1. 1.)))
+
+(* ------------------------------------------------------------------ *)
+(* Placement & routing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let placed_tiny () =
+  let nl = B.tiny () in
+  let topo = Topo.create nl in
+  let rng = Tka_util.Rng.create 7 in
+  (nl, topo, Placement.place ~rng topo)
+
+let test_placement_columns_follow_levels () =
+  let nl, topo, p = placed_tiny () in
+  Array.iter
+    (fun g ->
+      let expected =
+        float_of_int (Topo.net_level topo g.N.fanout) *. Placement.column_pitch
+      in
+      check_f (g.N.gate_name ^ " column") expected
+        (Placement.gate_position p g.N.gate_id).G.x)
+    (N.gates nl)
+
+let test_placement_rows_in_range () =
+  let nl, _, p = placed_tiny () in
+  let max_y = float_of_int (Placement.num_rows p) *. Placement.row_pitch in
+  Array.iter
+    (fun g ->
+      let y = (Placement.gate_position p g.N.gate_id).G.y in
+      Alcotest.(check bool) "row in range" true (y >= 0. && y < max_y))
+    (N.gates nl)
+
+let test_placement_sources_and_sinks () =
+  let nl, _, p = placed_tiny () in
+  List.iter
+    (fun nid -> check_f "PI on left edge" 0. (Placement.net_source p nid).G.x)
+    (N.inputs nl);
+  Array.iter
+    (fun n ->
+      if n.N.sinks <> [] then
+        Alcotest.(check int)
+          (n.N.net_name ^ " sink count")
+          (List.length n.N.sinks)
+          (List.length (Placement.net_sinks p n.N.net_id)))
+    (N.nets nl)
+
+let test_routing_lengths () =
+  let nl, _, p = placed_tiny () in
+  let r = Routing.route p in
+  Array.iter
+    (fun n ->
+      let len = Routing.wire_length r n.N.net_id in
+      Alcotest.(check bool) (n.N.net_name ^ " nonneg") true (len >= 0.);
+      Alcotest.(check bool) "cap includes fixed" true
+        (Routing.wire_cap r n.N.net_id > 0.);
+      Alcotest.(check bool) "res includes fixed" true
+        (Routing.wire_res r n.N.net_id > 0.))
+    (N.nets nl)
+
+let test_routing_segments_connect () =
+  let nl, _, p = placed_tiny () in
+  let r = Routing.route p in
+  Array.iter
+    (fun n ->
+      let segs = Routing.segments_of_net r n.N.net_id in
+      let expect = G.total_length segs in
+      check_f (n.N.net_name ^ " consistent") expect
+        (Routing.wire_length r n.N.net_id))
+    (N.nets nl)
+
+(* ------------------------------------------------------------------ *)
+(* Coupling extraction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_extract_properties () =
+  let nl, _, p = placed_tiny () in
+  let r = Routing.route p in
+  let caps = Cx.extract r in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "positive" true (e.Cx.ex_cap > 0.);
+      Alcotest.(check bool) "distinct nets" true (e.Cx.ex_net_a <> e.Cx.ex_net_b);
+      Alcotest.(check bool) "valid ids" true
+        (e.Cx.ex_net_a < N.num_nets nl && e.Cx.ex_net_b < N.num_nets nl))
+    caps;
+  let rec sorted = function
+    | a :: (b :: _ as tl) -> a.Cx.ex_cap >= b.Cx.ex_cap && sorted tl
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted caps);
+  let keys =
+    List.map
+      (fun e ->
+        (min e.Cx.ex_net_a e.Cx.ex_net_b, max e.Cx.ex_net_a e.Cx.ex_net_b))
+      caps
+  in
+  Alcotest.(check int) "unique pairs" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_trim () =
+  let entries =
+    List.map
+      (fun i ->
+        { Cx.ex_net_a = i; ex_net_b = i + 1; ex_cap = float_of_int (10 - i) })
+      [ 0; 1; 2; 3; 4 ]
+  in
+  let kept, avail = Cx.trim ~target:3 entries in
+  Alcotest.(check int) "kept" 3 (List.length kept);
+  Alcotest.(check int) "available" 5 avail;
+  let kept2, avail2 = Cx.trim ~target:10 entries in
+  Alcotest.(check int) "short kept" 5 (List.length kept2);
+  Alcotest.(check int) "short avail" 5 avail2
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_tiny_wellformed () =
+  let nl = B.tiny () in
+  Alcotest.(check int) "gates" 6 (N.num_gates nl);
+  Alcotest.(check int) "couplings" 8 (N.num_couplings nl);
+  Alcotest.(check bool) "has output" true (N.outputs nl <> [])
+
+let test_c17 () =
+  let nl = B.c17 () in
+  Alcotest.(check int) "gates" 6 (N.num_gates nl);
+  Alcotest.(check int) "inputs" 5 (List.length (N.inputs nl));
+  Alcotest.(check int) "outputs" 2 (List.length (N.outputs nl));
+  Alcotest.(check int) "couplings" 6 (N.num_couplings nl);
+  let topo = Topo.create nl in
+  Alcotest.(check int) "depth" 3 (Topo.max_level topo);
+  (* every gate is a NAND2 *)
+  Array.iter
+    (fun g ->
+      Alcotest.(check string) "nand2" "NAND2_X1" g.N.cell.Tka_cell.Cell.name)
+    (N.gates nl)
+
+let test_specs_table2 () =
+  Alcotest.(check int) "ten benchmarks" 10 (List.length B.all_specs);
+  let s = Option.get (B.spec_of_name "i5") in
+  Alcotest.(check int) "i5 gates" 204 s.B.sp_gates;
+  Alcotest.(check int) "i5 couplings" 1835 s.B.sp_couplings;
+  Alcotest.(check bool) "unknown" true (B.spec_of_name "i11" = None)
+
+let test_generate_matches_spec () =
+  let spec = Option.get (B.spec_of_name "i1") in
+  let nl = B.generate spec in
+  Alcotest.(check int) "gate count" spec.B.sp_gates (N.num_gates nl);
+  Alcotest.(check int) "coupling count" spec.B.sp_couplings (N.num_couplings nl);
+  Alcotest.(check string) "name" "i1" (N.name nl)
+
+let test_generate_deterministic () =
+  let spec = Option.get (B.spec_of_name "i1") in
+  let a = Nf.print (B.generate spec) in
+  let b = Nf.print (B.generate spec) in
+  Alcotest.(check bool) "identical netlists" true (String.equal a b)
+
+let test_generate_seed_sensitivity () =
+  let spec = Option.get (B.spec_of_name "i1") in
+  let a = Nf.print (B.generate spec) in
+  let b = Nf.print (B.generate { spec with B.sp_seed = spec.B.sp_seed + 1 }) in
+  Alcotest.(check bool) "different with other seed" false (String.equal a b)
+
+let test_generate_depth () =
+  let spec = Option.get (B.spec_of_name "i1") in
+  let nl = B.generate spec in
+  let topo = Topo.create nl in
+  Alcotest.(check int) "target depth" spec.B.sp_depth (Topo.max_level topo)
+
+let test_generate_acyclic_and_parsable () =
+  let nl = B.generate (Option.get (B.spec_of_name "i3")) in
+  let nl2 = Nf.parse ~lookup:Lib.find (Nf.print nl) in
+  Alcotest.(check int) "round-trip gates" (N.num_gates nl) (N.num_gates nl2)
+
+let test_generate_fanout_bounded () =
+  let nl = B.generate (Option.get (B.spec_of_name "i2")) in
+  Array.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (n.N.net_name ^ " fanout bounded")
+        true
+        (List.length n.N.sinks <= 8))
+    (N.nets nl)
+
+let test_generate_couplings_positive () =
+  let nl = B.generate (Option.get (B.spec_of_name "i1")) in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "cap positive" true (c.N.coupling_cap > 0.))
+    (N.couplings nl)
+
+(* ------------------------------------------------------------------ *)
+(* Random round-trip properties                                       *)
+(* ------------------------------------------------------------------ *)
+
+let random_nl seed =
+  B.generate
+    {
+      B.sp_name = Printf.sprintf "r%d" seed;
+      sp_gates = 15 + (seed mod 20);
+      sp_inputs = 3 + (seed mod 4);
+      sp_depth = 3 + (seed mod 4);
+      sp_couplings = 10 + (seed mod 25);
+      sp_seed = seed;
+    }
+
+let roundtrip_qcheck =
+  let open QCheck in
+  [
+    Test.make ~name:"netlist text format round-trips" ~count:20 (int_range 1 10000)
+      (fun seed ->
+        let nl = random_nl seed in
+        let nl2 = Nf.parse ~lookup:Lib.find (Nf.print nl) in
+        Nf.print nl = Nf.print nl2
+        && N.num_couplings nl = N.num_couplings nl2);
+    Test.make ~name:"verilog + spef round-trips" ~count:20 (int_range 1 10000)
+      (fun seed ->
+        let nl = random_nl seed in
+        let module V = Tka_circuit.Verilog_lite in
+        let module Spef = Tka_circuit.Spef_lite in
+        let bare = V.parse ~lookup:Lib.find (V.print nl) in
+        let full = Spef.apply (Spef.parse (Spef.print nl)) bare in
+        N.num_gates full = N.num_gates nl
+        && N.num_couplings full = N.num_couplings nl);
+    Test.make ~name:"generated circuits have plausible structure" ~count:20
+      (int_range 1 10000) (fun seed ->
+        let nl = random_nl seed in
+        let topo = Topo.create nl in
+        Topo.max_level topo >= 3
+        && List.length (N.outputs nl) >= 1
+        && Array.for_all (fun c -> c.N.coupling_cap > 0.) (N.couplings nl));
+  ]
+
+let () =
+  Alcotest.run "tka_layout"
+    [
+      ( "geometry",
+        [
+          Alcotest.test_case "segments" `Quick test_segments;
+          Alcotest.test_case "overlap" `Quick test_parallel_overlap;
+          Alcotest.test_case "track distance" `Quick test_track_distance;
+          Alcotest.test_case "l_route" `Quick test_l_route;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "columns follow levels" `Quick
+            test_placement_columns_follow_levels;
+          Alcotest.test_case "rows in range" `Quick test_placement_rows_in_range;
+          Alcotest.test_case "sources/sinks" `Quick test_placement_sources_and_sinks;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "lengths" `Quick test_routing_lengths;
+          Alcotest.test_case "segments consistent" `Quick test_routing_segments_connect;
+        ] );
+      ( "extraction",
+        [
+          Alcotest.test_case "properties" `Quick test_extract_properties;
+          Alcotest.test_case "trim" `Quick test_trim;
+        ] );
+      ("round-trip properties", List.map QCheck_alcotest.to_alcotest roundtrip_qcheck);
+      ( "benchmarks",
+        [
+          Alcotest.test_case "tiny" `Quick test_tiny_wellformed;
+          Alcotest.test_case "c17" `Quick test_c17;
+          Alcotest.test_case "table2 specs" `Quick test_specs_table2;
+          Alcotest.test_case "matches spec" `Quick test_generate_matches_spec;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_generate_seed_sensitivity;
+          Alcotest.test_case "depth" `Quick test_generate_depth;
+          Alcotest.test_case "parsable" `Quick test_generate_acyclic_and_parsable;
+          Alcotest.test_case "fanout bounded" `Quick test_generate_fanout_bounded;
+          Alcotest.test_case "couplings positive" `Quick test_generate_couplings_positive;
+        ] );
+    ]

@@ -1,0 +1,411 @@
+(* Tests for the exact piecewise-linear algebra, the foundation of all
+   envelope arithmetic. *)
+
+module Pwl = Tka_waveform.Pwl
+module Interval = Tka_util.Interval
+
+let check_f = Alcotest.(check (float 1e-9))
+
+let ramp = Pwl.create [ (0., 0.); (1., 1.) ]
+let bump = Pwl.create [ (0., 0.); (1., 1.); (2., 0.) ]
+
+(* ------------------------------------------------------------------ *)
+(* Construction / evaluation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_empty () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Pwl.create []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_create_unsorted () =
+  let f = Pwl.create [ (2., 4.); (0., 0.); (1., 2.) ] in
+  check_f "sorted eval" 2. (Pwl.eval f 1.)
+
+let test_create_conflicting_duplicate () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Pwl.create [ (0., 0.); (0., 1.) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_create_agreeing_duplicate () =
+  let f = Pwl.create [ (0., 1.); (0., 1.); (2., 3.) ] in
+  check_f "merged" 2. (Pwl.eval f 1.)
+
+let test_collinear_simplified () =
+  let f = Pwl.create [ (0., 0.); (1., 1.); (2., 2.); (3., 3.) ] in
+  Alcotest.(check int) "two breakpoints" 2 (List.length (Pwl.breakpoints f))
+
+let test_eval_interpolation () =
+  check_f "midpoint" 0.5 (Pwl.eval ramp 0.5);
+  check_f "quarter" 0.25 (Pwl.eval ramp 0.25)
+
+let test_eval_extension () =
+  check_f "left constant" 0. (Pwl.eval ramp (-100.));
+  check_f "right constant" 1. (Pwl.eval ramp 100.)
+
+let test_constant () =
+  let c = Pwl.constant 3.5 in
+  check_f "anywhere" 3.5 (Pwl.eval c 123.);
+  Alcotest.(check bool) "is_constant" true (Pwl.is_constant c);
+  Alcotest.(check bool) "ramp not constant" false (Pwl.is_constant ramp)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_add_exact () =
+  let s = Pwl.add ramp bump in
+  check_f "at 0.5" 1. (Pwl.eval s 0.5);
+  check_f "at 1" 2. (Pwl.eval s 1.);
+  check_f "at 1.5" 1.5 (Pwl.eval s 1.5);
+  check_f "at 3" 1. (Pwl.eval s 3.)
+
+let test_sub_self_zero () =
+  let z = Pwl.sub bump bump in
+  check_f "max" 0. (Pwl.max_value z);
+  check_f "min" 0. (Pwl.min_value z)
+
+let test_scale_neg_shift () =
+  let f = Pwl.scale 2. ramp in
+  check_f "scaled" 1. (Pwl.eval f 0.5);
+  let g = Pwl.neg ramp in
+  check_f "neg" (-0.5) (Pwl.eval g 0.5);
+  let h = Pwl.shift_x 1. ramp in
+  check_f "shifted x" 0. (Pwl.eval h 1.);
+  check_f "shifted x mid" 0.5 (Pwl.eval h 1.5);
+  let i = Pwl.shift_y 1. ramp in
+  check_f "shifted y" 1.5 (Pwl.eval i 0.5)
+
+let test_sum_list () =
+  let s = Pwl.sum [ ramp; ramp; ramp ] in
+  check_f "triple" 1.5 (Pwl.eval s 0.5);
+  check_f "empty sum is zero" 0. (Pwl.eval (Pwl.sum []) 0.)
+
+let test_max2_crossing_inserted () =
+  let a = Pwl.create [ (0., 0.); (2., 2.) ] in
+  let b = Pwl.create [ (0., 2.); (2., 0.) ] in
+  let m = Pwl.max2 a b in
+  (* crossing at x=1, y=1 *)
+  check_f "at crossing" 1. (Pwl.eval m 1.);
+  check_f "left" 2. (Pwl.eval m 0.);
+  check_f "right" 2. (Pwl.eval m 2.);
+  check_f "between" 1.5 (Pwl.eval m 0.5)
+
+let test_min2 () =
+  let a = Pwl.create [ (0., 0.); (2., 2.) ] in
+  let b = Pwl.create [ (0., 2.); (2., 0.) ] in
+  let m = Pwl.min2 a b in
+  check_f "at crossing" 1. (Pwl.eval m 1.);
+  check_f "left" 0. (Pwl.eval m 0.);
+  check_f "between" 0.5 (Pwl.eval m 0.5)
+
+let test_clip () =
+  let f = Pwl.create [ (0., -1.); (2., 1.) ] in
+  let c = Pwl.clip_min 0. f in
+  check_f "clipped low" 0. (Pwl.eval c 0.);
+  check_f "unclipped" 1. (Pwl.eval c 2.);
+  check_f "at crossing" 0. (Pwl.eval c 1.);
+  let d = Pwl.clip_max 0. f in
+  check_f "clip max right" 0. (Pwl.eval d 2.);
+  check_f "clip max left" (-1.) (Pwl.eval d 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_dominates () =
+  let big = Pwl.create [ (0., 0.); (1., 2.); (2., 0.) ] in
+  Alcotest.(check bool) "big >= bump" true (Pwl.dominates big bump);
+  Alcotest.(check bool) "bump not >= big" false (Pwl.dominates bump big);
+  Alcotest.(check bool) "self" true (Pwl.dominates bump bump)
+
+let test_dominates_crossing () =
+  let a = Pwl.create [ (0., 1.); (2., 0.) ] in
+  let b = Pwl.create [ (0., 0.); (2., 1.) ] in
+  Alcotest.(check bool) "a not >= b" false (Pwl.dominates a b);
+  Alcotest.(check bool) "b not >= a" false (Pwl.dominates b a)
+
+let test_dominates_on_interval () =
+  let a = Pwl.create [ (0., 1.); (2., 0.) ] in
+  let b = Pwl.create [ (0., 0.); (2., 1.) ] in
+  (* on [0, 0.5] a is above b *)
+  Alcotest.(check bool) "restricted" true
+    (Pwl.dominates_on (Interval.make 0. 0.5) a b);
+  Alcotest.(check bool) "restricted other side" true
+    (Pwl.dominates_on (Interval.make 1.5 2.) b a);
+  Alcotest.(check bool) "whole fails" false
+    (Pwl.dominates_on (Interval.make 0. 2.) a b)
+
+let test_equal () =
+  Alcotest.(check bool) "equal self" true (Pwl.equal bump bump);
+  let bump' = Pwl.create [ (0., 0.); (0.5, 0.5); (1., 1.); (2., 0.) ] in
+  Alcotest.(check bool) "collinear same function" true (Pwl.equal bump bump');
+  Alcotest.(check bool) "different" false (Pwl.equal bump ramp)
+
+(* ------------------------------------------------------------------ *)
+(* Extrema, support, area                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_max_min_value () =
+  check_f "max" 1. (Pwl.max_value bump);
+  check_f "min" 0. (Pwl.min_value bump)
+
+let test_max_on () =
+  check_f "window max" 0.5 (Pwl.max_on (Interval.make 0. 0.5) bump);
+  check_f "window over peak" 1. (Pwl.max_on (Interval.make 0.5 1.5) bump);
+  check_f "min over tail" 0.5 (Pwl.min_on (Interval.make 0.5 1.5) bump)
+
+let test_support () =
+  match Pwl.support bump with
+  | None -> Alcotest.fail "expected support"
+  | Some i ->
+    Alcotest.(check bool) "contains peak" true (Interval.contains i 1.);
+    Alcotest.(check bool) "zero support of zero" true (Pwl.support Pwl.zero = None)
+
+let test_area () =
+  check_f "triangle area" 1. (Pwl.area bump);
+  check_f "ramp area" 0.5 (Pwl.area ramp)
+
+let test_first_last_x () =
+  check_f "first" 0. (Pwl.first_x bump);
+  check_f "last" 2. (Pwl.last_x bump)
+
+(* ------------------------------------------------------------------ *)
+(* Crossings                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_last_upcrossing_ramp () =
+  match Pwl.last_upcrossing ramp 0.5 with
+  | Some x -> check_f "t50" 0.5 x
+  | None -> Alcotest.fail "expected crossing"
+
+let test_last_upcrossing_dip () =
+  (* rises through 0.5, dips below, rises again: last crossing counts *)
+  let f = Pwl.create [ (0., 0.); (1., 1.); (2., 0.2); (3., 1.) ] in
+  match Pwl.last_upcrossing f 0.5 with
+  | Some x ->
+    Alcotest.(check bool) "after dip" true (x > 2. && x < 3.)
+  | None -> Alcotest.fail "expected crossing"
+
+let test_last_upcrossing_none () =
+  Alcotest.(check bool) "below forever" true
+    (Pwl.last_upcrossing (Pwl.constant 0.) 0.5 = None);
+  Alcotest.(check bool) "always above" true
+    (Pwl.last_upcrossing (Pwl.constant 1.) 0.5 = None)
+
+let test_first_upcrossing () =
+  let f = Pwl.create [ (0., 0.); (1., 1.); (2., 0.2); (3., 1.) ] in
+  match Pwl.first_upcrossing f 0.5 with
+  | Some x -> check_f "first" 0.5 x
+  | None -> Alcotest.fail "expected crossing"
+
+let test_crossings_count () =
+  let f = Pwl.create [ (0., 0.); (1., 1.); (2., 0.); (3., 1.) ] in
+  Alcotest.(check int) "three crossings" 3 (List.length (Pwl.crossings f 0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Unimodality and sliding max                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_unimodal () =
+  Alcotest.(check bool) "bump" true (Pwl.is_unimodal bump);
+  Alcotest.(check bool) "ramp" true (Pwl.is_unimodal ramp);
+  let w = Pwl.create [ (0., 0.); (1., 1.); (2., 0.); (3., 1.) ] in
+  Alcotest.(check bool) "double bump not" false (Pwl.is_unimodal w)
+
+let test_sliding_max_zero_window () =
+  Alcotest.(check bool) "identity" true
+    (Pwl.equal (Pwl.sliding_max ~window:0. bump) bump)
+
+let test_sliding_max_trapezoid () =
+  let e = Pwl.sliding_max ~window:1.5 bump in
+  (* leading edge unchanged *)
+  check_f "lead" 0.5 (Pwl.eval e 0.5);
+  (* flat top over [1, 2.5] *)
+  check_f "top start" 1. (Pwl.eval e 1.);
+  check_f "top mid" 1. (Pwl.eval e 1.7);
+  check_f "top end" 1. (Pwl.eval e 2.5);
+  (* trailing edge = original shifted by window *)
+  check_f "tail" (Pwl.eval bump 1.6) (Pwl.eval e (1.6 +. 1.5))
+
+let test_sliding_max_is_pointwise_max () =
+  (* g(x) = max over s in [0, w] of f (x - s); the sampled reference can
+     miss the exact peak by one step, so allow step-sized tolerance. *)
+  let w = 0.8 in
+  let e = Pwl.sliding_max ~window:w bump in
+  let step_tol = (w /. 100.) +. 1e-9 in
+  let samples = List.init 61 (fun i -> -0.5 +. (float_of_int i *. 0.08)) in
+  List.iter
+    (fun x ->
+      let expect = ref neg_infinity in
+      for j = 0 to 100 do
+        let s = w *. float_of_int j /. 100. in
+        expect := Float.max !expect (Pwl.eval bump (x -. s))
+      done;
+      let got = Pwl.eval e x in
+      Alcotest.(check bool)
+        (Printf.sprintf "at %g: got %g, sampled %g" x got !expect)
+        true
+        (got >= !expect -. 1e-9 && got <= !expect +. step_tol))
+    samples
+
+let test_sliding_max_rejects_bimodal () =
+  let w = Pwl.create [ (0., 0.); (1., 1.); (2., 0.); (3., 1.) ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Pwl.sliding_max ~window:1. w);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sliding_max_monotone_in_window () =
+  let e1 = Pwl.sliding_max ~window:0.5 bump in
+  let e2 = Pwl.sliding_max ~window:1.5 bump in
+  Alcotest.(check bool) "wider window dominates" true (Pwl.dominates e2 e1)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Generator for random PWLs with a handful of breakpoints. *)
+let pwl_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 6 in
+    let* xs = list_repeat n (float_bound_inclusive 10.) in
+    let* ys = list_repeat n (float_range (-5.) 5.) in
+    let pts =
+      List.map2 (fun x y -> (Float.round (x *. 100.) /. 100., y)) xs ys
+    in
+    (* dedupe x to avoid conflicting duplicates *)
+    let seen = Hashtbl.create 8 in
+    let pts =
+      List.filter
+        (fun (x, _) ->
+          if Hashtbl.mem seen x then false
+          else begin
+            Hashtbl.replace seen x ();
+            true
+          end)
+        pts
+    in
+    return (Pwl.create pts))
+
+let arb_pwl = QCheck.make ~print:Pwl.to_string pwl_gen
+
+let sample_points = List.init 41 (fun i -> -2. +. (float_of_int i *. 0.35))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"add is commutative" ~count:200 (pair arb_pwl arb_pwl)
+      (fun (a, b) -> Pwl.equal (Pwl.add a b) (Pwl.add b a));
+    Test.make ~name:"add evaluates to sum" ~count:200 (pair arb_pwl arb_pwl)
+      (fun (a, b) ->
+        let s = Pwl.add a b in
+        List.for_all
+          (fun x ->
+            Float.abs (Pwl.eval s x -. (Pwl.eval a x +. Pwl.eval b x)) < 1e-6)
+          sample_points);
+    Test.make ~name:"sub then add roundtrips" ~count:200 (pair arb_pwl arb_pwl)
+      (fun (a, b) -> Pwl.equal ~eps:1e-6 (Pwl.add (Pwl.sub a b) b) a);
+    Test.make ~name:"max2 dominates both" ~count:200 (pair arb_pwl arb_pwl)
+      (fun (a, b) ->
+        let m = Pwl.max2 a b in
+        Pwl.dominates ~eps:1e-6 m a && Pwl.dominates ~eps:1e-6 m b);
+    Test.make ~name:"max2 evaluates to max" ~count:200 (pair arb_pwl arb_pwl)
+      (fun (a, b) ->
+        let m = Pwl.max2 a b in
+        List.for_all
+          (fun x ->
+            Float.abs (Pwl.eval m x -. Float.max (Pwl.eval a x) (Pwl.eval b x))
+            < 1e-6)
+          sample_points);
+    Test.make ~name:"min2 is dominated by both" ~count:200 (pair arb_pwl arb_pwl)
+      (fun (a, b) ->
+        let m = Pwl.min2 a b in
+        Pwl.dominates ~eps:1e-6 a m && Pwl.dominates ~eps:1e-6 b m);
+    Test.make ~name:"dominance is reflexive" ~count:100 arb_pwl (fun a ->
+        Pwl.dominates a a);
+    Test.make ~name:"dominance antisymmetry up to equality" ~count:200
+      (pair arb_pwl arb_pwl) (fun (a, b) ->
+        (not (Pwl.dominates a b && Pwl.dominates b a)) || Pwl.equal ~eps:1e-6 a b);
+    Test.make ~name:"scale distributes over add" ~count:200
+      (triple (float_range (-3.) 3.) arb_pwl arb_pwl) (fun (c, a, b) ->
+        Pwl.equal ~eps:1e-6
+          (Pwl.scale c (Pwl.add a b))
+          (Pwl.add (Pwl.scale c a) (Pwl.scale c b)));
+    Test.make ~name:"shift_x preserves values" ~count:200
+      (pair (float_range (-5.) 5.) arb_pwl) (fun (d, a) ->
+        let s = Pwl.shift_x d a in
+        List.for_all
+          (fun x -> Float.abs (Pwl.eval s (x +. d) -. Pwl.eval a x) < 1e-6)
+          sample_points);
+    Test.make ~name:"clip_min never below" ~count:200
+      (pair (float_range (-3.) 3.) arb_pwl) (fun (lo, a) ->
+        let c = Pwl.clip_min lo a in
+        List.for_all (fun x -> Pwl.eval c x >= lo -. 1e-9) sample_points);
+  ]
+
+let () =
+  Alcotest.run "tka_pwl"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "empty" `Quick test_create_empty;
+          Alcotest.test_case "unsorted" `Quick test_create_unsorted;
+          Alcotest.test_case "conflicting duplicate" `Quick
+            test_create_conflicting_duplicate;
+          Alcotest.test_case "agreeing duplicate" `Quick test_create_agreeing_duplicate;
+          Alcotest.test_case "collinear simplified" `Quick test_collinear_simplified;
+          Alcotest.test_case "interpolation" `Quick test_eval_interpolation;
+          Alcotest.test_case "constant extension" `Quick test_eval_extension;
+          Alcotest.test_case "constant" `Quick test_constant;
+        ] );
+      ( "arithmetic",
+        [
+          Alcotest.test_case "add exact" `Quick test_add_exact;
+          Alcotest.test_case "sub self" `Quick test_sub_self_zero;
+          Alcotest.test_case "scale/neg/shift" `Quick test_scale_neg_shift;
+          Alcotest.test_case "sum list" `Quick test_sum_list;
+          Alcotest.test_case "max2 crossing" `Quick test_max2_crossing_inserted;
+          Alcotest.test_case "min2" `Quick test_min2;
+          Alcotest.test_case "clip" `Quick test_clip;
+        ] );
+      ( "comparison",
+        [
+          Alcotest.test_case "dominates" `Quick test_dominates;
+          Alcotest.test_case "crossing undominated" `Quick test_dominates_crossing;
+          Alcotest.test_case "dominates_on" `Quick test_dominates_on_interval;
+          Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+      ( "extrema",
+        [
+          Alcotest.test_case "max/min value" `Quick test_max_min_value;
+          Alcotest.test_case "max_on" `Quick test_max_on;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "area" `Quick test_area;
+          Alcotest.test_case "first/last x" `Quick test_first_last_x;
+        ] );
+      ( "crossings",
+        [
+          Alcotest.test_case "ramp t50" `Quick test_last_upcrossing_ramp;
+          Alcotest.test_case "dip" `Quick test_last_upcrossing_dip;
+          Alcotest.test_case "none" `Quick test_last_upcrossing_none;
+          Alcotest.test_case "first" `Quick test_first_upcrossing;
+          Alcotest.test_case "count" `Quick test_crossings_count;
+        ] );
+      ( "sliding_max",
+        [
+          Alcotest.test_case "unimodal" `Quick test_unimodal;
+          Alcotest.test_case "zero window" `Quick test_sliding_max_zero_window;
+          Alcotest.test_case "trapezoid" `Quick test_sliding_max_trapezoid;
+          Alcotest.test_case "pointwise max" `Quick test_sliding_max_is_pointwise_max;
+          Alcotest.test_case "rejects bimodal" `Quick test_sliding_max_rejects_bimodal;
+          Alcotest.test_case "monotone in window" `Quick
+            test_sliding_max_monotone_in_window;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

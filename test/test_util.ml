@@ -1,0 +1,383 @@
+(* Unit and property tests for Tka_util. *)
+
+module Rng = Tka_util.Rng
+module Interval = Tka_util.Interval
+module F = Tka_util.Float_cmp
+module Stats = Tka_util.Stats
+module Tt = Tka_util.Text_table
+
+let check_f = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 13 in
+    Alcotest.(check bool) "in [0,13)" true (x >= 0 && x < 13)
+  done
+
+let test_rng_int_in_bounds () =
+  let r = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create 9 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 10 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0. && x < 2.5)
+  done
+
+let test_rng_float_in () =
+  let r = Rng.create 11 in
+  for _ = 1 to 100 do
+    let x = Rng.float_in r (-1.) 1. in
+    Alcotest.(check bool) "in [-1,1)" true (x >= -1. && x < 1.)
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create 5 in
+  let s1 = Rng.split r in
+  let r' = Rng.create 5 in
+  let s1' = Rng.split r' in
+  (* split streams reproduce *)
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "split reproduces" (Rng.bits64 s1) (Rng.bits64 s1')
+  done
+
+let test_rng_copy () =
+  let r = Rng.create 21 in
+  ignore (Rng.bits64 r);
+  let c = Rng.copy r in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 r) (Rng.bits64 c)
+
+let test_rng_pick () =
+  let r = Rng.create 12 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (Array.mem (Rng.pick r arr) arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick r [||]))
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 13 in
+  let arr = Array.init 20 (fun i -> i) in
+  Rng.shuffle_in_place r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_rng_sample_distinct () =
+  let r = Rng.create 14 in
+  let s = Rng.sample r 5 (Array.init 10 (fun i -> i)) in
+  Alcotest.(check int) "size" 5 (Array.length s);
+  let u = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 5 (List.length u)
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 15 in
+  let n = 20000 in
+  let xs = List.init n (fun _ -> Rng.gaussian r ~mean:3. ~stddev:2.) in
+  let m = Stats.mean xs in
+  let s = Stats.stddev xs in
+  Alcotest.(check bool) "mean close to 3" true (Float.abs (m -. 3.) < 0.1);
+  Alcotest.(check bool) "stddev close to 2" true (Float.abs (s -. 2.) < 0.1)
+
+let test_rng_chance_extremes () =
+  let r = Rng.create 16 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.chance r 1.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 always false" false (Rng.chance r 0.0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_basic () =
+  let i = Interval.make 1. 3. in
+  check_f "lo" 1. (Interval.lo i);
+  check_f "hi" 3. (Interval.hi i);
+  check_f "width" 2. (Interval.width i);
+  check_f "mid" 2. (Interval.mid i)
+
+let test_interval_invalid () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Interval.make 2. 1.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_interval_point () =
+  let p = Interval.point 5. in
+  check_f "width 0" 0. (Interval.width p);
+  Alcotest.(check bool) "contains" true (Interval.contains p 5.)
+
+let test_interval_contains () =
+  let i = Interval.make 0. 1. in
+  Alcotest.(check bool) "inside" true (Interval.contains i 0.5);
+  Alcotest.(check bool) "boundary lo" true (Interval.contains i 0.);
+  Alcotest.(check bool) "boundary hi" true (Interval.contains i 1.);
+  Alcotest.(check bool) "outside" false (Interval.contains i 1.5)
+
+let test_interval_overlap () =
+  let a = Interval.make 0. 2. and b = Interval.make 1. 3. in
+  Alcotest.(check bool) "overlap" true (Interval.overlaps a b);
+  let c = Interval.make 2. 4. in
+  Alcotest.(check bool) "touching counts" true (Interval.overlaps a c);
+  let d = Interval.make 2.5 4. in
+  Alcotest.(check bool) "disjoint" false (Interval.overlaps a d)
+
+let test_interval_intersect () =
+  let a = Interval.make 0. 2. and b = Interval.make 1. 3. in
+  (match Interval.intersect a b with
+  | Some i ->
+    check_f "lo" 1. (Interval.lo i);
+    check_f "hi" 2. (Interval.hi i)
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.(check bool) "none" true
+    (Interval.intersect (Interval.make 0. 1.) (Interval.make 2. 3.) = None)
+
+let test_interval_hull_shift_expand () =
+  let a = Interval.make 0. 1. and b = Interval.make 3. 4. in
+  let h = Interval.hull a b in
+  check_f "hull lo" 0. (Interval.lo h);
+  check_f "hull hi" 4. (Interval.hi h);
+  let s = Interval.shift 2. a in
+  check_f "shift lo" 2. (Interval.lo s);
+  let e = Interval.expand_hi 1.5 a in
+  check_f "expand_hi" 2.5 (Interval.hi e);
+  check_f "expand_hi lo kept" 0. (Interval.lo e);
+  let e2 = Interval.expand 1. a in
+  check_f "expand lo" (-1.) (Interval.lo e2);
+  check_f "expand hi" 2. (Interval.hi e2)
+
+let test_interval_subset () =
+  let a = Interval.make 1. 2. and b = Interval.make 0. 3. in
+  Alcotest.(check bool) "subset" true (Interval.subset a b);
+  Alcotest.(check bool) "not subset" false (Interval.subset b a)
+
+(* ------------------------------------------------------------------ *)
+(* Float_cmp                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_float_cmp () =
+  Alcotest.(check bool) "approx" true (F.approx 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "not approx" false (F.approx 1.0 1.1);
+  Alcotest.(check bool) "leq" true (F.leq 1.0 1.0);
+  Alcotest.(check bool) "geq tol" true (F.geq 0.9999999999 1.0);
+  Alcotest.(check bool) "lt strict" true (F.lt 1.0 2.0);
+  Alcotest.(check bool) "lt not within eps" false (F.lt 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "gt" true (F.gt 2.0 1.0);
+  Alcotest.(check bool) "is_zero" true (F.is_zero 1e-12);
+  check_f "clamp low" 0. (F.clamp ~lo:0. ~hi:1. (-5.));
+  check_f "clamp high" 1. (F.clamp ~lo:0. ~hi:1. 5.);
+  check_f "clamp mid" 0.5 (F.clamp ~lo:0. ~hi:1. 0.5);
+  Alcotest.(check int) "compare_approx equal" 0 (F.compare_approx 1.0 (1.0 +. 1e-12));
+  Alcotest.(check int) "compare_approx lt" (-1) (F.compare_approx 1.0 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_mean () =
+  check_f "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (Stats.mean []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.; 1.; 2. ] in
+  check_f "min" 1. lo;
+  check_f "max" 3. hi
+
+let test_stats_median () =
+  check_f "odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  check_f "even" 2.5 (Stats.median [ 1.; 2.; 3.; 4. ])
+
+let test_stats_stddev () =
+  check_f "constant" 0. (Stats.stddev [ 5.; 5.; 5. ]);
+  check_f "known" 2. (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_f "p50" 50. (Stats.percentile 50. xs);
+  check_f "p100" 100. (Stats.percentile 100. xs);
+  check_f "p0" 1. (Stats.percentile 0. xs)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [ 0.; 0.1; 0.9; 1.0 ] in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 4 total
+
+(* ------------------------------------------------------------------ *)
+(* Text_table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let t = Tt.create ~headers:[ ("name", Tt.Left); ("v", Tt.Right) ] in
+  Tt.add_row t [ "alpha"; "1" ];
+  Tt.add_row t [ "b"; "22" ];
+  let s = Tt.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 1 = "|");
+  Alcotest.(check bool) "contains alpha" true (contains_sub s "alpha")
+
+let test_table_bad_row () =
+  let t = Tt.create ~headers:[ ("a", Tt.Left) ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       Tt.add_row t [ "x"; "y" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_separator_and_center () =
+  let t = Tt.create ~headers:[ ("c", Tt.Center) ] in
+  Tt.add_row t [ "x" ];
+  Tt.add_separator t;
+  Tt.add_row t [ "longer" ];
+  let s = Tt.render t in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  (* header, rule, row, separator, row *)
+  Alcotest.(check int) "five lines" 5 (List.length lines);
+  Alcotest.(check bool) "separator is a rule" true
+    (String.length (List.nth lines 3) > 0 && (List.nth lines 3).[1] = '-')
+
+let test_histogram_validation () =
+  Alcotest.(check bool) "bins <= 0 raises" true
+    (try
+       ignore (Stats.histogram ~bins:0 [ 1. ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (Stats.histogram ~bins:2 []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "1.500" (Tt.cell_f 1.4999999);
+  Alcotest.(check string) "float decimals" "1.50" (Tt.cell_f ~decimals:2 1.4999999);
+  Alcotest.(check string) "int" "42" (Tt.cell_i 42)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"interval hull contains both" ~count:200
+      (pair (pair float float) (pair float float))
+      (fun ((a, b), (c, d)) ->
+        let i1 = Interval.make (Float.min a b) (Float.max a b) in
+        let i2 = Interval.make (Float.min c d) (Float.max c d) in
+        let h = Interval.hull i1 i2 in
+        Interval.subset i1 h && Interval.subset i2 h);
+    Test.make ~name:"rng int uniform-ish" ~count:20 (int_range 2 20) (fun bound ->
+        let r = Rng.create 99 in
+        let counts = Array.make bound 0 in
+        for _ = 1 to bound * 200 do
+          let x = Rng.int r bound in
+          counts.(x) <- counts.(x) + 1
+        done;
+        Array.for_all (fun c -> c > 0) counts);
+    Test.make ~name:"clamp is idempotent" ~count:200 (triple float float float)
+      (fun (lo, hi, x) ->
+        let lo, hi = (Float.min lo hi, Float.max lo hi) in
+        let c = F.clamp ~lo ~hi x in
+        F.clamp ~lo ~hi c = c);
+    Test.make ~name:"stats mean within min-max" ~count:200
+      (list_of_size (Gen.int_range 1 50) (float_bound_inclusive 1000.))
+      (fun xs ->
+        let lo, hi = Stats.min_max xs in
+        let m = Stats.mean xs in
+        m >= lo -. 1e-9 && m <= hi +. 1e-9);
+  ]
+
+let () =
+  Alcotest.run "tka_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "float_in bounds" `Quick test_rng_float_in;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "basic" `Quick test_interval_basic;
+          Alcotest.test_case "invalid" `Quick test_interval_invalid;
+          Alcotest.test_case "point" `Quick test_interval_point;
+          Alcotest.test_case "contains" `Quick test_interval_contains;
+          Alcotest.test_case "overlap" `Quick test_interval_overlap;
+          Alcotest.test_case "intersect" `Quick test_interval_intersect;
+          Alcotest.test_case "hull/shift/expand" `Quick test_interval_hull_shift_expand;
+          Alcotest.test_case "subset" `Quick test_interval_subset;
+        ] );
+      ("float_cmp", [ Alcotest.test_case "all" `Quick test_float_cmp ]);
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ] );
+      ( "text_table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "bad row" `Quick test_table_bad_row;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+          Alcotest.test_case "separator/center" `Quick test_table_separator_and_center;
+          Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -25,8 +25,24 @@ module Elimination = Tka_topk.Elimination
 module BF = Tka_topk.Brute_force
 module CS = Tka_topk.Coupling_set
 module Tt = Tka_util.Text_table
+module J = Tka_obs.Jsonx
 
 let wall = Unix.gettimeofday
+
+(* Machine-readable results, accumulated as sections run and dumped to
+   BENCH_topk.json at the end. *)
+let json_out : (string * J.t) list ref = ref []
+let json_add key v = json_out := !json_out @ [ (key, v) ]
+
+let json_stats (st : Tka_topk.Ilist.stats) =
+  J.Obj
+    [
+      ("candidates", J.Int st.Tka_topk.Ilist.candidates);
+      ("dominated", J.Int st.Tka_topk.Ilist.dominated);
+      ("duplicates", J.Int st.Tka_topk.Ilist.duplicates);
+      ("capped", J.Int st.Tka_topk.Ilist.capped);
+      ("dominance_checks", J.Int st.Tka_topk.Ilist.checks);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Options                                                            *)
@@ -166,6 +182,7 @@ let run_table1 o =
           ("agree", Tt.Center);
         ]
   in
+  let rows = ref [] in
   List.iter
     (fun k ->
       (* per-k algorithm runtime measured with an independent run *)
@@ -179,6 +196,28 @@ let run_table1 o =
         else if Float.abs (bf.BF.bf_delay -. alg_delay) <= 1e-6 then "yes"
         else "no"
       in
+      rows :=
+        J.Obj
+          ([
+             ("k", J.Int k);
+             ("proposed_delay_ns", J.Float alg_delay);
+             ("proposed_runtime_s", J.Float alg_runtime);
+             ("brute_completed", J.Bool bf.BF.bf_completed);
+             ("brute_runtime_s", J.Float bf.BF.bf_runtime);
+             ("agree", J.Str agree);
+           ]
+          @ (if bf.BF.bf_completed then
+               [
+                 ("brute_delay_ns", J.Float bf.BF.bf_delay);
+                 ( "speedup",
+                   J.Float (bf.BF.bf_runtime /. Float.max alg_runtime 1e-9) );
+               ]
+             else
+               [
+                 ("brute_evaluated", J.Int bf.BF.bf_evaluated);
+                 ("brute_total", J.Int bf.BF.bf_total);
+               ]))
+        :: !rows;
       Tt.add_row t
         [
           Tt.cell_i k;
@@ -190,6 +229,16 @@ let run_table1 o =
           agree;
         ])
     (List.init kmax (fun i -> i + 1));
+  json_add "table1"
+    (J.Obj
+       [
+         ("circuit", J.Str validation_spec.B.sp_name);
+         ("gates", J.Int validation_spec.B.sp_gates);
+         ("couplings", J.Int validation_spec.B.sp_couplings);
+         ("bf_budget_s", J.Float o.bf_budget);
+         ("single_run_all_k_s", J.Float alg_total);
+         ("rows", J.List (List.rev !rows));
+       ]);
   print_string (Tt.render t);
   Printf.printf
     "(proposed algorithm computed all of k=1..%d in %.2f s in a single run)\n%!"
@@ -228,11 +277,13 @@ let run_table2 o ~mode =
   let delays = Tt.create ~headers:(delay_headers o anchor_left anchor_right) in
   let runtimes = Tt.create ~headers:(runtime_headers o) in
   let capped = ref 0 in
+  let jrows = ref [] in
   List.iter
     (fun name ->
       let _, topo = circuit name in
       let kmax = List.fold_left max 1 o.ks in
       (* one enumeration gives the sets for every cardinality *)
+      let t_enum = wall () in
       let base_delay, noisy_delay, curve, stats =
         match mode with
         | Engine.Addition ->
@@ -248,6 +299,7 @@ let run_table2 o ~mode =
             Elimination.evaluate_curve e ~ks:o.ks,
             e.Elimination.result.Engine.res_stats )
       in
+      let enum_runtime = wall () -. t_enum in
       capped := !capped + stats.Tka_topk.Ilist.capped;
       let evaluate k =
         match List.find_opt (fun (k', _, _) -> k' = k) curve with
@@ -275,11 +327,36 @@ let run_table2 o ~mode =
         ignore (Engine.compute ~config:(Engine.default_config ~k) ~fixpoint ~mode topo);
         wall () -. t0
       in
+      let per_k = List.map (fun k -> (k, per_k_runtime k)) o.runtime_ks in
       Tt.add_row runtimes
         (name
-        :: List.map (fun k -> Tt.cell_f ~decimals:2 (per_k_runtime k)) o.runtime_ks);
+        :: List.map (fun (_, rt) -> Tt.cell_f ~decimals:2 rt) per_k);
+      jrows :=
+        J.Obj
+          [
+            ("circuit", J.Str name);
+            ("noiseless_delay_ns", J.Float base_delay);
+            ("all_aggressor_delay_ns", J.Float noisy_delay);
+            ( "delays_ns",
+              J.Obj
+                (List.map
+                   (fun k -> (string_of_int k, J.Float (evaluate k)))
+                   o.ks) );
+            ("enumeration_runtime_s", J.Float enum_runtime);
+            ( "per_k_runtime_s",
+              J.Obj
+                (List.map (fun (k, rt) -> (string_of_int k, J.Float rt)) per_k)
+            );
+            ("prune", json_stats stats);
+          ]
+        :: !jrows;
       Printf.printf "  [%s done]\n%!" name)
     o.circuits;
+  json_add
+    (match mode with
+    | Engine.Elimination -> "table2a_elimination"
+    | Engine.Addition -> "table2b_addition")
+    (J.List (List.rev !jrows));
   Printf.printf "Circuit delay (ns):\n%s" (Tt.render delays);
   Printf.printf "Runtime of the enumeration (s):\n%s" (Tt.render runtimes);
   if !capped > 0 then
@@ -457,8 +534,9 @@ let run_kernels () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (Some Logs.Warning);
+  Tka_obs.Log.set_reporter (Tka_obs.Log.text_reporter ());
+  Tka_obs.Log.set_level (Some Tka_obs.Log.Warn);
+  Tka_obs.Log.set_from_env ();
   let o = parse_args () in
   let t0 = wall () in
   Printf.printf
@@ -477,4 +555,18 @@ let () =
       | "kernels" -> run_kernels ()
       | s -> failwith (Printf.sprintf "unknown section %S" s))
     o.sections;
-  Printf.printf "\ntotal benchmark time: %.1f s\n%!" (wall () -. t0)
+  let total = wall () -. t0 in
+  let doc =
+    J.Obj
+      ([
+         ("suite", J.Str "tka top-k aggressor benchmarks");
+         ("quick", J.Bool o.quick);
+         ("circuits", J.List (List.map (fun c -> J.Str c) o.circuits));
+         ("sections", J.List (List.map (fun s -> J.Str s) o.sections));
+       ]
+      @ !json_out
+      @ [ ("total_runtime_s", J.Float total) ])
+  in
+  J.write_file "BENCH_topk.json" doc;
+  Printf.printf "\nwrote BENCH_topk.json\n";
+  Printf.printf "total benchmark time: %.1f s\n%!" (wall () -. t0)

@@ -26,12 +26,112 @@ module Addition = Tka_topk.Addition
 module Elimination = Tka_topk.Elimination
 module Report = Tka_topk.Report
 
-let setup_logs verbose =
-  Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+module Log = Tka_obs.Log
+module Metrics = Tka_obs.Metrics
+module Trace = Tka_obs.Trace
 
-let verbose_arg =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable informational logging.")
+(* ------------------------------------------------------------------ *)
+(* Observability flags (shared by every subcommand)                   *)
+(* ------------------------------------------------------------------ *)
+
+type obs = {
+  ob_verbose : bool;
+  ob_log_level : string option;
+  ob_log_json : string option;
+  ob_metrics_out : string option;
+  ob_trace_out : string option;
+}
+
+let obs_term =
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Enable informational logging (level info).")
+  in
+  let log_level =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-level" ] ~docv:"SPEC"
+          ~doc:
+            "Log level directives: a level ($(b,error), $(b,warn), $(b,info), \
+             $(b,debug), $(b,quiet)) and/or per-source overrides, e.g. \
+             $(b,info,engine=debug). Overrides $(b,TKA_LOG) and \
+             $(b,--verbose).")
+  in
+  let log_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-json" ] ~docv:"FILE"
+          ~doc:"Also write every log event as NDJSON to $(docv).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable the metrics registry and dump it as JSON to $(docv) when \
+             the command finishes.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable span tracing and dump a Chrome-trace (trace_event) JSON \
+             file to $(docv) when the command finishes (load it at \
+             chrome://tracing or ui.perfetto.dev).")
+  in
+  let make ob_verbose ob_log_level ob_log_json ob_metrics_out ob_trace_out =
+    { ob_verbose; ob_log_level; ob_log_json; ob_metrics_out; ob_trace_out }
+  in
+  Term.(const make $ verbose $ log_level $ log_json $ metrics_out $ trace_out)
+
+(* Configure the observability stack, run [f], then dump the requested
+   metrics/trace files (also on exceptions). *)
+let with_obs o f =
+  Log.set_level (Some (if o.ob_verbose then Log.Info else Log.Warn));
+  Log.set_from_env ();
+  (match o.ob_log_level with
+  | None -> ()
+  | Some spec -> (
+    match Log.set_from_string spec with
+    | Ok () -> ()
+    | Error m ->
+      Printf.eprintf "tka: bad --log-level: %s\n" m;
+      exit 2));
+  let open_or_die path =
+    try open_out path
+    with Sys_error m ->
+      Printf.eprintf "tka: cannot open --log-json file: %s\n" m;
+      exit 2
+  in
+  let log_oc = Option.map open_or_die o.ob_log_json in
+  let reporters =
+    Log.text_reporter ()
+    :: (match log_oc with Some oc -> [ Log.ndjson_reporter oc ] | None -> [])
+  in
+  Log.set_reporter (Log.multi_reporter reporters);
+  if o.ob_metrics_out <> None then Metrics.set_enabled true;
+  if o.ob_trace_out <> None then Trace.set_enabled true;
+  let write_failed = ref false in
+  let finally () =
+    let write path writer =
+      try writer path
+      with Sys_error m ->
+        write_failed := true;
+        Printf.eprintf "tka: cannot write %s: %s\n" path m
+    in
+    Option.iter (fun path -> write path Metrics.write_file) o.ob_metrics_out;
+    Option.iter (fun path -> write path Trace.write_file) o.ob_trace_out;
+    Option.iter close_out log_oc
+  in
+  let v = Fun.protect ~finally f in
+  if !write_failed then exit 1;
+  v
 
 let liberty_arg =
   Arg.(
@@ -98,6 +198,8 @@ let handle_errors f =
     Printf.eprintf "error: %s\n" m;
     exit 1
 
+let run_obs obs f = with_obs obs (fun () -> handle_errors f)
+
 (* ------------------------------------------------------------------ *)
 (* gen                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -129,9 +231,8 @@ let gen_cmd =
       value & flag
       & info [ "verilog" ] ~doc:"Emit structural Verilog instead of the tka text format.")
   in
-  let run verbose bench out spef dot verilog =
-    setup_logs verbose;
-    handle_errors (fun () ->
+  let run obs bench out spef dot verilog =
+    run_obs obs (fun () ->
         let nl =
           if bench = "tiny" then B.tiny ()
           else if bench = "c17" then B.c17 ()
@@ -156,22 +257,21 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a benchmark circuit.")
-    Term.(const run $ verbose_arg $ bench $ out $ spef $ dot $ verilog)
+    Term.(const run $ obs_term $ bench $ out $ spef $ dot $ verilog)
 
 (* ------------------------------------------------------------------ *)
 (* info                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let info_cmd =
-  let run verbose liberty path =
-    setup_logs verbose;
-    handle_errors (fun () ->
+  let run obs liberty path =
+    run_obs obs (fun () ->
         let nl = load ~liberty path in
         Format.printf "%a@." Stats.pp (Stats.compute nl))
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Print netlist statistics.")
-    Term.(const run $ verbose_arg $ liberty_arg $ netlist_pos)
+    Term.(const run $ obs_term $ liberty_arg $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
 (* sta                                                                *)
@@ -189,9 +289,8 @@ let sta_cmd =
       & info [ "clock" ] ~docv:"NS"
           ~doc:"Clock period; when given, required times and slacks are reported.")
   in
-  let run verbose liberty corner n clock path =
-    setup_logs verbose;
-    handle_errors (fun () ->
+  let run obs liberty corner n clock path =
+    run_obs obs (fun () ->
         let nl = apply_corner corner (load ~liberty path) in
         let topo = Topo.create nl in
         let a = Analysis.run topo in
@@ -222,7 +321,7 @@ let sta_cmd =
   Cmd.v
     (Cmd.info "sta" ~doc:"Static timing analysis without noise.")
     Term.(
-      const run $ verbose_arg $ liberty_arg $ corner_arg $ paths $ clock
+      const run $ obs_term $ liberty_arg $ corner_arg $ paths $ clock
       $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
@@ -246,9 +345,8 @@ let noise_cmd =
       value & flag
       & info [ "path" ] ~doc:"Show the noisy critical path with per-stage noise.")
   in
-  let run verbose liberty corner worst breakdown show_path path =
-    setup_logs verbose;
-    handle_errors (fun () ->
+  let run obs liberty corner worst breakdown show_path path =
+    run_obs obs (fun () ->
         let nl = apply_corner corner (load ~liberty path) in
         let topo = Topo.create nl in
         let r = Iterate.run topo in
@@ -280,7 +378,7 @@ let noise_cmd =
   Cmd.v
     (Cmd.info "noise" ~doc:"Iterative crosstalk delay-noise analysis.")
     Term.(
-      const run $ verbose_arg $ liberty_arg $ corner_arg $ worst $ breakdown
+      const run $ obs_term $ liberty_arg $ corner_arg $ worst $ breakdown
       $ show_path $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
@@ -298,9 +396,8 @@ let topk_cmd =
       & info [ "mode" ] ~docv:"MODE"
           ~doc:"$(b,add) for the addition set, $(b,elim) for the elimination set.")
   in
-  let run verbose liberty k mode path =
-    setup_logs verbose;
-    handle_errors (fun () ->
+  let run obs liberty k mode path =
+    run_obs obs (fun () ->
         let nl = load ~liberty path in
         let topo = Topo.create nl in
         let ks = List.filter (fun i -> i <= k) [ 1; 2; 3; 5; 10; 20; 50 ] @ [ k ]
@@ -316,16 +413,15 @@ let topk_cmd =
   Cmd.v
     (Cmd.info "topk"
        ~doc:"Compute top-k aggressor addition or elimination sets.")
-    Term.(const run $ verbose_arg $ liberty_arg $ k $ mode $ netlist_pos)
+    Term.(const run $ obs_term $ liberty_arg $ k $ mode $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
 (* falseagg                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let falseagg_cmd =
-  let run verbose liberty path =
-    setup_logs verbose;
-    handle_errors (fun () ->
+  let run obs liberty path =
+    run_obs obs (fun () ->
         let nl = load ~liberty path in
         let topo = Topo.create nl in
         let a = Analysis.run topo in
@@ -348,7 +444,7 @@ let falseagg_cmd =
   Cmd.v
     (Cmd.info "falseagg"
        ~doc:"Identify false aggressors (couplings that can never create delay noise).")
-    Term.(const run $ verbose_arg $ liberty_arg $ netlist_pos)
+    Term.(const run $ obs_term $ liberty_arg $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
 (* glitch                                                             *)
@@ -360,9 +456,8 @@ let glitch_cmd =
       value & opt float Tka_noise.Glitch.default_margin
       & info [ "margin" ] ~docv:"VDD" ~doc:"DC noise margin in Vdd units.")
   in
-  let run verbose liberty margin path =
-    setup_logs verbose;
-    handle_errors (fun () ->
+  let run obs liberty margin path =
+    run_obs obs (fun () ->
         let nl = load ~liberty path in
         let topo = Topo.create nl in
         let v = Tka_noise.Glitch.check ~margin topo in
@@ -374,7 +469,7 @@ let glitch_cmd =
   in
   Cmd.v
     (Cmd.info "glitch" ~doc:"Functional (glitch) noise screening.")
-    Term.(const run $ verbose_arg $ liberty_arg $ margin $ netlist_pos)
+    Term.(const run $ obs_term $ liberty_arg $ margin $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
 (* kvalue                                                             *)
@@ -396,9 +491,8 @@ let kvalue_cmd =
       & opt (enum [ ("add", `Add); ("elim", `Elim) ]) `Add
       & info [ "mode" ] ~docv:"MODE" ~doc:"$(b,add) or $(b,elim).")
   in
-  let run verbose liberty coverage kmax mode path =
-    setup_logs verbose;
-    handle_errors (fun () ->
+  let run obs liberty coverage kmax mode path =
+    run_obs obs (fun () ->
         let nl = load ~liberty path in
         ignore nl;
         let topo = Topo.create nl in
@@ -423,7 +517,7 @@ let kvalue_cmd =
   Cmd.v
     (Cmd.info "kvalue"
        ~doc:"Recommend a good k (coverage + knee of the top-k curve).")
-    Term.(const run $ verbose_arg $ liberty_arg $ coverage $ kmax $ mode $ netlist_pos)
+    Term.(const run $ obs_term $ liberty_arg $ coverage $ kmax $ mode $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
 (* sdf                                                                *)
@@ -441,9 +535,8 @@ let sdf_cmd =
       value & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write here (default stdout).")
   in
-  let run verbose liberty noisy out path =
-    setup_logs verbose;
-    handle_errors (fun () ->
+  let run obs liberty noisy out path =
+    run_obs obs (fun () ->
         let nl = load ~liberty path in
         let topo = Topo.create nl in
         let delay_of =
@@ -461,7 +554,7 @@ let sdf_cmd =
   in
   Cmd.v
     (Cmd.info "sdf" ~doc:"Export IOPATH delays in SDF-lite (optionally noisy).")
-    Term.(const run $ verbose_arg $ liberty_arg $ noisy $ out $ netlist_pos)
+    Term.(const run $ obs_term $ liberty_arg $ noisy $ out $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
 (* sensitivity                                                        *)
@@ -485,9 +578,8 @@ let sensitivity_cmd =
       & info [ "mode" ] ~docv:"MODE" ~doc:"$(b,add) or $(b,elim).")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
-  let run verbose liberty k trials noise mode seed path =
-    setup_logs verbose;
-    handle_errors (fun () ->
+  let run obs liberty k trials noise mode seed path =
+    run_obs obs (fun () ->
         let nl = load ~liberty path in
         let rng = Tka_util.Rng.create seed in
         let module S = Tka_topk.Sensitivity in
@@ -513,7 +605,7 @@ let sensitivity_cmd =
     (Cmd.info "sensitivity"
        ~doc:"Robustness of the top-k set to coupling-extraction error.")
     Term.(
-      const run $ verbose_arg $ liberty_arg $ k $ trials $ noise $ mode $ seed
+      const run $ obs_term $ liberty_arg $ k $ trials $ noise $ mode $ seed
       $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
@@ -531,9 +623,8 @@ let compare_cmd =
       required & pos 1 (some file) None
       & info [] ~docv:"AFTER" ~doc:"Netlist after the change.")
   in
-  let run verbose liberty before after =
-    setup_logs verbose;
-    handle_errors (fun () ->
+  let run obs liberty before after =
+    run_obs obs (fun () ->
         let analyse path =
           let nl = load ~liberty path in
           let r = Iterate.run (Topo.create nl) in
@@ -557,7 +648,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Compare timing and noise of two netlists (before/after a fix).")
-    Term.(const run $ verbose_arg $ liberty_arg $ before_pos $ after_pos)
+    Term.(const run $ obs_term $ liberty_arg $ before_pos $ after_pos)
 
 (* ------------------------------------------------------------------ *)
 (* liberty                                                            *)

@@ -1,3 +1,8 @@
+module Log = Tka_obs.Log
+
+let log_src = Log.Src.create "liberty" ~doc:"Liberty-lite cell-library parser"
+let m_cells = Tka_obs.Metrics.Counter.make "liberty.cells_parsed"
+
 type t = { library_name : string; cells : Cell.t list }
 
 exception Parse_error of { line : int; message : string }
@@ -181,7 +186,18 @@ let parse_pin st =
       (match key with
       | "direction" -> direction := Some (str st key v)
       | "capacitance" -> capacitance := Some (num st key v)
-      | _ -> () (* tolerate unknown pin attributes *));
+      | _ ->
+        (* tolerated, but no longer silent *)
+        Log.warn log_src (fun m ->
+            m
+              ~fields:
+                [
+                  Log.int "line" st.lx.line;
+                  Log.str "pin" pname;
+                  Log.str "attribute" key;
+                ]
+              "line %d: ignoring unknown pin attribute %S on pin %s" st.lx.line
+              key pname));
       items ()
     | _ -> error st.lx "expected pin attribute or '}'"
   in
@@ -259,6 +275,7 @@ let parse_cell st =
   with Invalid_argument m -> error st.lx (Printf.sprintf "cell %s: %s" cname m)
 
 let parse src =
+  Tka_obs.Trace.with_span ~cat:"parse" "liberty.parse" @@ fun () ->
   let st = { lx = { src; pos = 0; line = 1 }; tok = Eof } in
   next st;
   (match st.tok with
@@ -283,6 +300,12 @@ let parse src =
   (match st.tok with
   | Eof -> ()
   | _ -> error st.lx "trailing content after library");
+  Tka_obs.Metrics.Counter.add m_cells (List.length !cells);
+  Log.info log_src (fun m ->
+      m
+        ~fields:
+          [ Log.str "library" library_name; Log.int "cells" (List.length !cells) ]
+        "parsed library %s: %d cells" library_name (List.length !cells));
   { library_name; cells = List.rev !cells }
 
 let parse_file path =

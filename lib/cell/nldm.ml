@@ -35,7 +35,10 @@ let segment axis x =
   let rec go i = if i >= n - 1 then n - 2 else if axis.(i + 1) > x then i else go (i + 1) in
   if x <= axis.(0) then 0 else go 0
 
+let m_lookups = Tka_obs.Metrics.Counter.make "nldm.lookups"
+
 let lookup t ~input_slew ~load =
+  Tka_obs.Metrics.Counter.incr m_lookups;
   let clamp axis x =
     if x < axis.(0) then axis.(0)
     else if x > axis.(Array.length axis - 1) then axis.(Array.length axis - 1)

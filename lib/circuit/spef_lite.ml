@@ -1,4 +1,10 @@
 module N = Netlist
+module Log = Tka_obs.Log
+
+let log_src = Log.Src.create "spef" ~doc:"SPEF-lite parasitics parser"
+let m_nets = Tka_obs.Metrics.Counter.make "spef.nets_annotated"
+let m_couplings = Tka_obs.Metrics.Counter.make "spef.couplings_parsed"
+let m_lines = Tka_obs.Metrics.Counter.make "spef.lines_parsed"
 
 exception Parse_error of { line : int; message : string }
 
@@ -38,6 +44,7 @@ type state = {
 let coupling_key a b = if String.compare a b <= 0 then (a, b) else (b, a)
 
 let parse src =
+  Tka_obs.Trace.with_span ~cat:"parse" "spef.parse" @@ fun () ->
   let st =
     {
       design = None;
@@ -93,12 +100,26 @@ let parse src =
         let cap = parse_float line_no "coupling cap" v in
         let key = coupling_key neta netb in
         (* keep the larger of duplicated listings *)
-        let prev = Option.value ~default:0. (Hashtbl.find_opt st.ccap key) in
-        Hashtbl.replace st.ccap key (Float.max prev cap)
+        (match Hashtbl.find_opt st.ccap key with
+        | Some prev ->
+          Log.warn log_src (fun m ->
+              m
+                ~fields:
+                  [
+                    Log.int "line" line_no;
+                    Log.str "net_a" (fst key);
+                    Log.str "net_b" (snd key);
+                    Log.float "kept_pf" (Float.max prev cap);
+                  ]
+                "line %d: coupling %s/%s listed twice, keeping the larger value"
+                line_no (fst key) (snd key));
+          Hashtbl.replace st.ccap key (Float.max prev cap)
+        | None -> Hashtbl.replace st.ccap key cap)
       | _, _ -> fail line_no "malformed *CAP entry")
     | w :: _ -> fail line_no "unexpected token %S" w
   in
-  List.iteri (fun i l -> handle (i + 1) l) (String.split_on_char '\n' src);
+  let lines = String.split_on_char '\n' src in
+  List.iteri (fun i l -> handle (i + 1) l) lines;
   if st.current <> None then fail 0 "unterminated *D_NET";
   let res_of net = Option.value ~default:0. (List.assoc_opt net st.res) in
   let ground =
@@ -109,6 +130,19 @@ let parse src =
     Hashtbl.fold (fun (a, b) cap acc -> (a, b, cap) :: acc) st.ccap []
     |> List.sort compare
   in
+  Tka_obs.Metrics.Counter.add m_lines (List.length lines);
+  Tka_obs.Metrics.Counter.add m_nets (List.length ground);
+  Tka_obs.Metrics.Counter.add m_couplings (List.length couplings);
+  Log.info log_src (fun m ->
+      m
+        ~fields:
+          [
+            Log.int "nets" (List.length ground);
+            Log.int "couplings" (List.length couplings);
+            Log.int "lines" (List.length lines);
+          ]
+        "parsed %d annotated nets, %d couplings" (List.length ground)
+        (List.length couplings));
   { design = st.design; ground; couplings }
 
 let parse_file path =

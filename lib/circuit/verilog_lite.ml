@@ -1,4 +1,9 @@
 module N = Netlist
+module Log = Tka_obs.Log
+
+let log_src = Log.Src.create "verilog" ~doc:"Verilog-lite structural parser"
+let m_modules = Tka_obs.Metrics.Counter.make "verilog.modules_parsed"
+let m_gates = Tka_obs.Metrics.Counter.make "verilog.gates_instantiated"
 
 exception Parse_error of { line : int; message : string }
 
@@ -210,7 +215,9 @@ let parse_modules src =
    "inst/" name prefixes. The top module is the one never instantiated
    (or the last module if all are instantiated). *)
 let parse ~lookup src =
+  Tka_obs.Trace.with_span ~cat:"parse" "verilog.parse" @@ fun () ->
   let ms = parse_modules src in
+  Tka_obs.Metrics.Counter.add m_modules (List.length ms);
   let fail line message = raise (Parse_error { line; message }) in
   let by_name = Hashtbl.create 8 in
   List.iter
@@ -230,8 +237,25 @@ let parse ~lookup src =
   let top =
     match List.filter (fun m -> not (Hashtbl.mem instantiated m.vm_name)) ms with
     | [ m ] -> m
-    | [] -> List.nth ms (List.length ms - 1)
-    | m :: _ -> m (* several roots: take the first *)
+    | [] ->
+      let m = List.nth ms (List.length ms - 1) in
+      Log.warn log_src (fun k ->
+          k
+            ~fields:[ Log.str "top" m.vm_name ]
+            "every module is instantiated somewhere; elaborating %S as top"
+            m.vm_name);
+      m
+    | m :: _ :: _ as roots ->
+      Log.warn log_src (fun k ->
+          k
+            ~fields:
+              [
+                Log.str "top" m.vm_name;
+                Log.int "roots" (List.length roots);
+              ]
+            "%d root modules; elaborating the first (%S) as top"
+            (List.length roots) m.vm_name);
+      m
   in
   let b = Builder.create ~name:top.vm_name () in
   let declared_outputs = ref [] in
@@ -310,7 +334,22 @@ let parse ~lookup src =
   in
   elaborate ~stack:[] ~prefix:"" ~port_map:[] top;
   List.iter (Builder.mark_output b) !declared_outputs;
-  try Builder.finalize b with Builder.Invalid msg -> fail top.vm_line msg
+  let nl =
+    try Builder.finalize b with Builder.Invalid msg -> fail top.vm_line msg
+  in
+  Tka_obs.Metrics.Counter.add m_gates (Array.length (N.gates nl));
+  Log.info log_src (fun k ->
+      k
+        ~fields:
+          [
+            Log.str "top" top.vm_name;
+            Log.int "modules" (List.length ms);
+            Log.int "gates" (Array.length (N.gates nl));
+            Log.int "nets" (N.num_nets nl);
+          ]
+        "elaborated %s: %d gates, %d nets" top.vm_name
+        (Array.length (N.gates nl)) (N.num_nets nl));
+  nl
 
 let parse_file ~lookup path =
   let ic = open_in_bin path in

@@ -10,9 +10,15 @@ module Envelope = Tka_waveform.Envelope
 module Transition = Tka_waveform.Transition
 module Pwl = Tka_waveform.Pwl
 
-let log_src = Logs.Src.create "tka.topk" ~doc:"top-k aggressor enumeration"
+module Log = Tka_obs.Log
+module Metrics = Tka_obs.Metrics
+module Trace = Tka_obs.Trace
 
-module Log = (val Logs.src_log log_src : Logs.LOG)
+let log_src = Log.Src.create "engine" ~doc:"top-k aggressor enumeration"
+let m_victims = Metrics.Counter.make "engine.victims_enumerated"
+let m_runs = Metrics.Counter.make "engine.runs"
+let g_runtime = Metrics.Gauge.make "engine.last_runtime_s"
+let h_victim_s = Metrics.Histogram.make "engine.victim_seconds"
 
 type mode = Addition | Elimination
 
@@ -59,9 +65,9 @@ let summaries_per_cardinality = 2
 
 let eps = 1e-9
 
-let compute ?config ?fixpoint ~mode topo =
-  let config = match config with Some c -> c | None -> default_config ~k:10 in
-  if config.k < 1 then invalid_arg "Engine.compute: k must be >= 1";
+let mode_name = function Addition -> "addition" | Elimination -> "elimination"
+
+let compute_body ~config ~fixpoint ~mode topo =
   let t_start = Sys.time () in
   let nl = Topo.netlist topo in
   let nn = N.num_nets nl in
@@ -366,14 +372,27 @@ let compute ?config ?fixpoint ~mode topo =
   (* Topological sweep                                               *)
   (* --------------------------------------------------------------- *)
   let po_entries : (N.net_id * Ilist.entry list array) list ref = ref [] in
+  let process v =
+    let ilists =
+      enumerate ~use_pseudo:config.use_pseudo
+        ~use_higher:config.use_higher_order ~upto:k v
+    in
+    summaries.(v) <- summary_of_ilists k ilists;
+    if (N.net nl v).N.is_output then po_entries := (v, ilists) :: !po_entries
+  in
   Array.iter
     (fun v ->
-      let ilists =
-        enumerate ~use_pseudo:config.use_pseudo
-          ~use_higher:config.use_higher_order ~upto:k v
-      in
-      summaries.(v) <- summary_of_ilists k ilists;
-      if (N.net nl v).N.is_output then po_entries := (v, ilists) :: !po_entries)
+      (* observability disabled: no span, no histogram, no clock reads *)
+      if Trace.is_enabled () || Metrics.is_enabled () then begin
+        Metrics.Counter.incr m_victims;
+        let t0 = Tka_obs.Clock.now_ns () in
+        Trace.with_span ~cat:"engine"
+          ~args:[ ("net", Tka_obs.Jsonx.Str (N.net nl v).N.net_name) ]
+          "engine.victim"
+          (fun () -> process v);
+        Metrics.Histogram.observe h_victim_s (Tka_obs.Clock.seconds_since t0)
+      end
+      else process v)
     (Topo.net_order topo);
 
   (* --------------------------------------------------------------- *)
@@ -385,6 +404,7 @@ let compute ?config ?fixpoint ~mode topo =
      score by the resulting circuit arrival, and keep the best few for
      exact re-ranking by the caller. *)
   let top =
+    Trace.with_span ~cat:"engine" "engine.sink_selection" @@ fun () ->
     Array.init (k + 1) (fun i ->
         if i = 0 then []
         else begin
@@ -476,11 +496,24 @@ let compute ?config ?fixpoint ~mode topo =
       end
     done);
   let res_runtime = Sys.time () -. t_start in
-  Log.debug (fun m ->
-      m "%s: k=%d %s in %.2fs (candidates=%d dominated=%d capped=%d)" (N.name nl)
-        k
-        (match mode with Addition -> "addition" | Elimination -> "elimination")
-        res_runtime stats.Ilist.candidates stats.Ilist.dominated stats.Ilist.capped);
+  Metrics.Counter.incr m_runs;
+  Metrics.Gauge.set g_runtime res_runtime;
+  Log.debug log_src (fun m ->
+      m
+        ~fields:
+          [
+            Log.str "circuit" (N.name nl);
+            Log.int "k" k;
+            Log.str "mode" (mode_name mode);
+            Log.float "runtime_s" res_runtime;
+            Log.int "candidates" stats.Ilist.candidates;
+            Log.int "dominance_checks" stats.Ilist.checks;
+            Log.int "dominated" stats.Ilist.dominated;
+            Log.int "capped" stats.Ilist.capped;
+          ]
+        "%s: k=%d %s in %.2fs (candidates=%d dominated=%d capped=%d)" (N.name nl)
+        k (mode_name mode) res_runtime stats.Ilist.candidates
+        stats.Ilist.dominated stats.Ilist.capped);
   {
     res_mode = mode;
     res_config = config;
@@ -491,6 +524,15 @@ let compute ?config ?fixpoint ~mode topo =
     res_noisy_delay = Iterate.circuit_delay fix;
     res_runtime;
   }
+
+let compute ?config ?fixpoint ~mode topo =
+  let config = match config with Some c -> c | None -> default_config ~k:10 in
+  if config.k < 1 then invalid_arg "Engine.compute: k must be >= 1";
+  Trace.with_span ~cat:"engine"
+    ~args:
+      [ ("mode", Tka_obs.Jsonx.Str (mode_name mode)); ("k", Tka_obs.Jsonx.Int config.k) ]
+    "engine.compute"
+    (fun () -> compute_body ~config ~fixpoint ~mode topo)
 
 let estimated_delay r i =
   if i < 0 || i >= Array.length r.res_per_k then

@@ -9,19 +9,38 @@ type stats = {
   mutable dominated : int;
   mutable duplicates : int;
   mutable capped : int;
+  mutable checks : int;
 }
 
-let fresh_stats () = { candidates = 0; dominated = 0; duplicates = 0; capped = 0 }
+let fresh_stats () =
+  { candidates = 0; dominated = 0; duplicates = 0; capped = 0; checks = 0 }
 
 let merge_stats acc s =
   acc.candidates <- acc.candidates + s.candidates;
   acc.dominated <- acc.dominated + s.dominated;
   acc.duplicates <- acc.duplicates + s.duplicates;
-  acc.capped <- acc.capped + s.capped
+  acc.capped <- acc.capped + s.capped;
+  acc.checks <- acc.checks + s.checks
 
 let default_capacity = 10
 
+(* Registry mirrors of the per-run stats record: the record stays the
+   cheap always-on API; the counters feed [--metrics-out] and the bench
+   summary. Updated once per [prune] call, not per candidate. *)
+module M = Tka_obs.Metrics
+
+let m_candidates = M.Counter.make "engine.candidate_sets"
+let m_dominated = M.Counter.make "engine.sets_pruned"
+let m_duplicates = M.Counter.make "engine.duplicate_sets"
+let m_capped = M.Counter.make "engine.capacity_evictions"
+let m_checks = M.Counter.make "engine.dominance_checks"
+
 let prune ?(capacity = default_capacity) ~interval ~stats entries =
+  let c0 = stats.candidates
+  and d0 = stats.dominated
+  and u0 = stats.duplicates
+  and p0 = stats.capped
+  and k0 = stats.checks in
   stats.candidates <- stats.candidates + List.length entries;
   (* dedupe identical coupling sets (same set => same envelope) *)
   let by_set = Hashtbl.create 32 in
@@ -64,7 +83,10 @@ let prune ?(capacity = default_capacity) ~interval ~stats entries =
         List.exists
           (fun (k, pk) ->
             pk >= pe -. Tka_util.Float_cmp.default_eps
-            && Dominance.dominates ~interval k.envelope e.envelope)
+            && begin
+                 stats.checks <- stats.checks + 1;
+                 Dominance.dominates ~interval k.envelope e.envelope
+               end)
           !kept
       in
       if dominated then stats.dominated <- stats.dominated + 1
@@ -73,10 +95,20 @@ let prune ?(capacity = default_capacity) ~interval ~stats entries =
   let kept = ref (List.map fst !kept) in
   let result = List.rev !kept in
   let n = List.length result in
-  if n > capacity then begin
-    stats.capped <- stats.capped + (n - capacity);
-    List.filteri (fun i _ -> i < capacity) result
-  end
-  else result
+  let result =
+    if n > capacity then begin
+      stats.capped <- stats.capped + (n - capacity);
+      List.filteri (fun i _ -> i < capacity) result
+    end
+    else result
+  in
+  if M.is_enabled () then begin
+    M.Counter.add m_candidates (stats.candidates - c0);
+    M.Counter.add m_dominated (stats.dominated - d0);
+    M.Counter.add m_duplicates (stats.duplicates - u0);
+    M.Counter.add m_capped (stats.capped - p0);
+    M.Counter.add m_checks (stats.checks - k0)
+  end;
+  result
 
 let best = function [] -> None | e :: _ -> Some e

@@ -24,6 +24,7 @@ type stats = {
   mutable dominated : int;  (** entries removed by dominance *)
   mutable duplicates : int;  (** identical coupling sets merged *)
   mutable capped : int;  (** entries dropped by the capacity bound *)
+  mutable checks : int;  (** pairwise dominance tests actually run *)
 }
 
 val fresh_stats : unit -> stats
@@ -41,7 +42,10 @@ val prune :
   entry list
 (** Deduplicate, sort by decreasing objective, drop dominated entries,
     enforce capacity. The result is the irredundant list (objective-
-    descending). *)
+    descending). When {!Tka_obs.Metrics} is enabled, the per-call stats
+    deltas are also accumulated into the [engine.*] registry counters
+    ([candidate_sets], [sets_pruned], [duplicate_sets],
+    [capacity_evictions], [dominance_checks]). *)
 
 val best : entry list -> entry option
 (** Highest objective (the head after {!prune}). *)

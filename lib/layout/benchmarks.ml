@@ -6,9 +6,9 @@ module Cell = Tka_cell.Cell
 module Lib = Tka_cell.Default_lib
 module Rng = Tka_util.Rng
 
-let log_src = Logs.Src.create "tka.layout" ~doc:"synthetic layout and benchmarks"
+module Log = Tka_obs.Log
 
-module Log = (val Logs.src_log log_src : Logs.LOG)
+let log_src = Log.Src.create "layout" ~doc:"synthetic layout and benchmarks"
 
 type spec = {
   sp_name : string;
@@ -168,8 +168,15 @@ let generate spec =
   let extracted = Coupling_extract.extract routing in
   let kept, available = Coupling_extract.trim ~target:spec.sp_couplings extracted in
   if available < spec.sp_couplings then
-    Log.warn (fun m ->
-        m "%s: extraction produced %d couplings, target was %d" spec.sp_name
+    Log.warn log_src (fun m ->
+        m
+          ~fields:
+            [
+              Log.str "circuit" spec.sp_name;
+              Log.int "extracted" available;
+              Log.int "target" spec.sp_couplings;
+            ]
+          "%s: extraction produced %d couplings, target was %d" spec.sp_name
           available spec.sp_couplings);
   let net_name id = (N.net logical id).N.net_name in
   let annotation =

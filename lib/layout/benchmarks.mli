@@ -22,7 +22,7 @@ type spec = {
 }
 
 val generate : spec -> Tka_circuit.Netlist.t
-(** Build the circuit. Logs a warning (library [tka.layout]) if
+(** Build the circuit. Logs a warning (source [layout]) if
     extraction yields fewer couplings than [sp_couplings]; the netlist
     then carries what was extracted. *)
 

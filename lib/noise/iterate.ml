@@ -2,9 +2,15 @@ module N = Tka_circuit.Netlist
 module Topo = Tka_circuit.Topo
 module Analysis = Tka_sta.Analysis
 
-let log_src = Logs.Src.create "tka.noise" ~doc:"iterative noise analysis"
+module Log = Tka_obs.Log
+module Metrics = Tka_obs.Metrics
+module Trace = Tka_obs.Trace
 
-module Log = (val Logs.src_log log_src : Logs.LOG)
+let log_src = Log.Src.create "iterate" ~doc:"iterative noise analysis"
+let m_runs = Metrics.Counter.make "iterate.runs"
+let m_passes = Metrics.Counter.make "iterate.passes"
+let m_non_converged = Metrics.Counter.make "iterate.non_converged"
+let g_residual = Metrics.Gauge.make "iterate.last_residual_ns"
 
 type mode = From_noiseless | From_all_overlap
 
@@ -18,6 +24,7 @@ type t = {
 
 let run ?(mode = From_noiseless) ?(active = fun _ -> true) ?(max_iterations = 30)
     ?(tolerance = 1e-4) topo =
+  Trace.with_span ~cat:"noise" "iterate.run" @@ fun () ->
   let nl = Topo.netlist topo in
   let nn = N.num_nets nl in
   let base = Analysis.run topo in
@@ -38,8 +45,14 @@ let run ?(mode = From_noiseless) ?(active = fun _ -> true) ?(max_iterations = 30
   let iterations = ref 0 in
   let converged = ref false in
   let analysis = ref base in
+  let residual = ref 0. in
   while (not !converged) && !iterations < max_iterations do
     incr iterations;
+    Metrics.Counter.incr m_passes;
+    Trace.with_span ~cat:"noise"
+      ~args:[ ("pass", Tka_obs.Jsonx.Int !iterations) ]
+      "iterate.pass"
+    @@ fun () ->
     let a = Analysis.run ~extra_lat:(fun nid -> noise.(nid)) topo in
     let w = Analysis.window a in
     let delta = ref 0. in
@@ -52,14 +65,35 @@ let run ?(mode = From_noiseless) ?(active = fun _ -> true) ?(max_iterations = 30
       noise.(v) <- fresh
     done;
     analysis := a;
+    residual := !delta;
+    Log.debug log_src (fun m ->
+        m
+          ~fields:
+            [
+              Log.str "circuit" (N.name nl);
+              Log.int "pass" !iterations;
+              Log.float "residual_ns" !delta;
+            ]
+          "%s: pass %d residual %.6f ns" (N.name nl) !iterations !delta);
     if !delta <= tolerance then converged := true
   done;
+  Metrics.Counter.incr m_runs;
+  Metrics.Gauge.set g_residual !residual;
   (* final STA consistent with the converged noise vector *)
   let final = Analysis.run ~extra_lat:(fun nid -> noise.(nid)) topo in
-  if not !converged then
-    Log.warn (fun m ->
-        m "noise iteration did not converge in %d sweeps on %s" max_iterations
-          (N.name nl));
+  if not !converged then begin
+    Metrics.Counter.incr m_non_converged;
+    Log.warn log_src (fun m ->
+        m
+          ~fields:
+            [
+              Log.str "circuit" (N.name nl);
+              Log.int "max_iterations" max_iterations;
+              Log.float "residual_ns" !residual;
+            ]
+          "noise iteration did not converge in %d sweeps on %s" max_iterations
+          (N.name nl))
+  end;
   { analysis = final; base; noise; iterations = !iterations; converged = !converged }
 
 let circuit_delay t = Analysis.circuit_delay t.analysis

@@ -39,8 +39,11 @@ val run :
   Tka_circuit.Topo.t ->
   t
 (** Defaults: [From_noiseless], all couplings active, at most 30
-    iterations, tolerance 1e-4 ns (0.1 ps). Logs (library [tka.noise]) a warning
-    if the iteration cap is hit before convergence. *)
+    iterations, tolerance 1e-4 ns (0.1 ps). Logs a warning (source
+    [iterate]) if the iteration cap is hit before convergence; each run
+    updates the [iterate.runs]/[iterate.passes] counters and the
+    [iterate.last_residual_ns] gauge when {!Tka_obs.Metrics} is
+    enabled. *)
 
 val circuit_delay : t -> float
 (** Max noisy LAT over primary outputs. *)

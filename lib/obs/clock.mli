@@ -1,0 +1,8 @@
+(** Monotonic clock shared by the observability layer (CLOCK_MONOTONIC
+    via the bechamel stubs — wall-time-independent, nanosecond
+    resolution). *)
+
+val now_ns : unit -> int64
+
+val seconds_since : int64 -> float
+(** [seconds_since t0] where [t0] came from {!now_ns}. *)

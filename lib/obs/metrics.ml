@@ -1,0 +1,193 @@
+(* The global switch is a plain bool ref read on every update: the
+   disabled path is one load + branch, no allocation. *)
+let enabled = ref false
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let with_enabled b f =
+  let prev = !enabled in
+  enabled := b;
+  Fun.protect ~finally:(fun () -> enabled := prev) f
+
+let with_disabled f = with_enabled false f
+
+module Counter0 = struct
+  type t = { c_name : string; mutable c_value : int }
+
+  let incr c = if !enabled then c.c_value <- c.c_value + 1
+  let add c n = if !enabled then c.c_value <- c.c_value + n
+  let value c = c.c_value
+  let name c = c.c_name
+end
+
+module Gauge0 = struct
+  (* the value lives in a flat float array so [set] never boxes *)
+  type t = { g_name : string; g_value : float array }
+
+  let set g v = if !enabled then g.g_value.(0) <- v
+  let value g = g.g_value.(0)
+  let name g = g.g_name
+end
+
+module Histogram0 = struct
+  type t = {
+    h_name : string;
+    h_buckets : float array;  (* upper bounds, strictly increasing *)
+    h_counts : int array;  (* length = buckets + 1 (overflow) *)
+    h_sum : float array;  (* single cell, flat so observe never boxes *)
+    mutable h_count : int;
+  }
+
+  let default_buckets =
+    [| 1e-6; 1e-5; 1e-4; 1e-3; 0.01; 0.03; 0.1; 0.3; 1.0; 3.0; 10.0 |]
+
+  let observe h x =
+    if !enabled then begin
+      let n = Array.length h.h_buckets in
+      let i = ref 0 in
+      while !i < n && x > h.h_buckets.(!i) do
+        incr i
+      done;
+      h.h_counts.(!i) <- h.h_counts.(!i) + 1;
+      h.h_sum.(0) <- h.h_sum.(0) +. x;
+      h.h_count <- h.h_count + 1
+    end
+
+  let count h = h.h_count
+  let sum h = h.h_sum.(0)
+  let buckets h = Array.copy h.h_buckets
+  let counts h = Array.copy h.h_counts
+  let name h = h.h_name
+end
+
+type metric =
+  | M_counter of Counter0.t
+  | M_gauge of Gauge0.t
+  | M_histogram of Histogram0.t
+
+type registry = { items : (string, metric) Hashtbl.t }
+
+let create_registry () = { items = Hashtbl.create 32 }
+let default_registry = create_registry ()
+
+let register reg name ~make ~cast =
+  match Hashtbl.find_opt reg.items name with
+  | Some m -> (
+    match cast m with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Tka_obs.Metrics: %S already registered with another kind"
+           name))
+  | None ->
+    let v, m = make () in
+    Hashtbl.replace reg.items name m;
+    v
+
+let counter_make ?(registry = default_registry) name =
+  register registry name
+    ~make:(fun () ->
+      let c = { Counter0.c_name = name; c_value = 0 } in
+      (c, M_counter c))
+    ~cast:(function M_counter c -> Some c | _ -> None)
+
+let gauge_make ?(registry = default_registry) name =
+  register registry name
+    ~make:(fun () ->
+      let g = { Gauge0.g_name = name; g_value = [| 0. |] } in
+      (g, M_gauge g))
+    ~cast:(function M_gauge g -> Some g | _ -> None)
+
+let histogram_make ?(registry = default_registry)
+    ?(buckets = Histogram0.default_buckets) name =
+  let ok = ref (Array.length buckets > 0) in
+  for i = 0 to Array.length buckets - 2 do
+    if buckets.(i) >= buckets.(i + 1) then ok := false
+  done;
+  if not !ok then
+    invalid_arg "Tka_obs.Metrics.Histogram.make: buckets must be strictly increasing";
+  register registry name
+    ~make:(fun () ->
+      let h =
+        {
+          Histogram0.h_name = name;
+          h_buckets = Array.copy buckets;
+          h_counts = Array.make (Array.length buckets + 1) 0;
+          h_sum = [| 0. |];
+          h_count = 0;
+        }
+      in
+      (h, M_histogram h))
+    ~cast:(function M_histogram h -> Some h | _ -> None)
+
+module Counter = struct
+  include Counter0
+
+  let make = counter_make
+end
+
+module Gauge = struct
+  include Gauge0
+
+  let make = gauge_make
+end
+
+module Histogram = struct
+  include Histogram0
+
+  let make = histogram_make
+end
+
+let find ?(registry = default_registry) name cast =
+  Option.bind (Hashtbl.find_opt registry.items name) cast
+
+let find_counter ?registry name =
+  find ?registry name (function M_counter c -> Some c | _ -> None)
+
+let find_gauge ?registry name =
+  find ?registry name (function M_gauge g -> Some g | _ -> None)
+
+let find_histogram ?registry name =
+  find ?registry name (function M_histogram h -> Some h | _ -> None)
+
+let reset ?(registry = default_registry) () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter c -> c.Counter0.c_value <- 0
+      | M_gauge g -> g.Gauge0.g_value.(0) <- 0.
+      | M_histogram h ->
+        Array.fill h.Histogram0.h_counts 0 (Array.length h.Histogram0.h_counts) 0;
+        h.Histogram0.h_sum.(0) <- 0.;
+        h.Histogram0.h_count <- 0)
+    registry.items
+
+let to_json ?(registry = default_registry) () =
+  let entry _ m acc =
+    let kv =
+      match m with
+      | M_counter c -> (c.Counter0.c_name, Jsonx.Int c.Counter0.c_value)
+      | M_gauge g -> (g.Gauge0.g_name, Jsonx.Float g.Gauge0.g_value.(0))
+      | M_histogram h ->
+        ( h.Histogram0.h_name,
+          Jsonx.Obj
+            [
+              ( "buckets",
+                Jsonx.List
+                  (Array.to_list (Array.map (fun b -> Jsonx.Float b) h.h_buckets))
+              );
+              ( "counts",
+                Jsonx.List
+                  (Array.to_list (Array.map (fun c -> Jsonx.Int c) h.h_counts)) );
+              ("sum", Jsonx.Float h.Histogram0.h_sum.(0));
+              ("count", Jsonx.Int h.Histogram0.h_count);
+            ] )
+    in
+    kv :: acc
+  in
+  Jsonx.Obj
+    (Hashtbl.fold entry registry.items []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let write_file ?registry path = Jsonx.write_file path (to_json ?registry ())

@@ -1,0 +1,89 @@
+(** Metrics registry: named counters, gauges and fixed-bucket
+    histograms with O(1) hot-path updates and JSON export.
+
+    Observability is {e off by default}: every update is guarded by a
+    single global flag, so instrumented hot paths (the enumeration
+    engine, the delay calculator) pay one boolean load and a branch —
+    and allocate nothing — when metrics are disabled. Enable with
+    {!set_enabled} (the CLI does this when [--metrics-out] is given).
+
+    Metrics register themselves in a {!registry} at creation; creating a
+    metric with an existing name in the same registry returns the
+    existing instance, so modules can declare their instruments at
+    toplevel without coordination. The default registry serialises as a
+    flat JSON object keyed by metric name (see
+    [docs/observability.md]). *)
+
+type registry
+
+val default_registry : registry
+val create_registry : unit -> registry
+
+val set_enabled : bool -> unit
+(** Global switch for all updates ([incr]/[add]/[set]/[observe]) in
+    every registry. Reads ({!Counter.value}, {!to_json}, ...) always
+    work. *)
+
+val is_enabled : unit -> bool
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run the thunk with the switch forced to the given value, restoring
+    the previous state afterwards (exception-safe). *)
+
+val with_disabled : (unit -> 'a) -> 'a
+(** [with_enabled false]: the zero-cost no-op scope. *)
+
+module Counter : sig
+  type t
+
+  val make : ?registry:registry -> string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?registry:registry -> string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+  val name : t -> string
+end
+
+module Histogram : sig
+  type t
+
+  val default_buckets : float array
+  (** Log-spaced 1e-6 .. 10 (seconds-flavoured). *)
+
+  val make : ?registry:registry -> ?buckets:float array -> string -> t
+  (** [buckets] are upper bounds, strictly increasing; an implicit
+      overflow bucket collects everything above the last bound. *)
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+  val sum : t -> float
+  val buckets : t -> float array
+  val counts : t -> int array
+  (** Per-bucket counts; length = [Array.length (buckets h) + 1] (the
+      last cell is the overflow bucket). *)
+
+  val name : t -> string
+end
+
+val find_counter : ?registry:registry -> string -> Counter.t option
+val find_gauge : ?registry:registry -> string -> Gauge.t option
+val find_histogram : ?registry:registry -> string -> Histogram.t option
+
+val reset : ?registry:registry -> unit -> unit
+(** Zero every metric in the registry (instruments stay registered). *)
+
+val to_json : ?registry:registry -> unit -> Jsonx.t
+(** Flat object, keys sorted: counters as integers, gauges as floats,
+    histograms as [{"buckets":[..],"counts":[..],"sum":s,"count":n}]. *)
+
+val write_file : ?registry:registry -> string -> unit
+(** Pretty-printed {!to_json} to [path]. *)

@@ -1,0 +1,93 @@
+let enabled = ref false
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_start_ns : int64;
+  sp_dur_ns : int64;
+  sp_depth : int;
+  sp_args : (string * Jsonx.t) list;
+}
+
+(* Session origin: timestamps are reported relative to the first event
+   so the viewer does not start at hours-since-boot. *)
+let origin : int64 option ref = ref None
+let recorded : span list ref = ref []
+let depth = ref 0
+
+let rel now =
+  match !origin with
+  | Some t0 -> Int64.sub now t0
+  | None ->
+    origin := Some now;
+    0L
+
+let clear () =
+  origin := None;
+  recorded := [];
+  depth := 0
+
+let record name cat args start_ns dur_ns d =
+  recorded :=
+    {
+      sp_name = name;
+      sp_cat = cat;
+      sp_start_ns = start_ns;
+      sp_dur_ns = dur_ns;
+      sp_depth = d;
+      sp_args = args;
+    }
+    :: !recorded
+
+let with_span ?(cat = "tka") ?(args = []) name f =
+  if not !enabled then f ()
+  else begin
+    let start = rel (Monotonic_clock.now ()) in
+    let d = !depth in
+    incr depth;
+    let finish () =
+      decr depth;
+      let stop = rel (Monotonic_clock.now ()) in
+      record name cat args start (Int64.sub stop start) d
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let instant ?(cat = "tka") ?(args = []) name =
+  if !enabled then
+    record name cat args (rel (Monotonic_clock.now ())) (-1L) !depth
+
+let spans () = List.rev !recorded
+
+let to_json () =
+  let us ns = Jsonx.Float (Int64.to_float ns /. 1e3) in
+  let event sp =
+    Jsonx.Obj
+      ([
+         ("name", Jsonx.Str sp.sp_name);
+         ("cat", Jsonx.Str sp.sp_cat);
+         ("ph", Jsonx.Str (if sp.sp_dur_ns < 0L then "i" else "X"));
+         ("ts", us sp.sp_start_ns);
+       ]
+      @ (if sp.sp_dur_ns < 0L then [ ("s", Jsonx.Str "t") ]
+         else [ ("dur", us sp.sp_dur_ns) ])
+      @ [ ("pid", Jsonx.Int 1); ("tid", Jsonx.Int 1) ]
+      @
+      match sp.sp_args with [] -> [] | args -> [ ("args", Jsonx.Obj args) ])
+  in
+  Jsonx.Obj
+    [
+      ("traceEvents", Jsonx.List (List.map event (spans ())));
+      ("displayTimeUnit", Jsonx.Str "ns");
+    ]
+
+let write_file path = Jsonx.write_file path (to_json ())

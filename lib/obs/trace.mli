@@ -1,0 +1,43 @@
+(** Span tracing on the monotonic clock, exported in Chrome's
+    [trace_event] format (load the dump at [chrome://tracing] or
+    [https://ui.perfetto.dev]).
+
+    {!with_span} scopes nest arbitrarily; each completed scope records a
+    complete ("ph":"X") event with microsecond timestamps relative to
+    the first event of the session. Disabled (the default), [with_span]
+    reduces to running its thunk — enable with {!set_enabled} (the CLI
+    does this when [--trace-out] is given). *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val with_span :
+  ?cat:string -> ?args:(string * Jsonx.t) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], timing it with the monotonic clock.
+    The span is recorded even when [f] raises. [cat] is the Chrome
+    trace category (default ["tka"]); [args] show up in the viewer's
+    detail pane. *)
+
+val instant : ?cat:string -> ?args:(string * Jsonx.t) list -> string -> unit
+(** A zero-duration marker ("ph":"i"). *)
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_start_ns : int64;  (** monotonic, relative to the session origin *)
+  sp_dur_ns : int64;  (** -1 for instants *)
+  sp_depth : int;  (** nesting depth at record time (0 = toplevel) *)
+  sp_args : (string * Jsonx.t) list;
+}
+
+val spans : unit -> span list
+(** Completed spans in completion order (children precede parents). *)
+
+val clear : unit -> unit
+(** Drop recorded spans and reset the session origin and depth. *)
+
+val to_json : unit -> Jsonx.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ns"}] — valid Chrome
+    trace; spans become "X" events on pid 1 / tid 1. *)
+
+val write_file : string -> unit

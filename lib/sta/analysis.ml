@@ -1,5 +1,10 @@
 module N = Tka_circuit.Netlist
 module Topo = Tka_circuit.Topo
+module Metrics = Tka_obs.Metrics
+module Trace = Tka_obs.Trace
+
+let m_runs = Metrics.Counter.make "sta.runs"
+let m_windows = Metrics.Counter.make "sta.arrival_windows"
 
 type t = {
   topo : Topo.t;
@@ -10,6 +15,8 @@ let default_input_arrival _ =
   Timing_window.point ~t50:0. ~slew:Delay_calc.default_input_slew
 
 let run ?(input_arrival = default_input_arrival) ?(extra_lat = fun _ -> 0.) topo =
+  Trace.with_span ~cat:"sta" "sta.arrival_propagation" @@ fun () ->
+  Metrics.Counter.incr m_runs;
   let nl = Topo.netlist topo in
   let nn = N.num_nets nl in
   let windows = Array.make nn (Timing_window.point ~t50:0. ~slew:1.) in
@@ -47,6 +54,7 @@ let run ?(input_arrival = default_input_arrival) ?(extra_lat = fun _ -> 0.) topo
       in
       windows.(nid) <- Timing_window.extend_lat (extra nid) w)
     (Topo.net_order topo);
+  Metrics.Counter.add m_windows nn;
   { topo; windows }
 
 let topo t = t.topo

@@ -1,12 +1,15 @@
 module N = Tka_circuit.Netlist
 module DM = Tka_cell.Delay_model
 
+let m_stage_delays = Tka_obs.Metrics.Counter.make "sta.stage_delay_calcs"
+
 let input_driver_resistance = 1.5
 let default_input_slew = 0.04
 
 let net_load nl nid = N.total_cap nl nid
 
 let stage_delay nl gid =
+  Tka_obs.Metrics.Counter.incr m_stage_delays;
   let g = N.gate nl gid in
   let out = g.N.fanout in
   let load = net_load nl out in

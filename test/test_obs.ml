@@ -1,0 +1,442 @@
+(* Tests for the observability layer (Tka_obs): structured logging,
+   metrics registry, span tracing and the minimal JSON codec. *)
+
+module J = Tka_obs.Jsonx
+module Log = Tka_obs.Log
+module Metrics = Tka_obs.Metrics
+module Trace = Tka_obs.Trace
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+let checks = check Alcotest.string
+let checkf msg = check (Alcotest.float 1e-9) msg
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_json =
+  J.Obj
+    [
+      ("null", J.Null);
+      ("flag", J.Bool true);
+      ("n", J.Int (-42));
+      ("x", J.Float 0.125);
+      ("s", J.Str "a \"quoted\"\nline\twith\\specials");
+      ("l", J.List [ J.Int 1; J.Float 2.5; J.Str "three"; J.Bool false ]);
+      ("o", J.Obj [ ("inner", J.List []) ]);
+    ]
+
+let test_json_roundtrip () =
+  let s = J.to_string sample_json in
+  checkb "compact is one line" true (not (String.contains s '\n' && s.[0] <> '"'));
+  check
+    (Alcotest.testable
+       (fun ppf v -> Format.pp_print_string ppf (J.to_string v))
+       ( = ))
+    "round-trip" sample_json
+    (J.of_string s);
+  (* pretty rendering parses back to the same value too *)
+  check
+    (Alcotest.testable
+       (fun ppf v -> Format.pp_print_string ppf (J.to_string v))
+       ( = ))
+    "pretty round-trip" sample_json
+    (J.of_string (J.to_string_pretty sample_json))
+
+let test_json_floats () =
+  checks "nan is null" "null" (J.to_string (J.Float Float.nan));
+  checks "inf is null" "null" (J.to_string (J.Float Float.infinity));
+  (* integer-valued floats keep a decimal point so they parse as floats *)
+  (match J.of_string (J.to_string (J.Float 3.0)) with
+  | J.Float f -> checkf "float stays float" 3.0 f
+  | _ -> Alcotest.fail "expected a float");
+  (* awkward doubles survive the printer *)
+  List.iter
+    (fun f ->
+      match J.of_string (J.to_string (J.Float f)) with
+      | J.Float f' -> check (Alcotest.float 0.) "exact" f f'
+      | _ -> Alcotest.fail "expected a float")
+    [ 0.1; 1. /. 3.; 1e-300; 6.02e23; -0.0012345678901234567 ]
+
+let test_json_errors () =
+  let bad s =
+    match J.of_string s with
+    | exception J.Parse_error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "should not parse: %s" s)
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1,}";
+  bad "tru";
+  bad "1 2";
+  bad "\"unterminated";
+  checkb "member hit" true (J.member "n" sample_json = Some (J.Int (-42)));
+  checkb "member miss" true (J.member "zzz" sample_json = None);
+  checkb "member non-obj" true (J.member "a" (J.Int 1) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Log                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f] with a buffer reporter and an isolated global level,
+   restoring the previous configuration afterwards. *)
+let with_capture ?(level = Some Log.Warn) f =
+  let saved = Log.global_level () in
+  let reporter, events = Log.buffer_reporter () in
+  Log.set_reporter reporter;
+  Log.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_reporter Log.nop_reporter;
+      Log.set_level saved)
+    (fun () -> f events)
+
+let test_log_levels () =
+  let src = Log.Src.create "test-levels" in
+  Log.Src.set_level src None;
+  with_capture ~level:(Some Log.Warn) (fun events ->
+      Log.debug src (fun m -> m "dropped debug");
+      Log.info src (fun m -> m "dropped info");
+      Log.warn src (fun m -> m "kept warn %d" 1);
+      Log.err src (fun m -> m "kept error");
+      let evs = events () in
+      checki "only warn+error pass at Warn" 2 (List.length evs);
+      checks "first is the warn" "kept warn 1" (List.nth evs 0).Log.ev_msg;
+      checkb "levels recorded" true
+        ((List.nth evs 0).Log.ev_level = Log.Warn
+        && (List.nth evs 1).Log.ev_level = Log.Error))
+
+let test_log_filtering_is_lazy () =
+  let src = Log.Src.create "test-lazy" in
+  Log.Src.set_level src None;
+  with_capture ~level:(Some Log.Error) (fun events ->
+      let touched = ref 0 in
+      Log.debug src (fun m ->
+          incr touched;
+          m "never formatted");
+      checki "disabled message never runs its closure" 0 !touched;
+      checki "nothing reported" 0 (List.length (events ())));
+  with_capture ~level:None (fun events ->
+      Log.err src (fun m -> m "even errors are off when level is None");
+      checki "None disables everything" 0 (List.length (events ())))
+
+let test_log_source_override () =
+  let noisy = Log.Src.create "test-noisy" in
+  let quiet = Log.Src.create "test-quiet" in
+  with_capture ~level:(Some Log.Warn) (fun events ->
+      Log.Src.set_level noisy (Some Log.Debug);
+      Log.Src.set_level quiet (Some Log.Error);
+      Log.debug noisy (fun m -> m "noisy debug passes");
+      Log.warn quiet (fun m -> m "quiet warn dropped");
+      Log.err quiet (fun m -> m "quiet error passes");
+      let evs = events () in
+      checki "override respected both ways" 2 (List.length evs);
+      checks "src recorded" "test-noisy" (List.nth evs 0).Log.ev_src;
+      Log.Src.set_level noisy None;
+      Log.Src.set_level quiet None)
+
+let test_log_set_from_string () =
+  let saved = Log.global_level () in
+  Fun.protect
+    ~finally:(fun () -> Log.set_level saved)
+    (fun () ->
+      (match Log.set_from_string "info,test-directive=debug" with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      checkb "global became info" true (Log.global_level () = Some Log.Info);
+      (* the per-source directive pre-registered the source *)
+      let src = Log.Src.create "test-directive" in
+      checkb "pending level applied" true (Log.Src.level src = Some Log.Debug);
+      checkb "enabled at debug" true (Log.enabled src Log.Debug);
+      Log.Src.set_level src None;
+      (match Log.set_from_string "nonsense-level" with
+      | Ok () -> Alcotest.fail "bogus level must not parse"
+      | Error _ -> ());
+      match Log.set_from_string "quiet" with
+      | Ok () -> checkb "quiet disables" true (Log.global_level () = None)
+      | Error m -> Alcotest.fail m)
+
+let test_log_fields_and_same_name () =
+  let a = Log.Src.create "test-same" in
+  let b = Log.Src.create "test-same" in
+  checkb "same name gives the same source" true (a == b);
+  with_capture ~level:(Some Log.Info) (fun events ->
+      Log.info a
+        (fun m ->
+          m
+            ~fields:[ Log.str "who" "x"; Log.int "n" 7; Log.float "f" 0.5;
+                      Log.bool "ok" true ]
+            "structured");
+      match events () with
+      | [ ev ] ->
+        checki "four fields" 4 (List.length ev.Log.ev_fields);
+        checkb "int field" true
+          (List.assoc "n" ev.Log.ev_fields = J.Int 7)
+      | evs -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length evs)))
+
+let test_ndjson_reporter () =
+  let path = Filename.temp_file "tka_obs" ".ndjson" in
+  let oc = open_out path in
+  let saved = Log.global_level () in
+  let src = Log.Src.create "test-ndjson" in
+  Log.set_reporter (Log.ndjson_reporter oc);
+  Log.set_level (Some Log.Info);
+  Log.info src (fun m -> m ~fields:[ Log.int "k" 3 ] "line one");
+  Log.warn src (fun m -> m "line two");
+  Log.set_reporter Log.nop_reporter;
+  Log.set_level saved;
+  close_out oc;
+  let ic = open_in path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  let j1 = J.of_string l1 and j2 = J.of_string l2 in
+  checkb "msg" true (J.member "msg" j1 = Some (J.Str "line one"));
+  checkb "level" true (J.member "level" j2 = Some (J.Str "warn"));
+  checkb "src" true (J.member "src" j1 = Some (J.Str "test-ndjson"));
+  checkb "field" true (J.member "k" j1 = Some (J.Int 3));
+  checkb "timestamp present" true (J.member "ts_ns" j1 <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_semantics () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.Counter.make ~registry:r "t.counter" in
+  Metrics.Counter.incr c;
+  checki "disabled incr is a no-op" 0 (Metrics.Counter.value c);
+  Metrics.with_enabled true (fun () ->
+      Metrics.Counter.incr c;
+      Metrics.Counter.add c 5);
+  checki "enabled updates apply" 6 (Metrics.Counter.value c);
+  let c' = Metrics.Counter.make ~registry:r "t.counter" in
+  Metrics.with_enabled true (fun () -> Metrics.Counter.incr c');
+  checki "same name is the same counter" 7 (Metrics.Counter.value c);
+  checkb "find_counter" true (Metrics.find_counter ~registry:r "t.counter" <> None);
+  checkb "find wrong kind" true (Metrics.find_gauge ~registry:r "t.counter" = None);
+  (match Metrics.Gauge.make ~registry:r "t.counter" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch must be rejected");
+  Metrics.reset ~registry:r ();
+  checki "reset zeroes" 0 (Metrics.Counter.value c)
+
+let test_gauge_semantics () =
+  let r = Metrics.create_registry () in
+  let g = Metrics.Gauge.make ~registry:r "t.gauge" in
+  Metrics.Gauge.set g 3.5;
+  checkf "disabled set is a no-op" 0.0 (Metrics.Gauge.value g);
+  Metrics.with_enabled true (fun () -> Metrics.Gauge.set g 3.5);
+  checkf "set applies" 3.5 (Metrics.Gauge.value g)
+
+let test_histogram_semantics () =
+  let r = Metrics.create_registry () in
+  let h = Metrics.Histogram.make ~registry:r ~buckets:[| 1.0; 2.0; 4.0 |] "t.h" in
+  Metrics.with_enabled true (fun () ->
+      List.iter (Metrics.Histogram.observe h) [ 0.5; 1.0; 1.5; 4.0; 100.0 ]);
+  (* bounds are inclusive upper bounds; the 4th cell is overflow *)
+  checkb "bucket counts" true
+    (Metrics.Histogram.counts h = [| 2; 1; 1; 1 |]);
+  checki "count" 5 (Metrics.Histogram.count h);
+  checkf "sum" 107.0 (Metrics.Histogram.sum h);
+  Metrics.with_disabled (fun () -> Metrics.Histogram.observe h 9.0);
+  checki "with_disabled suppresses" 5 (Metrics.Histogram.count h);
+  checkb "default buckets increase" true
+    (let b = Metrics.Histogram.default_buckets in
+     Array.for_all (fun x -> x > 0.) b
+     && Array.for_all
+          (fun i -> b.(i) < b.(i + 1))
+          (Array.init (Array.length b - 1) Fun.id))
+
+let test_metrics_json () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.Counter.make ~registry:r "a.count" in
+  let g = Metrics.Gauge.make ~registry:r "b.gauge" in
+  let h = Metrics.Histogram.make ~registry:r ~buckets:[| 1.0 |] "c.hist" in
+  Metrics.with_enabled true (fun () ->
+      Metrics.Counter.add c 3;
+      Metrics.Gauge.set g 1.25;
+      Metrics.Histogram.observe h 0.5;
+      Metrics.Histogram.observe h 2.0);
+  let j = Metrics.to_json ~registry:r () in
+  (* serialises compactly and parses back *)
+  let j' = J.of_string (J.to_string j) in
+  checkb "counter exported as int" true (J.member "a.count" j' = Some (J.Int 3));
+  checkb "gauge exported as float" true (J.member "b.gauge" j' = Some (J.Float 1.25));
+  (match J.member "c.hist" j' with
+  | Some hist ->
+    checkb "hist count" true (J.member "count" hist = Some (J.Int 2));
+    checkb "hist counts" true
+      (J.member "counts" hist = Some (J.List [ J.Int 1; J.Int 1 ]))
+  | None -> Alcotest.fail "histogram missing from export");
+  (* keys come out sorted *)
+  match j with
+  | J.Obj kvs ->
+    let keys = List.map fst kvs in
+    checkb "sorted keys" true (keys = List.sort compare keys)
+  | _ -> Alcotest.fail "expected an object"
+
+let test_metrics_noop_no_alloc () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.Counter.make ~registry:r "noalloc.count" in
+  let g = Metrics.Gauge.make ~registry:r "noalloc.gauge" in
+  let h = Metrics.Histogram.make ~registry:r "noalloc.hist" in
+  Metrics.set_enabled false;
+  (* warm up any one-time setup *)
+  Metrics.Counter.incr c;
+  Metrics.Gauge.set g 1.0;
+  Metrics.Histogram.observe h 1.0;
+  let v = 0.125 in
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Metrics.Counter.incr c;
+    Metrics.Counter.add c 2;
+    Metrics.Gauge.set g v;
+    Metrics.Histogram.observe h v
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* allow a few words of slack for the Gc.minor_words calls themselves *)
+  checkb
+    (Printf.sprintf "disabled hot path allocates nothing (saw %.0f words)"
+       allocated)
+    true (allocated < 256.)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_tracing f =
+  Trace.clear ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.clear ())
+    f
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      let result =
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span ~cat:"inner-cat" "inner" (fun () -> 21 * 2))
+      in
+      checki "value passes through" 42 result;
+      match Trace.spans () with
+      | [ inner; outer ] ->
+        checks "child completes first" "inner" inner.Trace.sp_name;
+        checks "parent last" "outer" outer.Trace.sp_name;
+        checki "child depth" 1 inner.Trace.sp_depth;
+        checki "parent depth" 0 outer.Trace.sp_depth;
+        checks "category" "inner-cat" inner.Trace.sp_cat;
+        checkb "durations non-negative" true
+          (inner.Trace.sp_dur_ns >= 0L && outer.Trace.sp_dur_ns >= 0L);
+        (* child interval nested inside the parent interval *)
+        checkb "child starts after parent" true
+          (inner.Trace.sp_start_ns >= outer.Trace.sp_start_ns);
+        checkb "child ends before parent" true
+          (Int64.add inner.Trace.sp_start_ns inner.Trace.sp_dur_ns
+          <= Int64.add outer.Trace.sp_start_ns outer.Trace.sp_dur_ns)
+      | spans ->
+        Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length spans)))
+
+let test_span_exception_safety () =
+  with_tracing (fun () ->
+      (match Trace.with_span "boom" (fun () -> failwith "expected") with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "exception must propagate");
+      (match Trace.spans () with
+      | [ s ] -> checks "span recorded despite raise" "boom" s.Trace.sp_name
+      | spans ->
+        Alcotest.fail (Printf.sprintf "expected 1 span, got %d" (List.length spans)));
+      (* the nesting depth unwound correctly *)
+      Trace.with_span "after" (fun () -> ());
+      match Trace.spans () with
+      | [ _; after ] -> checki "depth restored after raise" 0 after.Trace.sp_depth
+      | _ -> Alcotest.fail "expected 2 spans")
+
+let test_trace_disabled_is_identity () =
+  Trace.clear ();
+  Trace.set_enabled false;
+  let r = Trace.with_span "ghost" (fun () -> "ok") in
+  checks "thunk still runs" "ok" r;
+  Trace.instant "ghost-marker";
+  checki "nothing recorded when disabled" 0 (List.length (Trace.spans ()))
+
+let test_trace_json () =
+  with_tracing (fun () ->
+      Trace.with_span ~args:[ ("k", J.Int 5) ] "spanned" (fun () ->
+          Trace.instant "marker");
+      let j = J.of_string (J.to_string (Trace.to_json ())) in
+      match J.member "traceEvents" j with
+      | Some (J.List evs) ->
+        checki "two events" 2 (List.length evs);
+        let names =
+          List.filter_map (fun e -> J.member "name" e) evs
+          |> List.map (function J.Str s -> s | _ -> "?")
+        in
+        checkb "both named" true
+          (List.mem "spanned" names && List.mem "marker" names);
+        List.iter
+          (fun e ->
+            checkb "pid/tid present" true
+              (J.member "pid" e = Some (J.Int 1) && J.member "tid" e = Some (J.Int 1));
+            checkb "phase is X or i" true
+              (match J.member "ph" e with
+              | Some (J.Str ("X" | "i")) -> true
+              | _ -> false))
+          evs;
+        (* the complete event carries its args *)
+        let spanned =
+          List.find
+            (fun e -> J.member "name" e = Some (J.Str "spanned"))
+            evs
+        in
+        checkb "args preserved" true
+          (match J.member "args" spanned with
+          | Some a -> J.member "k" a = Some (J.Int 5)
+          | None -> false)
+      | _ -> Alcotest.fail "traceEvents missing")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "tka_obs"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "floats" `Quick test_json_floats;
+          Alcotest.test_case "errors and member" `Quick test_json_errors;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "level filtering" `Quick test_log_levels;
+          Alcotest.test_case "lazy formatting" `Quick test_log_filtering_is_lazy;
+          Alcotest.test_case "per-source override" `Quick test_log_source_override;
+          Alcotest.test_case "set_from_string" `Quick test_log_set_from_string;
+          Alcotest.test_case "fields + same-name sources" `Quick
+            test_log_fields_and_same_name;
+          Alcotest.test_case "ndjson reporter" `Quick test_ndjson_reporter;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_semantics;
+          Alcotest.test_case "gauge" `Quick test_gauge_semantics;
+          Alcotest.test_case "histogram" `Quick test_histogram_semantics;
+          Alcotest.test_case "json export" `Quick test_metrics_json;
+          Alcotest.test_case "no-op mode allocates nothing" `Quick
+            test_metrics_noop_no_alloc;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "disabled identity" `Quick
+            test_trace_disabled_is_identity;
+          Alcotest.test_case "chrome json" `Quick test_trace_json;
+        ] );
+    ]

@@ -12,7 +12,13 @@
      table2a  top-k elimination sweep  (Table 2(a) data semantics)
      table2b  top-k addition sweep     (Table 2(b) data semantics)
      figure10 delay vs k series for i1 and i10, both analyses
-     kernels  bechamel microbenchmarks of the core computational kernels *)
+     parallel sequential vs parallel engine sweep (speedup + determinism)
+     kernels  bechamel microbenchmarks of the core computational kernels
+
+   --jobs N (or TKA_JOBS) sizes the shared domain pool: the table2
+   sections run their per-circuit sweeps concurrently, and the engine /
+   brute force parallelise internally. Results are identical at any
+   jobs count; all runtimes are monotonic wall-clock seconds. *)
 
 module N = Tka_circuit.Netlist
 module Topo = Tka_circuit.Topo
@@ -26,8 +32,9 @@ module BF = Tka_topk.Brute_force
 module CS = Tka_topk.Coupling_set
 module Tt = Tka_util.Text_table
 module J = Tka_obs.Jsonx
+module Pool = Tka_parallel.Pool
 
-let wall = Unix.gettimeofday
+let wall () = Tka_obs.Clock.now_s ()
 
 (* Machine-readable results, accumulated as sections run and dumped to
    BENCH_topk.json at the end. *)
@@ -87,6 +94,11 @@ let parse_args () =
     | "--bf-budget" :: v :: rest ->
       o.bf_budget <- float_of_string v;
       go rest
+    | "--jobs" :: v :: rest ->
+      let j = int_of_string v in
+      if j < 1 then failwith "--jobs must be >= 1";
+      Pool.set_default_jobs j;
+      go rest
     | s :: rest when String.length s > 0 && s.[0] <> '-' ->
       o.sections <- o.sections @ [ s ];
       go rest
@@ -95,7 +107,10 @@ let parse_args () =
   go (List.tl (Array.to_list Sys.argv));
   if o.sections = [] then
     o.sections <-
-      [ "stats"; "table1"; "table2a"; "table2b"; "figure10"; "ablation"; "kernels" ];
+      [
+        "stats"; "table1"; "table2a"; "table2b"; "figure10"; "ablation";
+        "parallel"; "kernels";
+      ];
   o
 
 let section title =
@@ -276,39 +291,64 @@ let run_table2 o ~mode =
   section label;
   let delays = Tt.create ~headers:(delay_headers o anchor_left anchor_right) in
   let runtimes = Tt.create ~headers:(runtime_headers o) in
+  (* circuit generation is cached and shared, so populate the cache
+     sequentially before fanning the per-circuit sweeps out *)
+  List.iter (fun name -> ignore (circuit name)) o.circuits;
+  let compute name =
+    let _, topo = circuit name in
+    let kmax = List.fold_left max 1 o.ks in
+    (* one enumeration gives the sets for every cardinality *)
+    let t_enum = wall () in
+    let base_delay, noisy_delay, curve, stats =
+      match mode with
+      | Engine.Addition ->
+        let a = Addition.compute ~k:kmax topo in
+        ( Addition.noiseless_delay a,
+          Addition.all_aggressor_delay a,
+          Addition.evaluate_curve a ~ks:o.ks,
+          a.Addition.result.Engine.res_stats )
+      | Engine.Elimination ->
+        let e = Elimination.compute ~k:kmax topo in
+        ( Elimination.noiseless_delay e,
+          Elimination.all_aggressor_delay e,
+          Elimination.evaluate_curve e ~ks:o.ks,
+          e.Elimination.result.Engine.res_stats )
+    in
+    let enum_runtime = wall () -. t_enum in
+    let evaluate k =
+      match List.find_opt (fun (k', _, _) -> k' = k) curve with
+      | Some (_, _, d) -> d
+      | None -> (
+        match mode with
+        | Engine.Addition -> base_delay
+        | Engine.Elimination -> noisy_delay)
+    in
+    let ds = List.map (fun k -> (k, evaluate k)) o.ks in
+    (* runtime column: independent per-k enumerations, like the paper;
+       the all-aggressor fixpoint is shared so the figure is the
+       enumeration cost *)
+    let fixpoint = Iterate.run topo in
+    let per_k_runtime k =
+      let t0 = wall () in
+      ignore (Engine.compute ~config:(Engine.default_config ~k) ~fixpoint ~mode topo);
+      wall () -. t0
+    in
+    let per_k = List.map (fun k -> (k, per_k_runtime k)) o.runtime_ks in
+    Printf.printf "  [%s done]\n%!" name;
+    (name, base_delay, noisy_delay, ds, enum_runtime, stats, per_k)
+  in
+  (* The circuit sweeps run concurrently on the shared pool (the engine
+     inside each nests on the same pool); the rows are rendered from
+     the position-stable map result, so the report and the JSON are
+     identical at any jobs count. *)
+  let results =
+    Pool.map ~chunk:1 (Pool.get_default ()) compute (Array.of_list o.circuits)
+  in
   let capped = ref 0 in
   let jrows = ref [] in
-  List.iter
-    (fun name ->
-      let _, topo = circuit name in
-      let kmax = List.fold_left max 1 o.ks in
-      (* one enumeration gives the sets for every cardinality *)
-      let t_enum = wall () in
-      let base_delay, noisy_delay, curve, stats =
-        match mode with
-        | Engine.Addition ->
-          let a = Addition.compute ~k:kmax topo in
-          ( Addition.noiseless_delay a,
-            Addition.all_aggressor_delay a,
-            Addition.evaluate_curve a ~ks:o.ks,
-            a.Addition.result.Engine.res_stats )
-        | Engine.Elimination ->
-          let e = Elimination.compute ~k:kmax topo in
-          ( Elimination.noiseless_delay e,
-            Elimination.all_aggressor_delay e,
-            Elimination.evaluate_curve e ~ks:o.ks,
-            e.Elimination.result.Engine.res_stats )
-      in
-      let enum_runtime = wall () -. t_enum in
+  Array.iter
+    (fun (name, base_delay, noisy_delay, ds, enum_runtime, stats, per_k) ->
       capped := !capped + stats.Tka_topk.Ilist.capped;
-      let evaluate k =
-        match List.find_opt (fun (k', _, _) -> k' = k) curve with
-        | Some (_, _, d) -> d
-        | None -> (
-          match mode with
-          | Engine.Addition -> base_delay
-          | Engine.Elimination -> noisy_delay)
-      in
       let anchor_l, anchor_r =
         match mode with
         | Engine.Elimination -> (noisy_delay, base_delay)
@@ -316,18 +356,8 @@ let run_table2 o ~mode =
       in
       Tt.add_row delays
         ([ name; Tt.cell_f anchor_l ]
-        @ List.map (fun k -> Tt.cell_f (evaluate k)) o.ks
+        @ List.map (fun (_, d) -> Tt.cell_f d) ds
         @ [ Tt.cell_f anchor_r ]);
-      (* runtime column: independent per-k enumerations, like the paper;
-         the all-aggressor fixpoint is shared so the figure is the
-         enumeration cost *)
-      let fixpoint = Iterate.run topo in
-      let per_k_runtime k =
-        let t0 = wall () in
-        ignore (Engine.compute ~config:(Engine.default_config ~k) ~fixpoint ~mode topo);
-        wall () -. t0
-      in
-      let per_k = List.map (fun k -> (k, per_k_runtime k)) o.runtime_ks in
       Tt.add_row runtimes
         (name
         :: List.map (fun (_, rt) -> Tt.cell_f ~decimals:2 rt) per_k);
@@ -338,10 +368,8 @@ let run_table2 o ~mode =
             ("noiseless_delay_ns", J.Float base_delay);
             ("all_aggressor_delay_ns", J.Float noisy_delay);
             ( "delays_ns",
-              J.Obj
-                (List.map
-                   (fun k -> (string_of_int k, J.Float (evaluate k)))
-                   o.ks) );
+              J.Obj (List.map (fun (k, d) -> (string_of_int k, J.Float d)) ds)
+            );
             ("enumeration_runtime_s", J.Float enum_runtime);
             ( "per_k_runtime_s",
               J.Obj
@@ -349,9 +377,8 @@ let run_table2 o ~mode =
             );
             ("prune", json_stats stats);
           ]
-        :: !jrows;
-      Printf.printf "  [%s done]\n%!" name)
-    o.circuits;
+        :: !jrows)
+    results;
   json_add
     (match mode with
     | Engine.Elimination -> "table2a_elimination"
@@ -472,6 +499,67 @@ let run_ablation o =
   Printf.printf "circuit %s, top-%d addition analysis\n%s" name k (Tt.render t)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel speedup                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The same full engine sweep at jobs=1 and at the pool's configured
+   jobs (at least 2, so the parallel path is always exercised), with a
+   shared noise fixpoint so the figure is the enumeration itself. The
+   two results are cross-checked set by set — the determinism contract
+   of docs/parallelism.md — and the speedup lands in BENCH_topk.json. *)
+let run_parallel o =
+  let name = List.nth o.circuits (List.length o.circuits - 1) in
+  let jobs_before = Pool.default_jobs () in
+  let par_jobs = max 2 jobs_before in
+  let k = if o.quick then 5 else 10 in
+  section
+    (Printf.sprintf
+       "Parallel sweep: %s addition k=%d, jobs=1 vs jobs=%d" name k par_jobs);
+  let _, topo = circuit name in
+  let fixpoint = Iterate.run topo in
+  let run_at jobs =
+    Pool.set_default_jobs jobs;
+    let t0 = wall () in
+    let r =
+      Engine.compute ~config:(Engine.default_config ~k) ~fixpoint
+        ~mode:Engine.Addition topo
+    in
+    (wall () -. t0, r)
+  in
+  let t_seq, r_seq = run_at 1 in
+  let t_par, r_par = run_at par_jobs in
+  Pool.set_default_jobs jobs_before;
+  let same_choice a b =
+    match (a, b) with
+    | None, None -> true
+    | Some a, Some b ->
+      CS.to_list a.Engine.ch_set = CS.to_list b.Engine.ch_set
+      && a.Engine.ch_objective = b.Engine.ch_objective
+      && a.Engine.ch_sink = b.Engine.ch_sink
+    | _ -> false
+  in
+  let deterministic =
+    Array.for_all2 same_choice r_seq.Engine.res_per_k r_par.Engine.res_per_k
+  in
+  let speedup = t_seq /. Float.max t_par 1e-9 in
+  Printf.printf "  jobs=1: %.2f s   jobs=%d: %.2f s   speedup %.2fx\n" t_seq
+    par_jobs t_par speedup;
+  Printf.printf "  results identical across jobs: %s\n%!"
+    (if deterministic then "yes" else "NO (determinism violation!)");
+  if not deterministic then exit 1;
+  json_add "parallel"
+    (J.Obj
+       [
+         ("circuit", J.Str name);
+         ("k", J.Int k);
+         ("jobs", J.Int par_jobs);
+         ("t_seq_s", J.Float t_seq);
+         ("t_par_s", J.Float t_par);
+         ("speedup", J.Float speedup);
+         ("deterministic", J.Bool deterministic);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Kernels (bechamel)                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -552,6 +640,7 @@ let () =
       | "table2b" -> run_table2 o ~mode:Engine.Addition
       | "figure10" -> run_figure10 o
       | "ablation" -> run_ablation o
+      | "parallel" -> run_parallel o
       | "kernels" -> run_kernels ()
       | s -> failwith (Printf.sprintf "unknown section %S" s))
     o.sections;
@@ -561,6 +650,7 @@ let () =
       ([
          ("suite", J.Str "tka top-k aggressor benchmarks");
          ("quick", J.Bool o.quick);
+         ("jobs", J.Int (Pool.default_jobs ()));
          ("circuits", J.List (List.map (fun c -> J.Str c) o.circuits));
          ("sections", J.List (List.map (fun s -> J.Str s) o.sections));
        ]

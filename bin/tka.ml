@@ -40,6 +40,7 @@ type obs = {
   ob_log_json : string option;
   ob_metrics_out : string option;
   ob_trace_out : string option;
+  ob_jobs : int option;
 }
 
 let obs_term =
@@ -85,14 +86,42 @@ let obs_term =
              file to $(docv) when the command finishes (load it at \
              chrome://tracing or ui.perfetto.dev).")
   in
-  let make ob_verbose ob_log_level ob_log_json ob_metrics_out ob_trace_out =
-    { ob_verbose; ob_log_level; ob_log_json; ob_metrics_out; ob_trace_out }
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~env:(Cmd.Env.info "TKA_JOBS")
+          ~doc:
+            "Worker domains for the parallel engine sweep and brute-force \
+             baseline (default: the machine's recommended domain count minus \
+             one, at least 1). $(b,--jobs 1) forces the purely sequential \
+             path; results are identical at any value.")
   in
-  Term.(const make $ verbose $ log_level $ log_json $ metrics_out $ trace_out)
+  let make ob_verbose ob_log_level ob_log_json ob_metrics_out ob_trace_out
+      ob_jobs =
+    {
+      ob_verbose;
+      ob_log_level;
+      ob_log_json;
+      ob_metrics_out;
+      ob_trace_out;
+      ob_jobs;
+    }
+  in
+  Term.(
+    const make $ verbose $ log_level $ log_json $ metrics_out $ trace_out
+    $ jobs)
 
 (* Configure the observability stack, run [f], then dump the requested
    metrics/trace files (also on exceptions). *)
 let with_obs o f =
+  (match o.ob_jobs with
+  | None -> ()
+  | Some j when j >= 1 -> Tka_parallel.Pool.set_default_jobs j
+  | Some j ->
+    Printf.eprintf "tka: --jobs must be >= 1 (got %d)\n" j;
+    exit 2);
   Log.set_level (Some (if o.ob_verbose then Log.Info else Log.Warn));
   Log.set_from_env ();
   (match o.ob_log_level with

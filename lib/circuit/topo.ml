@@ -6,6 +6,7 @@ type t = {
   net_order : N.net_id array;
   levels : int array; (* per net *)
   max_level : int;
+  level_nets : N.net_id array array; (* per level, in net_order order *)
   fanin_memo : (N.net_id, bool array) Hashtbl.t;
 }
 
@@ -70,13 +71,34 @@ let create nl =
         levels.(nid) <- lv + 1)
     net_order;
   let max_level = Array.fold_left max 0 levels in
-  { nl; gate_order; net_order; levels; max_level; fanin_memo = Hashtbl.create 64 }
+  (* nets grouped by level, each group in net_order order: the unit of
+     the engine's level-synchronous parallel sweep *)
+  let counts = Array.make (max_level + 1) 0 in
+  Array.iter (fun nid -> counts.(levels.(nid)) <- counts.(levels.(nid)) + 1) net_order;
+  let level_nets = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make (max_level + 1) 0 in
+  Array.iter
+    (fun nid ->
+      let lv = levels.(nid) in
+      level_nets.(lv).(fill.(lv)) <- nid;
+      fill.(lv) <- fill.(lv) + 1)
+    net_order;
+  {
+    nl;
+    gate_order;
+    net_order;
+    levels;
+    max_level;
+    level_nets;
+    fanin_memo = Hashtbl.create 64;
+  }
 
 let netlist t = t.nl
 let gate_order t = t.gate_order
 let net_order t = t.net_order
 let net_level t nid = t.levels.(nid)
 let max_level t = t.max_level
+let level_nets t = t.level_nets
 
 let transitive_fanin t nid =
   match Hashtbl.find_opt t.fanin_memo nid with

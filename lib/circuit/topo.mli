@@ -24,6 +24,14 @@ val net_level : t -> Netlist.net_id -> int
 
 val max_level : t -> int
 
+val level_nets : t -> Netlist.net_id array array
+(** Nets grouped by logic depth: [(level_nets t).(l)] lists the nets of
+    level [l] in {!net_order} order. Because {!net_order} is produced by
+    a FIFO (Kahn) traversal it is level-monotone, so concatenating the
+    groups in increasing [l] reproduces {!net_order} exactly. A net's
+    fanin lies strictly below its own level, which is what makes a
+    level-synchronous parallel sweep safe (see [docs/parallelism.md]). *)
+
 val transitive_fanin : t -> Netlist.net_id -> bool array
 (** [transitive_fanin t n] has [true] at every net in the fanin cone of
     [n], including [n] itself. Computed on demand and memoised. *)

@@ -1,5 +1,7 @@
 module N = Tka_circuit.Netlist
 module Iterate = Tka_noise.Iterate
+module Pool = Tka_parallel.Pool
+module Clock = Tka_obs.Clock
 
 type outcome = {
   bf_set : Coupling_set.t option;
@@ -23,46 +25,79 @@ let binomial n k =
     go 1 1
   end
 
-(* Enumerate k-subsets of [0..n-1] in lexicographic order, calling
-   [visit] until it returns false (budget expired). *)
-let iter_subsets ~n ~k visit =
-  if k <= n && k > 0 then begin
-    let idx = Array.init k (fun i -> i) in
-    let continue_ = ref true in
-    let advance () =
-      (* find rightmost index that can move *)
-      let rec find i =
-        if i < 0 then false
-        else if idx.(i) < n - k + i then begin
-          idx.(i) <- idx.(i) + 1;
-          for j = i + 1 to k - 1 do
-            idx.(j) <- idx.(j - 1) + 1
-          done;
-          true
-        end
-        else find (i - 1)
-      in
-      find (k - 1)
+(* Combinatorial number system: the k-subset of [0..n-1] at position
+   [rank] of the lexicographic order. Element i is the smallest value
+   above its predecessor whose block of completions — C(n-1-v, k-1-i)
+   subsets — still contains the remaining rank. Used to hand each
+   domain a self-contained rank range. *)
+let subset_of_rank ~n ~k rank =
+  let idx = Array.make k 0 in
+  let r = ref rank in
+  let c = ref 0 in
+  for i = 0 to k - 1 do
+    let v = ref !c in
+    let rec skip () =
+      let block = binomial (n - 1 - !v) (k - 1 - i) in
+      if block <= !r then begin
+        r := !r - block;
+        incr v;
+        skip ()
+      end
     in
+    skip ();
+    idx.(i) <- !v;
+    c := !v + 1
+  done;
+  idx
+
+(* advance [idx] to the next k-subset in lexicographic order *)
+let advance ~n ~k idx =
+  let rec find i =
+    if i < 0 then false
+    else if idx.(i) < n - k + i then begin
+      idx.(i) <- idx.(i) + 1;
+      for j = i + 1 to k - 1 do
+        idx.(j) <- idx.(j - 1) + 1
+      done;
+      true
+    end
+    else find (i - 1)
+  in
+  find (k - 1)
+
+(* Enumerate [count] k-subsets of [0..n-1] in lexicographic order
+   starting at [rank], calling [visit] until it returns false (budget
+   expired) or the range is exhausted. *)
+let iter_subsets_from ~n ~k ~rank ~count visit =
+  if k <= n && k > 0 && count > 0 then begin
+    let idx = subset_of_rank ~n ~k rank in
+    let remaining = ref count in
+    let continue_ = ref true in
     let running = ref true in
-    while !running && !continue_ do
+    while !running && !continue_ && !remaining > 0 do
       continue_ := visit (Array.to_list idx);
-      if !continue_ then running := advance ()
+      decr remaining;
+      if !continue_ && !remaining > 0 then running := advance ~n ~k idx
     done
   end
 
-let clock = Unix.gettimeofday
+(* Best-so-far fold shared by both paths: a candidate replaces the
+   incumbent only when strictly better, so the winner is the
+   lexicographically first subset achieving the optimal delay. *)
+let consider ~better best set d =
+  match !best with
+  | Some (_, bd) when not (better d bd) -> ()
+  | Some _ | None -> best := Some (set, d)
 
-let run ~budget_s ~k ~better ~delay_of topo =
-  let nl = Tka_circuit.Topo.netlist topo in
-  let n = 2 * N.num_couplings nl in
-  let total = binomial n k in
-  let t0 = clock () in
+(* One domain's share: scan ranks [rank, rank + count), tracking the
+   local best / evaluation count / completion under the shared wall
+   clock deadline. Pure apart from [delay_of] (itself pure). *)
+let scan_range ~t0 ~budget_s ~n ~k ~better ~delay_of (rank, count) =
   let best = ref None in
   let evaluated = ref 0 in
   let completed = ref true in
-  iter_subsets ~n ~k (fun ids ->
-      if clock () -. t0 > budget_s then begin
+  iter_subsets_from ~n ~k ~rank ~count (fun ids ->
+      if Clock.now_s () -. t0 > budget_s then begin
         completed := false;
         false
       end
@@ -70,23 +105,65 @@ let run ~budget_s ~k ~better ~delay_of topo =
         let set = Coupling_set.of_list ids in
         let d = delay_of set in
         incr evaluated;
-        (match !best with
-        | Some (_, bd) when not (better d bd) -> ()
-        | Some _ | None -> best := Some (set, d));
+        consider ~better best set d;
         true
       end);
+  (!best, !evaluated, !completed)
+
+let run ~budget_s ~k ~better ~delay_of topo =
+  let nl = Tka_circuit.Topo.netlist topo in
+  let n = 2 * N.num_couplings nl in
+  let total = binomial n k in
+  let t0 = Clock.now_s () in
+  let pool = Pool.get_default () in
+  let jobs = Pool.size pool in
+  (* The rank-range split needs an exact [total] (no overflow
+     saturation) and only pays off with work to share. *)
+  let use_parallel = jobs > 1 && total < max_int && total >= 2 * jobs in
+  let best, evaluated, completed =
+    if not use_parallel then
+      scan_range ~t0 ~budget_s ~n ~k ~better ~delay_of (0, total)
+    else begin
+      let per = max 1 (total / (jobs * 4)) in
+      let chunks =
+        let rec build rank acc =
+          if rank >= total then List.rev acc
+          else build (rank + per) ((rank, min per (total - rank)) :: acc)
+        in
+        Array.of_list (build 0 [])
+      in
+      let results =
+        Pool.map ~chunk:1 pool
+          (scan_range ~t0 ~budget_s ~n ~k ~better ~delay_of)
+          chunks
+      in
+      (* Ordered reduction in rank order: merging local bests with the
+         same strictly-better rule reproduces the sequential scan's
+         winner bit for bit when the enumeration completes. *)
+      Array.fold_left
+        (fun (b, ev, comp) (cb, cev, ccomp) ->
+          let b =
+            match (b, cb) with
+            | None, x | x, None -> x
+            | Some (_, bd), Some (cs, cd) ->
+              if better cd bd then Some (cs, cd) else b
+          in
+          (b, ev + cev, comp && ccomp))
+        (None, 0, true) results
+    end
+  in
   let bf_set, bf_delay =
-    match !best with
+    match best with
     | Some (s, d) -> (Some s, d)
     | None -> (None, Float.nan)
   in
   {
     bf_set;
     bf_delay;
-    bf_evaluated = !evaluated;
+    bf_evaluated = evaluated;
     bf_total = total;
-    bf_completed = !completed;
-    bf_runtime = clock () -. t0;
+    bf_completed = completed;
+    bf_runtime = Clock.now_s () -. t0;
   }
 
 let addition ?(budget_s = 60.) ~k topo =

@@ -6,7 +6,15 @@
     proposed algorithm is validated against. Complexity is binomial, so
     a wall-clock budget aborts the enumeration exactly as the paper's
     1800-second cutoff did (they could not complete [k > 3] on the
-    smallest benchmark). *)
+    smallest benchmark).
+
+    When the shared {!Tka_parallel.Pool} has more than one domain the
+    enumeration is partitioned into lexicographic rank ranges (via the
+    combinatorial number system) scanned concurrently and merged by an
+    ordered reduction, so a completed run returns exactly the subset the
+    sequential scan would — the lexicographically first one achieving
+    the optimal delay — at any jobs count. Runtimes are monotonic
+    wall-clock seconds ({!Tka_obs.Clock}). *)
 
 type outcome = {
   bf_set : Coupling_set.t option;  (** best subset found, [None] if none finished *)

@@ -68,7 +68,7 @@ let eps = 1e-9
 let mode_name = function Addition -> "addition" | Elimination -> "elimination"
 
 let compute_body ~config ~fixpoint ~mode topo =
-  let t_start = Sys.time () in
+  let t_start = Tka_obs.Clock.now_ns () in
   let nl = Topo.netlist topo in
   let nn = N.num_nets nl in
   let k = config.k in
@@ -81,7 +81,15 @@ let compute_body ~config ~fixpoint ~mode topo =
   let noisy_lat v = (noisy_w v).TW.lat in
   let stats = Ilist.fresh_stats () in
   let summaries : summary array = Array.make nn [||] in
-  let direct_memo : (int, summary) Hashtbl.t = Hashtbl.create 64 in
+  (* Memoised direct-only summaries of nets NOT upstream of the victim
+     requesting them. Shared across the sweep; the mutex only guards
+     table access — the enumeration itself runs outside it, and a lost
+     insertion race recomputes a value that is identical by purity, so
+     results stay deterministic at any jobs count. The stats recorded
+     by the winning insertion are folded into the run totals at the end
+     (in net-id order, also deterministic). *)
+  let direct_memo : (int, summary * Ilist.stats) Hashtbl.t = Hashtbl.create 64 in
+  let memo_mutex = Mutex.create () in
 
   (* The victim's latest transition, anchored at the noiseless arrival:
      objectives measure noise added to / removed from the noiseless
@@ -108,7 +116,8 @@ let compute_body ~config ~fixpoint ~mode topo =
                  (e.Ilist.couplings, e.Ilist.objective)))
   in
 
-  let rec enumerate ~use_pseudo ~use_higher ~upto v : Ilist.entry list array =
+  let rec enumerate ~stats ~use_pseudo ~use_higher ~upto ~level v :
+      Ilist.entry list array =
     let all_primaries = CN.aggressors_of_victim nl v in
     let victim = victim_tr v in
     let interval = Dominance.interval ~victim in
@@ -280,7 +289,7 @@ let compute_body ~config ~fixpoint ~mode topo =
         List.concat_map
           (fun (d : CN.directed) ->
             let a = d.CN.dc_aggressor in
-            let s = summary_of_aggressor a in
+            let s = summary_of_aggressor ~level a in
             let t = i - 1 in
             let sums =
               match (if Array.length s > t then s.(t) else []) with
@@ -353,47 +362,104 @@ let compute_body ~config ~fixpoint ~mode topo =
     ilists
 
   (* Best sets attacking an aggressor net: the full summary when the
-     net was already processed (it precedes the victim topologically),
-     otherwise a memoised direct-aggressors-only enumeration. *)
-  and summary_of_aggressor a : summary =
-    if Array.length summaries.(a) > 0 then summaries.(a)
-    else
-      match Hashtbl.find_opt direct_memo a with
-      | Some s -> s
+     net lies at a strictly lower level than the requesting victim (it
+     is then guaranteed published, both in the sequential sweep and at
+     a level barrier of the parallel one), otherwise a memoised
+     direct-aggressors-only enumeration. The rule depends only on
+     levels — not on how far the sweep has progressed — so every jobs
+     count makes identical decisions. *)
+  and summary_of_aggressor ~level a : summary =
+    if Topo.net_level topo a < level && Array.length summaries.(a) > 0 then
+      summaries.(a)
+    else begin
+      Mutex.lock memo_mutex;
+      let hit = Hashtbl.find_opt direct_memo a in
+      Mutex.unlock memo_mutex;
+      match hit with
+      | Some (s, _) -> s
       | None ->
         let upto = max 0 (k - 1) in
-        let ilists = enumerate ~use_pseudo:false ~use_higher:false ~upto a in
+        let st = Ilist.fresh_stats () in
+        let ilists =
+          enumerate ~stats:st ~use_pseudo:false ~use_higher:false ~upto
+            ~level:(Topo.net_level topo a) a
+        in
         let s = summary_of_ilists upto ilists in
-        Hashtbl.replace direct_memo a s;
+        Mutex.lock memo_mutex;
+        let s =
+          match Hashtbl.find_opt direct_memo a with
+          | Some (s', _) -> s'
+          | None ->
+            Hashtbl.replace direct_memo a (s, st);
+            s
+        in
+        Mutex.unlock memo_mutex;
         s
+    end
   in
 
   (* --------------------------------------------------------------- *)
   (* Topological sweep                                               *)
   (* --------------------------------------------------------------- *)
-  let po_entries : (N.net_id * Ilist.entry list array) list ref = ref [] in
+  (* Each victim writes only its own slots; nothing else is shared
+     between the nets of one level (see the safety argument in
+     docs/parallelism.md). *)
+  let victim_stats : Ilist.stats option array = Array.make nn None in
+  let out_ilists : Ilist.entry list array option array = Array.make nn None in
   let process v =
+    let st = Ilist.fresh_stats () in
     let ilists =
-      enumerate ~use_pseudo:config.use_pseudo
-        ~use_higher:config.use_higher_order ~upto:k v
+      enumerate ~stats:st ~use_pseudo:config.use_pseudo
+        ~use_higher:config.use_higher_order ~upto:k
+        ~level:(Topo.net_level topo v) v
     in
     summaries.(v) <- summary_of_ilists k ilists;
-    if (N.net nl v).N.is_output then po_entries := (v, ilists) :: !po_entries
+    victim_stats.(v) <- Some st;
+    if (N.net nl v).N.is_output then out_ilists.(v) <- Some ilists
   in
+  let instrumented v =
+    (* observability disabled: no span, no histogram, no clock reads *)
+    if Trace.is_enabled () || Metrics.is_enabled () then begin
+      Metrics.Counter.incr m_victims;
+      let t0 = Tka_obs.Clock.now_ns () in
+      Trace.with_span ~cat:"engine"
+        ~args:[ ("net", Tka_obs.Jsonx.Str (N.net nl v).N.net_name) ]
+        "engine.victim"
+        (fun () -> process v);
+      Metrics.Histogram.observe h_victim_s (Tka_obs.Clock.seconds_since t0)
+    end
+    else process v
+  in
+  let pool = Tka_parallel.Pool.get_default () in
+  if Tka_parallel.Pool.size pool <= 1 then
+    Array.iter instrumented (Topo.net_order topo)
+  else
+    (* Level-synchronous sweep: a net only reads summaries of strictly
+       lower levels, all published before its level starts (the pool
+       call is the barrier between levels). *)
+    Array.iter
+      (fun nets -> Tka_parallel.Pool.iter ~chunk:1 pool instrumented nets)
+      (Topo.level_nets topo);
+  (* Deterministic totals: per-victim records merged in net order, then
+     the memoised direct enumerations in net-id order. All fields are
+     sums, so the totals equal the sequential single-record run. *)
   Array.iter
     (fun v ->
-      (* observability disabled: no span, no histogram, no clock reads *)
-      if Trace.is_enabled () || Metrics.is_enabled () then begin
-        Metrics.Counter.incr m_victims;
-        let t0 = Tka_obs.Clock.now_ns () in
-        Trace.with_span ~cat:"engine"
-          ~args:[ ("net", Tka_obs.Jsonx.Str (N.net nl v).N.net_name) ]
-          "engine.victim"
-          (fun () -> process v);
-        Metrics.Histogram.observe h_victim_s (Tka_obs.Clock.seconds_since t0)
-      end
-      else process v)
+      match victim_stats.(v) with
+      | Some st -> Ilist.merge_stats stats st
+      | None -> ())
     (Topo.net_order topo);
+  Hashtbl.fold (fun a (_, st) acc -> (a, st) :: acc) direct_memo []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (_, st) -> Ilist.merge_stats stats st);
+  (* Prepending in net order reproduces the processing-order prepends of
+     the sequential sweep, keeping sink-selection tie-breaks unchanged. *)
+  let po_entries =
+    Array.fold_left
+      (fun acc v ->
+        match out_ilists.(v) with Some il -> (v, il) :: acc | None -> acc)
+      [] (Topo.net_order topo)
+  in
 
   (* --------------------------------------------------------------- *)
   (* Sink selection                                                  *)
@@ -433,7 +499,7 @@ let compute_body ~config ~fixpoint ~mode topo =
                         ch_sink = po;
                       } ))
                   ilists.(i))
-              !po_entries
+              po_entries
           in
           let sorted =
             List.stable_sort
@@ -495,7 +561,7 @@ let compute_body ~config ~fixpoint ~mode topo =
         | None -> ())
       end
     done);
-  let res_runtime = Sys.time () -. t_start in
+  let res_runtime = Tka_obs.Clock.seconds_since t_start in
   Metrics.Counter.incr m_runs;
   Metrics.Gauge.set g_runtime res_runtime;
   Log.debug log_src (fun m ->

@@ -56,7 +56,9 @@ type result = {
   res_stats : Ilist.stats;
   res_noiseless_delay : float;
   res_noisy_delay : float;  (** all-aggressor fixpoint delay *)
-  res_runtime : float;  (** CPU seconds for the enumeration *)
+  res_runtime : float;
+      (** monotonic wall-clock seconds for the enumeration
+          ({!Tka_obs.Clock}) *)
 }
 
 val compute :
@@ -68,7 +70,12 @@ val compute :
 (** Run the enumeration. [config] defaults to [default_config ~k:10].
     [fixpoint] supplies a precomputed all-aggressor iterative analysis
     of the same topology (it is recomputed otherwise); callers sweeping
-    k share it so the measured runtime is the enumeration itself. *)
+    k share it so the measured runtime is the enumeration itself.
+
+    When the shared {!Tka_parallel.Pool} has more than one domain the
+    topological sweep runs level-synchronously in parallel; results —
+    sets, objectives and [res_stats] — are bit-identical at any jobs
+    count (see [docs/parallelism.md]). *)
 
 val estimated_delay : result -> int -> float
 (** [estimated_delay r i]: the circuit delay the engine predicts for

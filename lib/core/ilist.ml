@@ -41,12 +41,12 @@ let prune ?(capacity = default_capacity) ~interval ~stats entries =
   and u0 = stats.duplicates
   and p0 = stats.capped
   and k0 = stats.checks in
-  stats.candidates <- stats.candidates + List.length entries;
   (* dedupe identical coupling sets (same set => same envelope) *)
   let by_set = Hashtbl.create 32 in
   let deduped =
     List.filter
       (fun e ->
+        stats.candidates <- stats.candidates + 1;
         let key = Coupling_set.to_list e.couplings in
         if Hashtbl.mem by_set key then begin
           stats.duplicates <- stats.duplicates + 1;
@@ -58,50 +58,69 @@ let prune ?(capacity = default_capacity) ~interval ~stats entries =
         end)
       entries
   in
-  let sorted =
-    List.stable_sort (fun a b -> Float.compare b.objective a.objective) deduped
-  in
+  (* One objective-descending sort into an array (index tie-break keeps
+     the sort stable); every later step indexes this array instead of
+     re-walking lists. *)
+  let arr = Array.of_list deduped in
+  let n = Array.length arr in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c = Float.compare arr.(j).objective arr.(i).objective in
+      if c <> 0 then c else Int.compare i j)
+    order;
   (* Prescreen: entries far down the objective order cannot enter the
      capacity-bounded result, and the pairwise dominance scan on large
      PWL envelopes is the expensive part — truncate first (counted as
      capped, never silent). *)
   let prescreen = 3 * capacity in
-  let sorted, prescreened =
-    let n = List.length sorted in
-    if n <= prescreen then (sorted, 0)
-    else (List.filteri (fun i _ -> i < prescreen) sorted, n - prescreen)
+  let scan_n =
+    if n <= prescreen then n
+    else begin
+      stats.capped <- stats.capped + (n - prescreen);
+      prescreen
+    end
   in
-  stats.capped <- stats.capped + prescreened;
   (* Objective-descending scan: an entry can only be dominated by one
      with an objective at least as large (Theorem 1), i.e. by an entry
-     already kept. A peak comparison cheaply rules out most pairs. *)
-  let kept = ref [] in
-  List.iter
-    (fun e ->
-      let pe = Tka_waveform.Envelope.peak e.envelope in
-      let dominated =
-        List.exists
-          (fun (k, pk) ->
-            pk >= pe -. Tka_util.Float_cmp.default_eps
-            && begin
-                 stats.checks <- stats.checks + 1;
-                 Dominance.dominates ~interval k.envelope e.envelope
-               end)
-          !kept
-      in
-      if dominated then stats.dominated <- stats.dominated + 1
-      else kept := (e, pe) :: !kept)
-    sorted;
-  let kept = ref (List.map fst !kept) in
-  let result = List.rev !kept in
-  let n = List.length result in
-  let result =
-    if n > capacity then begin
-      stats.capped <- stats.capped + (n - capacity);
-      List.filteri (fun i _ -> i < capacity) result
+     already kept. The peak of each envelope is computed once up front
+     and reused as the cheap prefilter ruling out most pairs. *)
+  let kept = if scan_n = 0 then [||] else Array.make scan_n arr.(order.(0)) in
+  let kept_peak = Array.make scan_n 0. in
+  let kept_n = ref 0 in
+  let eps = Tka_util.Float_cmp.default_eps in
+  for oi = 0 to scan_n - 1 do
+    let e = arr.(order.(oi)) in
+    let pe = Tka_waveform.Envelope.peak e.envelope in
+    let dominated = ref false in
+    let ki = ref (!kept_n - 1) in
+    (* kept is scanned newest-first, matching the prepend-list scan *)
+    while (not !dominated) && !ki >= 0 do
+      if
+        kept_peak.(!ki) >= pe -. eps
+        && begin
+             stats.checks <- stats.checks + 1;
+             Dominance.dominates ~interval kept.(!ki).envelope e.envelope
+           end
+      then dominated := true
+      else decr ki
+    done;
+    if !dominated then stats.dominated <- stats.dominated + 1
+    else begin
+      kept.(!kept_n) <- e;
+      kept_peak.(!kept_n) <- pe;
+      incr kept_n
     end
-    else result
+  done;
+  let kn = !kept_n in
+  let take =
+    if kn > capacity then begin
+      stats.capped <- stats.capped + (kn - capacity);
+      capacity
+    end
+    else kn
   in
+  let result = Array.to_list (Array.sub kept 0 take) in
   if M.is_enabled () then begin
     M.Counter.add m_candidates (stats.candidates - c0);
     M.Counter.add m_dominated (stats.dominated - d0);

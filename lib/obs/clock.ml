@@ -1,2 +1,3 @@
 let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 let seconds_since t0 = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9

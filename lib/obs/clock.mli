@@ -1,8 +1,16 @@
 (** Monotonic clock shared by the observability layer (CLOCK_MONOTONIC
     via the bechamel stubs — wall-time-independent, nanosecond
-    resolution). *)
+    resolution).
+
+    This is also the clock every runtime figure in the repo is measured
+    with: [Sys.time] reports {e CPU} time summed across domains, which
+    inflates under the parallel sweep, and [Unix.gettimeofday] can jump
+    with wall-clock adjustments. *)
 
 val now_ns : unit -> int64
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. Only differences are meaningful. *)
 
 val seconds_since : int64 -> float
 (** [seconds_since t0] where [t0] came from {!now_ns}. *)

@@ -1,32 +1,40 @@
-(* The global switch is a plain bool ref read on every update: the
-   disabled path is one load + branch, no allocation. *)
-let enabled = ref false
+(* The global switch is an atomic bool read on every update: the
+   disabled path is one load + branch, no allocation. Instruments are
+   Atomic-based so concurrent updates from pool domains (the parallel
+   engine sweep) never race or under-count; the enabled fast path costs
+   one fetch-and-add (counters) or a CAS loop (float accumulators). *)
+let enabled = Atomic.make false
 
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
 
 let with_enabled b f =
-  let prev = !enabled in
-  enabled := b;
-  Fun.protect ~finally:(fun () -> enabled := prev) f
+  let prev = Atomic.get enabled in
+  Atomic.set enabled b;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled prev) f
 
 let with_disabled f = with_enabled false f
 
-module Counter0 = struct
-  type t = { c_name : string; mutable c_value : int }
+(* Lock-free float accumulator: add via CAS retry. Allocation (the boxed
+   float) only happens when metrics are enabled. *)
+let rec atomic_add_float cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then atomic_add_float cell x
 
-  let incr c = if !enabled then c.c_value <- c.c_value + 1
-  let add c n = if !enabled then c.c_value <- c.c_value + n
-  let value c = c.c_value
+module Counter0 = struct
+  type t = { c_name : string; c_value : int Atomic.t }
+
+  let incr c = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_value 1)
+  let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.c_value n)
+  let value c = Atomic.get c.c_value
   let name c = c.c_name
 end
 
 module Gauge0 = struct
-  (* the value lives in a flat float array so [set] never boxes *)
-  type t = { g_name : string; g_value : float array }
+  type t = { g_name : string; g_value : float Atomic.t }
 
-  let set g v = if !enabled then g.g_value.(0) <- v
-  let value g = g.g_value.(0)
+  let set g v = if Atomic.get enabled then Atomic.set g.g_value v
+  let value g = Atomic.get g.g_value
   let name g = g.g_name
 end
 
@@ -34,30 +42,30 @@ module Histogram0 = struct
   type t = {
     h_name : string;
     h_buckets : float array;  (* upper bounds, strictly increasing *)
-    h_counts : int array;  (* length = buckets + 1 (overflow) *)
-    h_sum : float array;  (* single cell, flat so observe never boxes *)
-    mutable h_count : int;
+    h_counts : int Atomic.t array;  (* length = buckets + 1 (overflow) *)
+    h_sum : float Atomic.t;
+    h_count : int Atomic.t;
   }
 
   let default_buckets =
     [| 1e-6; 1e-5; 1e-4; 1e-3; 0.01; 0.03; 0.1; 0.3; 1.0; 3.0; 10.0 |]
 
   let observe h x =
-    if !enabled then begin
+    if Atomic.get enabled then begin
       let n = Array.length h.h_buckets in
       let i = ref 0 in
       while !i < n && x > h.h_buckets.(!i) do
         incr i
       done;
-      h.h_counts.(!i) <- h.h_counts.(!i) + 1;
-      h.h_sum.(0) <- h.h_sum.(0) +. x;
-      h.h_count <- h.h_count + 1
+      ignore (Atomic.fetch_and_add h.h_counts.(!i) 1);
+      atomic_add_float h.h_sum x;
+      ignore (Atomic.fetch_and_add h.h_count 1)
     end
 
-  let count h = h.h_count
-  let sum h = h.h_sum.(0)
+  let count h = Atomic.get h.h_count
+  let sum h = Atomic.get h.h_sum
   let buckets h = Array.copy h.h_buckets
-  let counts h = Array.copy h.h_counts
+  let counts h = Array.map Atomic.get h.h_counts
   let name h = h.h_name
 end
 
@@ -66,36 +74,44 @@ type metric =
   | M_gauge of Gauge0.t
   | M_histogram of Histogram0.t
 
-type registry = { items : (string, metric) Hashtbl.t }
+type registry = { items : (string, metric) Hashtbl.t; reg_mutex : Mutex.t }
 
-let create_registry () = { items = Hashtbl.create 32 }
+let create_registry () = { items = Hashtbl.create 32; reg_mutex = Mutex.create () }
 let default_registry = create_registry ()
 
+(* Registration is rare (module toplevel, usually the main domain) but
+   guarded anyway so pool workers registering lazily cannot corrupt the
+   table. *)
 let register reg name ~make ~cast =
-  match Hashtbl.find_opt reg.items name with
-  | Some m -> (
-    match cast m with
-    | Some v -> v
+  Mutex.lock reg.reg_mutex;
+  let v =
+    match Hashtbl.find_opt reg.items name with
+    | Some m -> (
+      match cast m with
+      | Some v -> Ok v
+      | None ->
+        Error
+          (Printf.sprintf "Tka_obs.Metrics: %S already registered with another kind"
+             name))
     | None ->
-      invalid_arg
-        (Printf.sprintf "Tka_obs.Metrics: %S already registered with another kind"
-           name))
-  | None ->
-    let v, m = make () in
-    Hashtbl.replace reg.items name m;
-    v
+      let v, m = make () in
+      Hashtbl.replace reg.items name m;
+      Ok v
+  in
+  Mutex.unlock reg.reg_mutex;
+  match v with Ok v -> v | Error m -> invalid_arg m
 
 let counter_make ?(registry = default_registry) name =
   register registry name
     ~make:(fun () ->
-      let c = { Counter0.c_name = name; c_value = 0 } in
+      let c = { Counter0.c_name = name; c_value = Atomic.make 0 } in
       (c, M_counter c))
     ~cast:(function M_counter c -> Some c | _ -> None)
 
 let gauge_make ?(registry = default_registry) name =
   register registry name
     ~make:(fun () ->
-      let g = { Gauge0.g_name = name; g_value = [| 0. |] } in
+      let g = { Gauge0.g_name = name; g_value = Atomic.make 0. } in
       (g, M_gauge g))
     ~cast:(function M_gauge g -> Some g | _ -> None)
 
@@ -113,9 +129,9 @@ let histogram_make ?(registry = default_registry)
         {
           Histogram0.h_name = name;
           h_buckets = Array.copy buckets;
-          h_counts = Array.make (Array.length buckets + 1) 0;
-          h_sum = [| 0. |];
-          h_count = 0;
+          h_counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+          h_sum = Atomic.make 0.;
+          h_count = Atomic.make 0;
         }
       in
       (h, M_histogram h))
@@ -155,20 +171,20 @@ let reset ?(registry = default_registry) () =
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | M_counter c -> c.Counter0.c_value <- 0
-      | M_gauge g -> g.Gauge0.g_value.(0) <- 0.
+      | M_counter c -> Atomic.set c.Counter0.c_value 0
+      | M_gauge g -> Atomic.set g.Gauge0.g_value 0.
       | M_histogram h ->
-        Array.fill h.Histogram0.h_counts 0 (Array.length h.Histogram0.h_counts) 0;
-        h.Histogram0.h_sum.(0) <- 0.;
-        h.Histogram0.h_count <- 0)
+        Array.iter (fun c -> Atomic.set c 0) h.Histogram0.h_counts;
+        Atomic.set h.Histogram0.h_sum 0.;
+        Atomic.set h.Histogram0.h_count 0)
     registry.items
 
 let to_json ?(registry = default_registry) () =
   let entry _ m acc =
     let kv =
       match m with
-      | M_counter c -> (c.Counter0.c_name, Jsonx.Int c.Counter0.c_value)
-      | M_gauge g -> (g.Gauge0.g_name, Jsonx.Float g.Gauge0.g_value.(0))
+      | M_counter c -> (c.Counter0.c_name, Jsonx.Int (Counter0.value c))
+      | M_gauge g -> (g.Gauge0.g_name, Jsonx.Float (Gauge0.value g))
       | M_histogram h ->
         ( h.Histogram0.h_name,
           Jsonx.Obj
@@ -179,9 +195,11 @@ let to_json ?(registry = default_registry) () =
               );
               ( "counts",
                 Jsonx.List
-                  (Array.to_list (Array.map (fun c -> Jsonx.Int c) h.h_counts)) );
-              ("sum", Jsonx.Float h.Histogram0.h_sum.(0));
-              ("count", Jsonx.Int h.Histogram0.h_count);
+                  (Array.to_list
+                     (Array.map (fun c -> Jsonx.Int (Atomic.get c)) h.h_counts))
+              );
+              ("sum", Jsonx.Float (Histogram0.sum h));
+              ("count", Jsonx.Int (Histogram0.count h));
             ] )
     in
     kv :: acc

@@ -7,6 +7,12 @@
     and allocate nothing — when metrics are disabled. Enable with
     {!set_enabled} (the CLI does this when [--metrics-out] is given).
 
+    All instruments are {e domain-safe}: counters use atomic
+    fetch-and-add, gauges atomic stores, and histogram cells atomic
+    increments with a CAS-retry float accumulator, so updates from the
+    parallel engine sweep ([Tka_parallel]) never race or under-count.
+    The zero-allocation-when-disabled guarantee is unchanged.
+
     Metrics register themselves in a {!registry} at creation; creating a
     metric with an existing name in the same registry returns the
     existing instance, so modules can declare their instruments at

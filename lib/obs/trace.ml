@@ -1,7 +1,7 @@
-let enabled = ref false
+let enabled = Atomic.make false
 
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
 
 type span = {
   sp_name : string;
@@ -13,11 +13,25 @@ type span = {
 }
 
 (* Session origin: timestamps are reported relative to the first event
-   so the viewer does not start at hours-since-boot. *)
+   so the viewer does not start at hours-since-boot.
+
+   The recorder state is shared by every domain of the parallel engine
+   sweep, so it is guarded by a mutex (spans are only recorded when
+   tracing is enabled; the disabled path touches nothing). [depth] is a
+   global nesting counter — under concurrent spans it is approximate,
+   which only affects the cosmetic depth field. *)
+let state_mutex = Mutex.create ()
 let origin : int64 option ref = ref None
 let recorded : span list ref = ref []
 let depth = ref 0
 
+let with_state f =
+  Mutex.lock state_mutex;
+  let v = try f () with e -> Mutex.unlock state_mutex; raise e in
+  Mutex.unlock state_mutex;
+  v
+
+(* callers hold [state_mutex] *)
 let rel now =
   match !origin with
   | Some t0 -> Int64.sub now t0
@@ -26,9 +40,10 @@ let rel now =
     0L
 
 let clear () =
-  origin := None;
-  recorded := [];
-  depth := 0
+  with_state (fun () ->
+      origin := None;
+      recorded := [];
+      depth := 0)
 
 let record name cat args start_ns dur_ns d =
   recorded :=
@@ -43,15 +58,20 @@ let record name cat args start_ns dur_ns d =
     :: !recorded
 
 let with_span ?(cat = "tka") ?(args = []) name f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
-    let start = rel (Monotonic_clock.now ()) in
-    let d = !depth in
-    incr depth;
+    let start, d =
+      with_state (fun () ->
+          let start = rel (Monotonic_clock.now ()) in
+          let d = !depth in
+          incr depth;
+          (start, d))
+    in
     let finish () =
-      decr depth;
-      let stop = rel (Monotonic_clock.now ()) in
-      record name cat args start (Int64.sub stop start) d
+      with_state (fun () ->
+          decr depth;
+          let stop = rel (Monotonic_clock.now ()) in
+          record name cat args start (Int64.sub stop start) d)
     in
     match f () with
     | v ->
@@ -63,10 +83,11 @@ let with_span ?(cat = "tka") ?(args = []) name f =
   end
 
 let instant ?(cat = "tka") ?(args = []) name =
-  if !enabled then
-    record name cat args (rel (Monotonic_clock.now ())) (-1L) !depth
+  if Atomic.get enabled then
+    with_state (fun () ->
+        record name cat args (rel (Monotonic_clock.now ())) (-1L) !depth)
 
-let spans () = List.rev !recorded
+let spans () = with_state (fun () -> List.rev !recorded)
 
 let to_json () =
   let us ns = Jsonx.Float (Int64.to_float ns /. 1e3) in

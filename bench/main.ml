@@ -95,9 +95,14 @@ let parse_args () =
       o.bf_budget <- float_of_string v;
       go rest
     | "--jobs" :: v :: rest ->
-      let j = int_of_string v in
-      if j < 1 then failwith "--jobs must be >= 1";
-      Pool.set_default_jobs j;
+      (match int_of_string_opt (String.trim v) with
+      | Some j when j >= 1 -> Pool.set_default_jobs j
+      | Some j ->
+        Printf.eprintf "bench: --jobs must be >= 1 (got %d)\n" j;
+        exit 2
+      | None ->
+        Printf.eprintf "bench: --jobs must be a positive integer (got %S)\n" v;
+        exit 2);
       go rest
     | s :: rest when String.length s > 0 && s.[0] <> '-' ->
       o.sections <- o.sections @ [ s ];
@@ -109,7 +114,7 @@ let parse_args () =
     o.sections <-
       [
         "stats"; "table1"; "table2a"; "table2b"; "figure10"; "ablation";
-        "parallel"; "kernels";
+        "parallel"; "eco"; "kernels";
       ];
   o
 
@@ -560,6 +565,42 @@ let run_parallel o =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Incremental ECO re-analysis                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's fix loop on the largest circuit of the run: full top-k
+   elimination analysis, remove the top-1 set's coupling, then
+   re-verify both from scratch and through the Tka_incr cache. The
+   incremental rerun must be bit-identical (hard failure otherwise)
+   and substantially faster; both figures land in the `eco` section of
+   BENCH_topk.json. *)
+let run_eco o =
+  let name = List.nth o.circuits (List.length o.circuits - 1) in
+  let k = if o.quick then 5 else 10 in
+  section
+    (Printf.sprintf "Incremental ECO re-analysis: %s, fix top-1 of k=%d" name k);
+  let nl, _ = circuit name in
+  let report, _ = Tka_incr.Eco.run ~k ~fix_k:1 nl in
+  Printf.printf "  mitigation: %d coupling(s) removed, %d nets dirty\n"
+    (List.length report.Tka_incr.Eco.eco_edits)
+    report.Tka_incr.Eco.eco_dirty_nets;
+  Printf.printf "  delay: %.4f ns noisy -> %.4f ns after fix\n"
+    report.Tka_incr.Eco.eco_delay_noisy report.Tka_incr.Eco.eco_delay_fixed;
+  Printf.printf
+    "  re-analysis: full %.2f s, incremental %.2f s (%.1fx, %d hits / %d \
+     misses)\n"
+    report.Tka_incr.Eco.eco_t_full_s report.Tka_incr.Eco.eco_t_incr_s
+    report.Tka_incr.Eco.eco_speedup report.Tka_incr.Eco.eco_cache_hits
+    report.Tka_incr.Eco.eco_cache_misses;
+  Printf.printf "  warm re-verify (all hits): %.2f s (%.1fx)\n"
+    report.Tka_incr.Eco.eco_t_warm_s report.Tka_incr.Eco.eco_speedup_warm;
+  Printf.printf "  results identical to scratch: %s\n%!"
+    (if report.Tka_incr.Eco.eco_identical then "yes"
+     else "NO (incremental correctness violation!)");
+  if not report.Tka_incr.Eco.eco_identical then exit 1;
+  json_add "eco" (Tka_incr.Eco.report_json report)
+
+(* ------------------------------------------------------------------ *)
 (* Kernels (bechamel)                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -625,6 +666,13 @@ let () =
   Tka_obs.Log.set_reporter (Tka_obs.Log.text_reporter ());
   Tka_obs.Log.set_level (Some Tka_obs.Log.Warn);
   Tka_obs.Log.set_from_env ();
+  (* an invalid TKA_JOBS would otherwise silently fall through to the
+     default pool sizing *)
+  (match Pool.env_jobs_error () with
+  | Some msg ->
+    Printf.eprintf "bench: %s\n" msg;
+    exit 2
+  | None -> ());
   let o = parse_args () in
   let t0 = wall () in
   Printf.printf
@@ -641,6 +689,7 @@ let () =
       | "figure10" -> run_figure10 o
       | "ablation" -> run_ablation o
       | "parallel" -> run_parallel o
+      | "eco" -> run_eco o
       | "kernels" -> run_kernels ()
       | s -> failwith (Printf.sprintf "unknown section %S" s))
     o.sections;

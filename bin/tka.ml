@@ -680,6 +680,100 @@ let compare_cmd =
     Term.(const run $ obs_term $ liberty_arg $ before_pos $ after_pos)
 
 (* ------------------------------------------------------------------ *)
+(* eco                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eco_cmd =
+  let k =
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Set cardinality bound.")
+  in
+  let fix_k =
+    Arg.(
+      value & opt int 1
+      & info [ "fix-k" ] ~docv:"N"
+          ~doc:"Cardinality of the elimination set applied as the mitigation edit.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Result-cache checkpoint (NDJSON): loaded before the analysis when \
+             it exists (warm start) and saved right after the initial \
+             analysis, so a second invocation on the same design reuses \
+             every clean victim.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON ($(b,-) for stdout).")
+  in
+  let fixed_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the mitigated netlist here (tka text format).")
+  in
+  let run obs liberty k fix_k checkpoint json fixed_out path =
+    run_obs obs (fun () ->
+        if k < 1 then failwith "-k must be >= 1";
+        if fix_k < 1 || fix_k > k then failwith "--fix-k must be in [1, k]";
+        let nl = load ~liberty path in
+        let report, fixed = Tka_incr.Eco.run ~k ~fix_k ?checkpoint nl in
+        let r = report in
+        Printf.printf "circuit %s: ECO loop, fix top-%d of k=%d\n"
+          r.Tka_incr.Eco.eco_circuit fix_k k;
+        (match r.Tka_incr.Eco.eco_set with
+        | None -> Printf.printf "  no elimination candidates; nothing to fix\n"
+        | Some s ->
+          Printf.printf "  removing %d coupling(s):\n%s"
+            (List.length r.Tka_incr.Eco.eco_edits)
+            (Tka_topk.Coupling_set.describe nl s));
+        Printf.printf "  noisy delay %.4f ns -> %.4f ns after fix\n"
+          r.Tka_incr.Eco.eco_delay_noisy r.Tka_incr.Eco.eco_delay_fixed;
+        Printf.printf
+          "  re-verify: full %.3f s, incremental %.3f s (%.1fx speedup)\n"
+          r.Tka_incr.Eco.eco_t_full_s r.Tka_incr.Eco.eco_t_incr_s
+          r.Tka_incr.Eco.eco_speedup;
+        Printf.printf "  warm re-verify (all hits): %.3f s (%.1fx)\n"
+          r.Tka_incr.Eco.eco_t_warm_s r.Tka_incr.Eco.eco_speedup_warm;
+        Printf.printf "  dirty nets %d, cache hits %d, misses %d\n"
+          r.Tka_incr.Eco.eco_dirty_nets r.Tka_incr.Eco.eco_cache_hits
+          r.Tka_incr.Eco.eco_cache_misses;
+        if r.Tka_incr.Eco.eco_analysis_hits > 0 then
+          Printf.printf "  warm start: initial analysis reused %d victims\n"
+            r.Tka_incr.Eco.eco_analysis_hits;
+        Printf.printf "  incremental results identical: %s\n"
+          (if r.Tka_incr.Eco.eco_identical then "yes" else "NO");
+        (match json with
+        | None -> ()
+        | Some "-" ->
+          print_string
+            (Tka_obs.Jsonx.to_string_pretty (Tka_incr.Eco.report_json r));
+          print_newline ()
+        | Some path ->
+          Tka_obs.Jsonx.write_file path (Tka_incr.Eco.report_json r));
+        Option.iter
+          (fun path ->
+            Nf.write_file (Tka_circuit.Topo.netlist fixed.Tka_topk.Elimination.topo) path)
+          fixed_out;
+        if not r.Tka_incr.Eco.eco_identical then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "eco"
+       ~doc:
+         "Run the full fix loop: top-k elimination analysis, apply the top set \
+          as a shielding edit, and incrementally re-verify the improvement \
+          (bit-identical to a from-scratch re-run, but cached).")
+    Term.(
+      const run $ obs_term $ liberty_arg $ k $ fix_k $ checkpoint $ json
+      $ fixed_out $ netlist_pos)
+
+(* ------------------------------------------------------------------ *)
 (* liberty                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -698,5 +792,5 @@ let () =
           [
             gen_cmd; info_cmd; sta_cmd; noise_cmd; topk_cmd; glitch_cmd;
             falseagg_cmd; kvalue_cmd; sensitivity_cmd; compare_cmd; sdf_cmd;
-            liberty_cmd;
+            eco_cmd; liberty_cmd;
           ]))

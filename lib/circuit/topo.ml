@@ -100,6 +100,17 @@ let net_level t nid = t.levels.(nid)
 let max_level t = t.max_level
 let level_nets t = t.level_nets
 
+let fanout_cone t seeds =
+  let mark = Array.make (N.num_nets t.nl) false in
+  let rec go id =
+    if not mark.(id) then begin
+      mark.(id) <- true;
+      List.iter go (N.fanout_nets t.nl id)
+    end
+  in
+  List.iter go seeds;
+  mark
+
 let transitive_fanin t nid =
   match Hashtbl.find_opt t.fanin_memo nid with
   | Some m -> m

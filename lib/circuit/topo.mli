@@ -32,6 +32,13 @@ val level_nets : t -> Netlist.net_id array array
     fanin lies strictly below its own level, which is what makes a
     level-synchronous parallel sweep safe (see [docs/parallelism.md]). *)
 
+val fanout_cone : t -> Netlist.net_id list -> bool array
+(** [fanout_cone t seeds] has [true] at every net reachable from any
+    seed via driver→fanout edges, the seeds included. This is the set
+    of nets whose timing can change when the seeds' local parameters
+    are edited (ignoring crosstalk feedback; see [Tka_incr.Dirty] for
+    the coupling-aware closure). O(V + E), not memoised. *)
+
 val transitive_fanin : t -> Netlist.net_id -> bool array
 (** [transitive_fanin t n] has [true] at every net in the fanin cone of
     [n], including [n] itself. Computed on demand and memoised. *)

@@ -13,16 +13,24 @@ type t = {
 }
 
 let compute ?(capacity = Ilist.default_capacity) ?(use_pseudo = true)
-    ?(use_higher_order = true) ?fixpoint ~k topo =
+    ?(use_higher_order = true) ?fixpoint ?victim_cache ~k topo =
   let config = { Engine.k; capacity; use_pseudo; use_higher_order } in
   (* the two dual enumerations share one all-aggressor fixpoint *)
   let fixpoint =
     match fixpoint with Some f -> f | None -> Tka_noise.Iterate.run topo
   in
+  (* each mode has its own cache view: keys hash the mode *)
+  let vc mode = Option.bind victim_cache (fun f -> f mode) in
   {
-    result = Engine.compute ~config ~fixpoint ~mode:Engine.Elimination topo;
+    result =
+      Engine.compute ~config ~fixpoint
+        ?victim_cache:(vc Engine.Elimination)
+        ~mode:Engine.Elimination topo;
     topo;
-    dual = Engine.compute ~config ~fixpoint ~mode:Engine.Addition topo;
+    dual =
+      Engine.compute ~config ~fixpoint
+        ?victim_cache:(vc Engine.Addition)
+        ~mode:Engine.Addition topo;
   }
 
 let set_of_result (r : Engine.result) i =

@@ -23,11 +23,15 @@ val compute :
   ?use_pseudo:bool ->
   ?use_higher_order:bool ->
   ?fixpoint:Tka_noise.Iterate.t ->
+  ?victim_cache:(Engine.mode -> Engine.victim_cache option) ->
   k:int ->
   Tka_circuit.Topo.t ->
   t
 (** Run both dual enumerations (sharing one all-aggressor fixpoint,
-    which [fixpoint] can supply precomputed). *)
+    which [fixpoint] can supply precomputed). [victim_cache] supplies
+    the per-mode result cache of the incremental layer ([Tka_incr]);
+    each engine run is keyed separately because the two modes read
+    different windows. *)
 
 val set : t -> int -> Coupling_set.t option
 (** The elimination engine's own top-i pick. *)

@@ -61,9 +61,64 @@ type result = {
           ({!Tka_obs.Clock}) *)
 }
 
+(** {1 Victim-level result caching}
+
+    Hook used by the incremental re-analysis layer ([Tka_incr]): the
+    per-victim unit of work — the summary a net publishes, the sink
+    irredundant lists of primary outputs, the pruning stats, and the
+    direct-only aggressor summaries the victim consulted — can be
+    injected from a cache instead of being recomputed. The engine
+    stays agnostic about cache keys; the provider decides when a
+    stored record is still valid (content-addressed hashing in
+    [Tka_incr.Fingerprint]).
+
+    A cached record must have been produced by a run with the same
+    config and mode on a netlist where every input of the victim's
+    enumeration (fanin-cone summaries, windows, couplings, parasitics)
+    is unchanged; then installing it is observationally identical to
+    recomputation — including [res_stats], because the consulted
+    direct summaries (and their stats) are replayed into the shared
+    memo table. Envelopes are not stored: nothing downstream of a
+    published summary reads them. *)
+
+type cardinality_summary = (Coupling_set.t * float) list array
+(** Per cardinality [0..k], the retained [(set, objective)] pairs,
+    best first — the shape of a published net summary. *)
+
+type cached_victim = {
+  cv_summary : cardinality_summary;  (** the summary the net published *)
+  cv_out : cardinality_summary option;
+      (** sink irredundant lists, present iff the net is a primary
+          output (envelope-free: sink selection reads only sets and
+          objectives) *)
+  cv_stats : Ilist.stats;  (** the victim's own pruning stats *)
+  cv_direct : (Tka_circuit.Netlist.net_id * cardinality_summary * Ilist.stats) list;
+      (** direct-only aggressor summaries this victim consulted, in
+          first-consult order (deduplicated) *)
+}
+
+type victim_cache = {
+  vc_lookup :
+    summary_of:(Tka_circuit.Netlist.net_id -> cardinality_summary) ->
+    Tka_circuit.Netlist.net_id ->
+    cached_victim option;
+  vc_store : Tka_circuit.Netlist.net_id -> cached_victim -> unit;
+}
+(** [vc_lookup] receives an accessor into the sweep's live summary
+    array so the provider can key a victim on the {e values} its
+    enumeration will consult. The sweep is level-synchronous, so when
+    a victim at level [l] is looked up, every net at a strictly lower
+    level — its driver fanins and the coupling partners whose
+    published summaries it reads — is final; the accessor must only
+    be applied to such nets, and only during the lookup. Both
+    functions may be called concurrently from pool workers; the
+    provider must be domain-safe. [vc_store] is called once per
+    processed (non-cached) victim, after its lookup missed. *)
+
 val compute :
   ?config:config ->
   ?fixpoint:Tka_noise.Iterate.t ->
+  ?victim_cache:victim_cache ->
   mode:mode ->
   Tka_circuit.Topo.t ->
   result

@@ -1,0 +1,163 @@
+module Topo = Tka_circuit.Topo
+module Iterate = Tka_noise.Iterate
+module Engine = Tka_topk.Engine
+module Elimination = Tka_topk.Elimination
+module Metrics = Tka_obs.Metrics
+module Trace = Tka_obs.Trace
+module J = Tka_obs.Jsonx
+
+let c_hits = Metrics.Counter.make "incr.cache_hits"
+let c_misses = Metrics.Counter.make "incr.cache_misses"
+let c_dirty = Metrics.Counter.make "incr.dirty_nets"
+
+type t = { a_config : Engine.config; mutable a_cache : Cache.t }
+
+type run_stats = { rs_hits : int; rs_misses : int }
+
+let create ?(capacity = Tka_topk.Ilist.default_capacity) ?(use_pseudo = true)
+    ?(use_higher_order = true) ~k () =
+  {
+    a_config = { Engine.k; capacity; use_pseudo; use_higher_order };
+    a_cache = Cache.create ();
+  }
+
+let config t = t.a_config
+let cache t = t.a_cache
+
+let run ?fixpoint t topo =
+  Trace.with_span ~cat:"incr" "incr.run" @@ fun () ->
+  let fix = match fixpoint with Some f -> f | None -> Iterate.run topo in
+  let hits = Atomic.make 0 in
+  let misses = Atomic.make 0 in
+  let nl = Topo.netlist topo in
+  let nn = Tka_circuit.Netlist.num_nets nl in
+  (* Coupling-id coherence: cached values index the coupling table
+     they were stored (or remapped) under. A universe mismatch means
+     this netlist's ids name different physical caps — e.g. a
+     checkpoint written after an edit, reloaded against the original
+     design — so the whole cache must be flushed, not consulted. *)
+  let u = Fingerprint.universe nl in
+  (match Cache.universe t.a_cache with
+  | Some u' when not (Int64.equal u' u) -> Cache.clear t.a_cache
+  | Some _ | None -> ());
+  Cache.set_universe t.a_cache u;
+  let view mode =
+    let fp =
+      Trace.with_span ~cat:"incr" "incr.fingerprint" (fun () ->
+          Fingerprint.compute ~config:t.a_config ~mode ~fix topo)
+    in
+    (* Value hash of a published summary under content-stable coupling
+       names: what a downstream victim actually consults. Memoised per
+       net; races write the same boxed value, so duplicates are
+       benign and the outcome is schedule-independent. *)
+    let vh_memo : Fnv.t option array = Array.make nn None in
+    let value_hash (s : Engine.cardinality_summary) =
+      let h = Fnv.int Fnv.basis (Array.length s) in
+      Array.fold_left
+        (fun h entries ->
+          List.fold_left
+            (fun h (set, obj) ->
+              let h =
+                Tka_topk.Coupling_set.fold
+                  (fun d h -> Fnv.int64 h fp.Fingerprint.fp_stable.(d))
+                  set h
+              in
+              Fnv.float h obj)
+            (Fnv.int h (List.length entries))
+            entries)
+        h s
+    in
+    let vh summary_of u =
+      match vh_memo.(u) with
+      | Some h -> h
+      | None ->
+        let h = value_hash (summary_of u) in
+        vh_memo.(u) <- Some h;
+        h
+    in
+    (* The victim's cache key: static signature ingredients plus the
+       value hashes of the summaries its enumeration will consult —
+       lower-level coupling partners (published summaries) and driver
+       fanins (pseudo-aggressor sources). Same-or-higher-level
+       partners are consulted through the direct-only memo, whose
+       inputs are one hop of signatures: fp_hd. Computed once per
+       victim at lookup and reused by the store. *)
+    let key_memo : Fnv.t option array = Array.make nn None in
+    let key summary_of v =
+      let lv = Topo.net_level topo v in
+      let h = Fnv.int64 (Fnv.int Fnv.basis 0xF1) fp.Fingerprint.fp_cfg in
+      let h = Fnv.int64 h fp.Fingerprint.fp_sig.(v) in
+      let h = Fnv.int h lv in
+      let h =
+        List.fold_left
+          (fun h cid ->
+            let c = Tka_circuit.Netlist.coupling nl cid in
+            let p = Tka_circuit.Netlist.coupling_partner nl cid v in
+            let h = Fnv.float h c.Tka_circuit.Netlist.coupling_cap in
+            let h = Fnv.int64 h fp.Fingerprint.fp_sig.(p) in
+            if Topo.net_level topo p < lv then
+              Fnv.int64 (Fnv.int h 1) (vh summary_of p)
+            else Fnv.int64 (Fnv.int h 2) fp.Fingerprint.fp_hd.(p))
+          h
+          (Tka_circuit.Netlist.couplings_of_net nl v)
+      in
+      let h =
+        match Tka_circuit.Netlist.driver_gate nl v with
+        | None -> Fnv.int h (-1)
+        | Some g ->
+          List.fold_left
+            (fun h (pin, u) ->
+              let h = Fnv.int (Fnv.string h pin) u in
+              let h = Fnv.int64 h fp.Fingerprint.fp_sig.(u) in
+              Fnv.int64 h (vh summary_of u))
+            h g.Tka_circuit.Netlist.fanin
+      in
+      key_memo.(v) <- Some h;
+      h
+    in
+    Some
+      {
+        Engine.vc_lookup =
+          (fun ~summary_of v ->
+            match Cache.find t.a_cache ~mode ~net:v ~key:(key summary_of v) with
+            | Some cv ->
+              Atomic.incr hits;
+              Metrics.Counter.incr c_hits;
+              Some cv
+            | None ->
+              Atomic.incr misses;
+              Metrics.Counter.incr c_misses;
+              None);
+        vc_store =
+          (fun v cv ->
+            (* the engine stores only after a missed lookup, so the
+               memoised key is present *)
+            match key_memo.(v) with
+            | Some key -> Cache.store t.a_cache ~mode ~net:v ~key cv
+            | None -> ());
+      }
+  in
+  let elim =
+    Elimination.compute ~capacity:t.a_config.Engine.capacity
+      ~use_pseudo:t.a_config.Engine.use_pseudo
+      ~use_higher_order:t.a_config.Engine.use_higher_order ~fixpoint:fix
+      ~victim_cache:view ~k:t.a_config.Engine.k topo
+  in
+  (elim, { rs_hits = Atomic.get hits; rs_misses = Atomic.get misses })
+
+let apply t nl edits =
+  Trace.with_span ~cat:"incr"
+    ~args:[ ("edits", J.Int (List.length edits)) ]
+    "incr.apply"
+  @@ fun () ->
+  let topo = Topo.create nl in
+  let dirty = Dirty.count (Dirty.closure topo (Edit.touched_nets nl edits)) in
+  Metrics.Counter.add c_dirty dirty;
+  let nl', remap = Edit.apply nl edits in
+  Cache.remap_couplings t.a_cache remap;
+  (* the remapped values now index the edited netlist's coupling table *)
+  Cache.set_universe t.a_cache (Fingerprint.universe nl');
+  (nl', dirty)
+
+let save_checkpoint t path = Cache.save t.a_cache path
+let load_checkpoint t path = t.a_cache <- Cache.load path

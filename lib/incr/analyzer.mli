@@ -1,0 +1,69 @@
+(** The incremental ECO re-analysis session.
+
+    Owns a {!Cache} across an edit → re-analyze loop:
+
+    {[
+      let az = Analyzer.create ~k () in
+      let elim, _ = Analyzer.run az (Topo.create nl) in      (* full; populates *)
+      let nl', dirty = Analyzer.apply az nl edits in         (* remaps the cache *)
+      let elim', st = Analyzer.run az (Topo.create nl') in   (* incremental *)
+      (* st.rs_hits clean victims were installed from the cache *)
+    ]}
+
+    Every {!run} recomputes the noise fixpoint and the per-net
+    {!Fingerprint} (both cheap relative to enumeration) and hands the
+    engine a cache view guarded by the fingerprints, so results are
+    {e bit-identical} to a from-scratch run — at any [--jobs] count —
+    no matter what was edited; only the time to produce them changes.
+    Levels whose nets all hit the cache cost lookups only, which is how
+    the level-synchronous sweep "skips clean levels" (see
+    [docs/incremental.md]).
+
+    Reported when {!Tka_obs.Metrics} is enabled: [incr.cache_hits],
+    [incr.cache_misses] (per victim lookup) and [incr.dirty_nets]
+    (accumulated by {!apply}); {!run} and {!apply} open [incr.*] trace
+    spans. *)
+
+type t
+
+type run_stats = {
+  rs_hits : int;  (** victims installed from the cache *)
+  rs_misses : int;  (** victims enumerated (then stored) *)
+}
+
+val create :
+  ?capacity:int ->
+  ?use_pseudo:bool ->
+  ?use_higher_order:bool ->
+  k:int ->
+  unit ->
+  t
+(** Same knobs and defaults as {!Tka_topk.Elimination.compute}; the
+    config is fixed for the session because it is hashed into every
+    cache key. *)
+
+val config : t -> Tka_topk.Engine.config
+val cache : t -> Cache.t
+
+val run :
+  ?fixpoint:Tka_noise.Iterate.t -> t -> Tka_circuit.Topo.t -> Tka_topk.Elimination.t * run_stats
+(** Analyze (both dual modes) through the cache. The first run on a
+    design misses everywhere and populates; subsequent runs after
+    {!apply} hit on every victim outside the dirty closure. *)
+
+val apply :
+  t -> Tka_circuit.Netlist.t -> Edit.t list -> Tka_circuit.Netlist.t * int
+(** Apply an edit script ({!Edit.apply}), renumber the cached coupling
+    sets through the resulting id map, and return the edited netlist
+    together with the size of the dirty closure ({!Dirty.closure} of
+    the touched nets — an upper bound on next run's misses, also added
+    to the [incr.dirty_nets] counter). *)
+
+val save_checkpoint : t -> string -> unit
+(** {!Cache.save} of the session cache. *)
+
+val load_checkpoint : t -> string -> unit
+(** Replace the session cache with {!Cache.load}[ path] — the
+    warm-start path for a second process on the same design. Stale or
+    foreign entries are harmless (fingerprint-guarded misses).
+    @raise Failure on a malformed file. *)

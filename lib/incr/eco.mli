@@ -1,0 +1,68 @@
+(** The paper's loop, closed end to end: analyze → eliminate →
+    mitigate → incrementally re-verify.
+
+    {!run} computes the top-k elimination sets, applies the top
+    [fix_k] set as a shielding edit ({!Edit.Remove_coupling} on each
+    reported cap), then re-analyzes the edited design twice — from
+    scratch and through the {!Analyzer} cache — timing both and
+    checking the results are bit-identical. The report carries the
+    speedup and the identity verdict; the bench harness and the
+    [tka eco] subcommand serialise it as the [eco] section of
+    [BENCH_topk.json]. *)
+
+type report = {
+  eco_circuit : string;
+  eco_k : int;
+  eco_fix_k : int;
+  eco_set : Tka_topk.Coupling_set.t option;
+      (** the applied elimination set ([None] if the design has no
+          candidates — then no edit is applied and the "re-analysis"
+          is a pure warm rerun) *)
+  eco_edits : Edit.t list;
+  eco_delay_noisy : float;  (** all-aggressor delay before the fix, ns *)
+  eco_delay_fixed : float;  (** all-aggressor delay after the fix, ns *)
+  eco_dirty_nets : int;  (** {!Dirty.closure} size of the edit *)
+  eco_analysis_hits : int;
+      (** victims the {e initial} analysis took from the cache — zero
+          on a cold start, every victim on a checkpoint warm start *)
+  eco_cache_hits : int;  (** victims reused by the incremental rerun *)
+  eco_cache_misses : int;  (** victims re-enumerated *)
+  eco_t_full_s : float;  (** from-scratch re-analysis wall time *)
+  eco_t_incr_s : float;  (** incremental re-analysis wall time *)
+  eco_t_warm_s : float;
+      (** warm re-verify wall time: a second incremental run on the
+          unchanged edited design, where every victim hits — the
+          incremental floor (fixpoint + fingerprints + installation),
+          i.e. what a checkpoint warm start costs *)
+  eco_speedup : float;  (** [t_full / t_incr] *)
+  eco_speedup_warm : float;  (** [t_full / t_warm] *)
+  eco_identical : bool;
+      (** bit-identity of both the incremental and the warm re-analysis
+          against the from-scratch one *)
+}
+
+val results_identical : Tka_topk.Engine.result -> Tka_topk.Engine.result -> bool
+(** Bitwise comparison of every semantic field: per-k choices (sets,
+    objectives, sinks), retained sink candidates, pruning stats and
+    the delay figures. [res_runtime] is excluded. *)
+
+val elim_identical : Tka_topk.Elimination.t -> Tka_topk.Elimination.t -> bool
+(** {!results_identical} on both dual engine results. *)
+
+val run :
+  ?k:int ->
+  ?fix_k:int ->
+  ?checkpoint:string ->
+  Tka_circuit.Netlist.t ->
+  report * Tka_topk.Elimination.t
+(** [run nl] executes the loop ([k] defaults to 10, [fix_k] — the
+    cardinality of the applied set — to 1). [checkpoint] names a cache
+    file: loaded first when it exists (warm start), saved right after
+    the initial analysis — before any edit remaps the cache to the
+    edited coupling table, so a rerun on the same input design reuses
+    it (see the universe guard in [docs/incremental.md]). Returns the
+    report and the (incremental) analysis of the fixed design. *)
+
+val report_json : report -> Tka_obs.Jsonx.t
+(** The [eco] JSON section ([t_full_s], [t_incr_s], [speedup_incr],
+    [identical], counters, delays). *)

@@ -1,0 +1,97 @@
+module N = Tka_circuit.Netlist
+
+type t =
+  | Remove_coupling of N.coupling_id
+  | Scale_coupling of { coupling : N.coupling_id; factor : float }
+  | Resize_driver of { gate : N.gate_id; cell : Tka_cell.Cell.t }
+
+let validate nl = function
+  | Remove_coupling c ->
+    if c < 0 || c >= N.num_couplings nl then
+      invalid_arg "Edit.apply: coupling id out of range"
+  | Scale_coupling { coupling; factor } ->
+    if coupling < 0 || coupling >= N.num_couplings nl then
+      invalid_arg "Edit.apply: coupling id out of range";
+    if not (factor >= 0. && factor <= 1.) then
+      invalid_arg "Edit.apply: scale factor outside [0, 1]"
+  | Resize_driver { gate; _ } ->
+    if gate < 0 || gate >= N.num_gates nl then
+      invalid_arg "Edit.apply: gate id out of range"
+
+let apply nl edits =
+  List.iter (validate nl) edits;
+  let nc = N.num_couplings nl in
+  (* compose the script into per-coupling final caps and per-gate cells *)
+  let factor = Array.make nc 1. in
+  let removed = Array.make nc false in
+  let cells : (N.gate_id, Tka_cell.Cell.t) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Remove_coupling c -> removed.(c) <- true
+      | Scale_coupling { coupling = c; factor = f } ->
+        factor.(c) <- factor.(c) *. f
+      | Resize_driver { gate; cell } -> Hashtbl.replace cells gate cell)
+    edits;
+  let final_cap (c : N.coupling) =
+    if removed.(c.N.coupling_id) then 0.
+    else factor.(c.N.coupling_id) *. c.N.coupling_cap
+  in
+  let nl' =
+    Tka_circuit.Transform.map
+      ~name:(N.name nl ^ "_eco")
+      ?cell_of:
+        (if Hashtbl.length cells = 0 then None
+         else
+           Some
+             (fun (g : N.gate) ->
+               match Hashtbl.find_opt cells g.N.gate_id with
+               | Some c -> c
+               | None -> g.N.cell))
+      ~keep_coupling:(fun c -> final_cap c > 0.)
+      ~coupling_cap_of:final_cap nl
+  in
+  (* Transform.map keeps surviving couplings in old-id order, so the
+     compacted new ids are the survivors' ranks. *)
+  let remap = Array.make nc None in
+  let next = ref 0 in
+  Array.iter
+    (fun (c : N.coupling) ->
+      if final_cap c > 0. then begin
+        remap.(c.N.coupling_id) <- Some !next;
+        incr next
+      end)
+    (N.couplings nl);
+  assert (!next = N.num_couplings nl');
+  (nl', fun c -> if c < 0 || c >= nc then None else remap.(c))
+
+let touched_nets nl edits =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let add n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      out := n :: !out
+    end
+  in
+  List.iter
+    (fun e ->
+      validate nl e;
+      match e with
+      | Remove_coupling c | Scale_coupling { coupling = c; _ } ->
+        let cp = N.coupling nl c in
+        add cp.N.net_a;
+        add cp.N.net_b
+      | Resize_driver { gate; _ } ->
+        let g = N.gate nl gate in
+        add g.N.fanout;
+        (* the new cell's input pin caps change the fanin nets' loads *)
+        List.iter (fun (_, u) -> add u) g.N.fanin)
+    edits;
+  List.rev !out
+
+let pp ppf = function
+  | Remove_coupling c -> Format.fprintf ppf "remove-coupling %d" c
+  | Scale_coupling { coupling; factor } ->
+    Format.fprintf ppf "scale-coupling %d by %g" coupling factor
+  | Resize_driver { gate; cell } ->
+    Format.fprintf ppf "resize-driver %d to %s" gate cell.Tka_cell.Cell.name

@@ -1,0 +1,51 @@
+(** ECO edit scripts over a netlist.
+
+    The mitigation moves of the paper's workflow, reified as data so
+    the incremental analyzer can both apply them (via
+    {!Tka_circuit.Transform.map}) and reason about what they dirty:
+
+    - {!Remove_coupling}: shield or reroute — the physical cap is gone;
+    - {!Scale_coupling}: increased spacing — the cap shrinks by a
+      factor in [0, 1] (a factor of 0 removes it);
+    - {!Resize_driver}: swap a gate's cell for a stronger (or weaker)
+      variant with the same pin names.
+
+    Applying a script produces a new netlist with {e identical} net and
+    gate ids (Transform.map preserves structure), but coupling ids are
+    compacted when caps are removed — {!apply} therefore also returns
+    the old→new coupling-id map the result cache needs to stay
+    coherent (see {!Cache.remap_couplings}). *)
+
+type t =
+  | Remove_coupling of Tka_circuit.Netlist.coupling_id
+  | Scale_coupling of {
+      coupling : Tka_circuit.Netlist.coupling_id;
+      factor : float;  (** in [0, 1]; 0 removes the cap *)
+    }
+  | Resize_driver of {
+      gate : Tka_circuit.Netlist.gate_id;
+      cell : Tka_cell.Cell.t;
+    }
+
+val apply :
+  Tka_circuit.Netlist.t ->
+  t list ->
+  Tka_circuit.Netlist.t
+  * (Tka_circuit.Netlist.coupling_id -> Tka_circuit.Netlist.coupling_id option)
+(** [apply nl edits] rebuilds [nl] with the whole script applied in one
+    {!Tka_circuit.Transform.map} pass (edits compose: scaling twice
+    multiplies, a removal wins over any scaling, the last resize of a
+    gate wins). Returns the new netlist and the old→new coupling-id
+    map ([None] for couplings that were removed or scaled to zero).
+    Net and gate ids are unchanged by construction.
+
+    @raise Invalid_argument on an out-of-range id or a factor outside
+    [0, 1]. *)
+
+val touched_nets : Tka_circuit.Netlist.t -> t list -> Tka_circuit.Netlist.net_id list
+(** The nets whose {e local} electrical parameters the script changes
+    (deduplicated): both sides of an edited coupling; for a driver
+    resize, the gate's output net and its input nets (whose loads see
+    the new pin capacitances). Seeds for {!Dirty.closure}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+type t = int64
+
+let basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let int64 h x =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done;
+  !h
+
+let int h x = int64 h (Int64.of_int x)
+let float h x = int64 h (Int64.bits_of_float x)
+let bool h b = byte h (if b then 1 else 0)
+
+let string h s =
+  let h = ref (int h (String.length s)) in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  !h

@@ -1,0 +1,33 @@
+(** FNV-1a 64-bit streaming hash.
+
+    The content-addressing primitive of the incremental cache: cheap,
+    dependency-free, and stable across runs and platforms (unlike
+    [Hashtbl.hash], whose output is unspecified and may change between
+    compiler releases — a silent cache-poisoning hazard for on-disk
+    checkpoints). Collisions are treated as acceptable at 64 bits over
+    the few thousand keys a netlist produces; a collision can only
+    cause a stale cache {e hit}, and the odds are ~n²/2⁶⁴.
+
+    Floats are folded by their IEEE-754 bit pattern, so the hash
+    distinguishes [0.] from [-0.] and is exact — matching the
+    bit-identical correctness bar of the incremental engine. *)
+
+type t = int64
+(** Hash state (also the digest: fold operations as data arrives and
+    use the final state). *)
+
+val basis : t
+(** The FNV-1a offset basis. *)
+
+val int64 : t -> int64 -> t
+(** Fold eight bytes, little-endian. *)
+
+val int : t -> int -> t
+val float : t -> float -> t
+(** Folds [Int64.bits_of_float]. *)
+
+val bool : t -> bool -> t
+
+val string : t -> string -> t
+(** Folds the length then the bytes, so concatenation cannot alias
+    (["ab","c"] vs ["a","bc"]). *)

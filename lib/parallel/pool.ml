@@ -200,6 +200,15 @@ let env_jobs () =
     | Some j when j >= 1 -> Some j
     | Some _ | None -> None)
 
+let env_jobs_error () =
+  match Sys.getenv_opt "TKA_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> None
+    | Some j -> Some (Printf.sprintf "TKA_JOBS must be >= 1 (got %d)" j)
+    | None -> Some (Printf.sprintf "TKA_JOBS must be a positive integer (got %S)" s))
+
 let requested_jobs : int option ref = ref None
 
 let default_jobs () =

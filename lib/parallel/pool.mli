@@ -69,6 +69,13 @@ val map_reduce :
 val default_jobs : unit -> int
 (** The jobs count the default pool has (or would be created with). *)
 
+val env_jobs_error : unit -> string option
+(** A diagnostic when [TKA_JOBS] is set but invalid (non-numeric or
+    [< 1]) — such a value is {e ignored} by {!default_jobs}, so
+    executables should call this at startup and fail loudly instead of
+    silently falling through to the default sizing (the CLI and the
+    bench harness do). [None] when the variable is unset or valid. *)
+
 val set_default_jobs : int -> unit
 (** Override the default pool size (the CLI [--jobs] flag and the bench
     harness call this). If a default pool of a different size already

@@ -1,0 +1,383 @@
+(* Tests for the incremental ECO re-analysis layer (Tka_incr): the
+   content-addressed cache must make re-runs cheap while keeping every
+   result bit-identical to a from-scratch analysis — after any edit
+   sequence, at any jobs count (the correctness bar of
+   docs/incremental.md). *)
+
+module N = Tka_circuit.Netlist
+module Topo = Tka_circuit.Topo
+module B = Tka_layout.Benchmarks
+module Cell = Tka_cell.Cell
+module Pool = Tka_parallel.Pool
+module Engine = Tka_topk.Engine
+module Elimination = Tka_topk.Elimination
+module CS = Tka_topk.Coupling_set
+module Fnv = Tka_incr.Fnv
+module Edit = Tka_incr.Edit
+module Dirty = Tka_incr.Dirty
+module Fingerprint = Tka_incr.Fingerprint
+module Cache = Tka_incr.Cache
+module Analyzer = Tka_incr.Analyzer
+module Eco = Tka_incr.Eco
+
+let at_jobs jobs f =
+  let before = Pool.default_jobs () in
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs before) f
+
+(* ------------------------------------------------------------------ *)
+(* Hashing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fnv () =
+  Alcotest.(check bool)
+    "float hashing is bit-exact (0. vs -0.)" false
+    (Fnv.float Fnv.basis 0. = Fnv.float Fnv.basis (-0.));
+  Alcotest.(check bool)
+    "string hashing is length-prefixed" false
+    (Fnv.string (Fnv.string Fnv.basis "ab") "c"
+    = Fnv.string (Fnv.string Fnv.basis "a") "bc");
+  Alcotest.(check bool)
+    "deterministic" true
+    (Fnv.int (Fnv.float Fnv.basis 1.5) 7 = Fnv.int (Fnv.float Fnv.basis 1.5) 7)
+
+let test_fingerprint_stability () =
+  let topo = Topo.create (B.tiny ()) in
+  let fix = Tka_noise.Iterate.run topo in
+  let config = Engine.default_config ~k:4 in
+  let fp1 = Fingerprint.compute ~config ~mode:Engine.Elimination ~fix topo in
+  let fp2 = Fingerprint.compute ~config ~mode:Engine.Elimination ~fix topo in
+  Alcotest.(check bool)
+    "same inputs, same signatures" true
+    (fp1.Fingerprint.fp_sig = fp2.Fingerprint.fp_sig);
+  Alcotest.(check bool)
+    "same inputs, same direct hashes" true
+    (fp1.Fingerprint.fp_hd = fp2.Fingerprint.fp_hd);
+  Alcotest.(check bool)
+    "same inputs, same stable coupling names" true
+    (fp1.Fingerprint.fp_stable = fp2.Fingerprint.fp_stable);
+  let fpa = Fingerprint.compute ~config ~mode:Engine.Addition ~fix topo in
+  Alcotest.(check bool)
+    "modes keyed apart (config)" false
+    (Int64.equal fp1.Fingerprint.fp_cfg fpa.Fingerprint.fp_cfg);
+  (* the Elimination signature folds the noisy timing on top of the
+     Addition one, so the two can never collide *)
+  Alcotest.(check bool)
+    "modes keyed apart (signatures)" true
+    (Array.for_all2
+       (fun a b -> not (Int64.equal a b))
+       fp1.Fingerprint.fp_sig fpa.Fingerprint.fp_sig)
+
+(* ------------------------------------------------------------------ *)
+(* Edit scripts                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_edit_remove () =
+  let nl = B.tiny () in
+  let nc = N.num_couplings nl in
+  Alcotest.(check bool) "tiny has couplings" true (nc >= 2);
+  let victim = 1 in
+  let nl', remap = Edit.apply nl [ Edit.Remove_coupling victim ] in
+  Alcotest.(check int) "one fewer coupling" (nc - 1) (N.num_couplings nl');
+  Alcotest.(check (option int)) "removed id maps to None" None (remap victim);
+  Alcotest.(check (option int)) "out of range maps to None" None (remap nc);
+  (* survivors keep their relative order and land densely *)
+  let survivor_targets =
+    List.init nc (fun c -> remap c) |> List.filter_map Fun.id
+  in
+  Alcotest.(check (list int))
+    "survivors renumbered densely in order"
+    (List.init (nc - 1) Fun.id)
+    survivor_targets;
+  (* net and gate ids are preserved *)
+  Alcotest.(check int) "net count" (N.num_nets nl) (N.num_nets nl');
+  Array.iter
+    (fun (n : N.net) ->
+      Alcotest.(check string)
+        (Printf.sprintf "net %d name" n.N.net_id)
+        n.N.net_name
+        (N.net nl' n.N.net_id).N.net_name)
+    (N.nets nl)
+
+let test_edit_compose () =
+  let nl = B.tiny () in
+  let nc = N.num_couplings nl in
+  let cap0 = (N.coupling nl 0).N.coupling_cap in
+  (* scaling twice multiplies; scaling to zero removes *)
+  let nl', remap =
+    Edit.apply nl
+      [
+        Edit.Scale_coupling { coupling = 0; factor = 0.5 };
+        Edit.Scale_coupling { coupling = 0; factor = 0.5 };
+        Edit.Scale_coupling { coupling = 1; factor = 0. };
+      ]
+  in
+  Alcotest.(check int) "zero-scaled cap removed" (nc - 1) (N.num_couplings nl');
+  (match remap 0 with
+  | Some c' ->
+    Alcotest.(check (float 1e-12))
+      "factors compose" (0.25 *. cap0)
+      (N.coupling nl' c').N.coupling_cap
+  | None -> Alcotest.fail "coupling 0 should survive");
+  Alcotest.(check bool) "factor outside [0,1] rejected" true
+    (try
+       ignore (Edit.apply nl [ Edit.Scale_coupling { coupling = 0; factor = 2. } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let upsized cell =
+  Cell.make ~name:(cell.Cell.name ^ "_x2") ~inputs:cell.Cell.inputs
+    ~output:cell.Cell.output ~logic:cell.Cell.logic
+    ~intrinsic_delay:cell.Cell.intrinsic_delay
+    ~drive_resistance:(0.5 *. cell.Cell.drive_resistance)
+    ~intrinsic_slew:cell.Cell.intrinsic_slew
+    ~slew_resistance:(0.5 *. cell.Cell.slew_resistance)
+
+let test_edit_resize_touches () =
+  let nl = B.tiny () in
+  let g = N.gate nl 0 in
+  let touched =
+    Edit.touched_nets nl [ Edit.Resize_driver { gate = 0; cell = upsized g.N.cell } ]
+  in
+  Alcotest.(check bool) "output net touched" true (List.mem g.N.fanout touched);
+  List.iter
+    (fun (_, u) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fanin net %d touched" u)
+        true (List.mem u touched))
+    g.N.fanin
+
+let test_dirty_closure () =
+  let nl = B.c17 () in
+  let topo = Topo.create nl in
+  let c = N.coupling nl 0 in
+  let seeds = [ c.N.net_a; c.N.net_b ] in
+  let mark = Dirty.closure topo seeds in
+  List.iter
+    (fun s -> Alcotest.(check bool) "seed dirty" true mark.(s))
+    seeds;
+  (* closed under fanout and coupling adjacency *)
+  Array.iteri
+    (fun v d ->
+      if d then begin
+        List.iter
+          (fun w -> Alcotest.(check bool) "fanout closed" true mark.(w))
+          (N.fanout_nets nl v);
+        List.iter
+          (fun cid ->
+            Alcotest.(check bool) "coupling closed" true
+              mark.(N.coupling_partner nl cid v))
+          (N.couplings_of_net nl v)
+      end)
+    mark;
+  Alcotest.(check bool)
+    "clean levels consistent" true
+    (Dirty.clean_levels topo mark >= 0
+    && Dirty.clean_levels topo mark <= Topo.max_level topo + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Cache reuse and bit-identity                                       *)
+(* ------------------------------------------------------------------ *)
+
+let num_victim_lookups nl = 2 * N.num_nets nl (* both dual modes *)
+
+let test_second_run_all_hits () =
+  let nl = B.tiny () in
+  let topo = Topo.create nl in
+  let az = Analyzer.create ~k:4 () in
+  let r1, st1 = Analyzer.run az topo in
+  Alcotest.(check int) "first run misses everywhere"
+    (num_victim_lookups nl) st1.Analyzer.rs_misses;
+  Alcotest.(check int) "first run has no hits" 0 st1.Analyzer.rs_hits;
+  let r2, st2 = Analyzer.run az topo in
+  Alcotest.(check int) "second run hits everywhere"
+    (num_victim_lookups nl) st2.Analyzer.rs_hits;
+  Alcotest.(check int) "second run misses nothing" 0 st2.Analyzer.rs_misses;
+  Alcotest.(check bool) "second run bit-identical" true
+    (Eco.elim_identical r1 r2);
+  let scratch = Elimination.compute ~k:4 topo in
+  Alcotest.(check bool) "cached == from scratch" true
+    (Eco.elim_identical scratch r2)
+
+let test_edit_reanalysis_identical () =
+  let nl = B.c17 () in
+  let az = Analyzer.create ~k:4 () in
+  let _ = Analyzer.run az (Topo.create nl) in
+  let nl', dirty = Analyzer.apply az nl [ Edit.Remove_coupling 0 ] in
+  Alcotest.(check bool) "dirty set non-empty" true (dirty > 0);
+  let topo' = Topo.create nl' in
+  let incr, st = Analyzer.run az topo' in
+  let scratch = Elimination.compute ~k:4 topo' in
+  Alcotest.(check bool) "incremental == scratch after edit" true
+    (Eco.elim_identical scratch incr);
+  Alcotest.(check int) "every victim looked up"
+    (num_victim_lookups nl')
+    (st.Analyzer.rs_hits + st.Analyzer.rs_misses)
+
+let test_checkpoint_roundtrip () =
+  let nl = B.tiny () in
+  let topo = Topo.create nl in
+  let az = Analyzer.create ~k:4 () in
+  let r1, _ = Analyzer.run az topo in
+  let path = Filename.temp_file "tka_incr_test" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Analyzer.save_checkpoint az path;
+      let az2 = Analyzer.create ~k:4 () in
+      Analyzer.load_checkpoint az2 path;
+      Alcotest.(check int) "all records round-trip"
+        (Cache.size (Analyzer.cache az))
+        (Cache.size (Analyzer.cache az2));
+      let r2, st = Analyzer.run az2 topo in
+      Alcotest.(check int) "warm start hits everywhere"
+        (num_victim_lookups nl) st.Analyzer.rs_hits;
+      Alcotest.(check bool) "warm result bit-identical" true
+        (Eco.elim_identical r1 r2);
+      (* a foreign checkpoint names a different coupling table, so the
+         universe guard flushes it wholesale before the run consults
+         anything — results stay correct *)
+      let az3 = Analyzer.create ~k:4 () in
+      Analyzer.load_checkpoint az3 path;
+      let other = Topo.create (B.c17 ()) in
+      let r3, _ = Analyzer.run az3 other in
+      Alcotest.(check bool) "foreign checkpoint still correct" true
+        (Eco.elim_identical (Elimination.compute ~k:4 other) r3))
+
+(* The id-aliasing trap the universe guard exists for: a checkpoint
+   saved after an edit carries coupling ids compacted to the edited
+   table. Reloaded against the ORIGINAL design, its key hits would
+   silently report sets under the wrong ids — unless the mismatched
+   universe flushes the cache first. *)
+let test_checkpoint_universe_guard () =
+  let nl = B.c17 () in
+  let az = Analyzer.create ~k:4 () in
+  let _ = Analyzer.run az (Topo.create nl) in
+  let nl', _ = Analyzer.apply az nl [ Edit.Remove_coupling 0 ] in
+  let _ = Analyzer.run az (Topo.create nl') in
+  let path = Filename.temp_file "tka_incr_test" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Analyzer.save_checkpoint az path;
+      let az2 = Analyzer.create ~k:4 () in
+      Analyzer.load_checkpoint az2 path;
+      let topo = Topo.create nl in
+      let r, st = Analyzer.run az2 topo in
+      Alcotest.(check int) "mismatched universe hits nothing" 0
+        st.Analyzer.rs_hits;
+      Alcotest.(check bool) "results identical after flush" true
+        (Eco.elim_identical (Elimination.compute ~k:4 topo) r))
+
+let test_checkpoint_rejects_garbage () =
+  let path = Filename.temp_file "tka_incr_test" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"format\":\"something-else\",\"version\":9}\n";
+      close_out oc;
+      Alcotest.(check bool) "wrong header rejected" true
+        (try
+           ignore (Cache.load path);
+           false
+         with Failure _ -> true))
+
+let test_eco_loop () =
+  let r, _ = Eco.run ~k:4 ~fix_k:1 (B.c17 ()) in
+  Alcotest.(check bool) "eco re-analyses identical" true r.Eco.eco_identical;
+  Alcotest.(check bool) "eco applied an edit" true (r.Eco.eco_edits <> []);
+  Alcotest.(check bool) "fix does not worsen delay" true
+    (r.Eco.eco_delay_fixed <= r.Eco.eco_delay_noisy +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: random edit sequences, applied incrementally, at jobs 1/4  *)
+(* ------------------------------------------------------------------ *)
+
+(* simple deterministic generator for edit scripts *)
+let random_edits nl rand n =
+  let nc = N.num_couplings nl in
+  let ng = N.num_gates nl in
+  List.init n (fun _ ->
+      match rand 3 with
+      | 0 when nc > 0 -> Edit.Remove_coupling (rand nc)
+      | 1 when nc > 0 ->
+        Edit.Scale_coupling
+          { coupling = rand nc; factor = [| 0.; 0.3; 0.7 |].(rand 3) }
+      | _ ->
+        let g = N.gate nl (rand ng) in
+        Edit.Resize_driver { gate = g.N.gate_id; cell = upsized g.N.cell })
+
+let test_random_edit_sequences =
+  QCheck.Test.make
+    ~name:"random edit sequence: incremental == scratch (jobs 1 and 4)"
+    ~count:4
+    QCheck.(pair (int_range 6 12) (int_range 0 10_000))
+    (fun (gates, seed) ->
+      let spec =
+        {
+          B.sp_name = "rnd";
+          sp_gates = gates;
+          sp_inputs = 3;
+          sp_depth = 3;
+          sp_couplings = 2 * gates;
+          sp_seed = seed;
+        }
+      in
+      let nl0 = B.generate spec in
+      let st = Random.State.make [| seed; gates |] in
+      let rand n = Random.State.int st n in
+      (* two successive edit batches so cache remapping is exercised
+         repeatedly; state must match a from-scratch run after each *)
+      List.for_all
+        (fun jobs ->
+          at_jobs jobs (fun () ->
+              let az = Analyzer.create ~k:4 () in
+              let _ = Analyzer.run az (Topo.create nl0) in
+              let step nl =
+                let edits = random_edits nl rand (1 + rand 2) in
+                let nl', _ = Analyzer.apply az nl edits in
+                let topo' = Topo.create nl' in
+                let incr, _ = Analyzer.run az topo' in
+                let scratch = Elimination.compute ~k:4 topo' in
+                (nl', Eco.elim_identical scratch incr)
+              in
+              let nl1, ok1 = step nl0 in
+              let _, ok2 = step nl1 in
+              ok1 && ok2))
+        [ 1; 4 ])
+
+let () =
+  Alcotest.run "tka_incr"
+    [
+      ( "hashing",
+        [
+          Alcotest.test_case "fnv primitives" `Quick test_fnv;
+          Alcotest.test_case "fingerprint stability" `Quick
+            test_fingerprint_stability;
+        ] );
+      ( "edits",
+        [
+          Alcotest.test_case "remove compacts ids" `Quick test_edit_remove;
+          Alcotest.test_case "edits compose" `Quick test_edit_compose;
+          Alcotest.test_case "resize touches fanin" `Quick
+            test_edit_resize_touches;
+          Alcotest.test_case "dirty closure" `Quick test_dirty_closure;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "second run all hits, identical" `Quick
+            test_second_run_all_hits;
+          Alcotest.test_case "edit then re-analysis identical" `Quick
+            test_edit_reanalysis_identical;
+          Alcotest.test_case "checkpoint round-trip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "checkpoint universe guard" `Quick
+            test_checkpoint_universe_guard;
+          Alcotest.test_case "checkpoint rejects garbage" `Quick
+            test_checkpoint_rejects_garbage;
+          Alcotest.test_case "eco loop" `Quick test_eco_loop;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest test_random_edit_sequences ] );
+    ]

@@ -217,6 +217,12 @@ let handle_errors f =
   | Spef.Parse_error { line; message } ->
     Printf.eprintf "spef parse error, line %d: %s\n" line message;
     exit 1
+  | Tka_circuit.Sdf_lite.Parse_error { line; message } ->
+    Printf.eprintf "sdf parse error, line %d: %s\n" line message;
+    exit 1
+  | N.Link_error { source; message } ->
+    Printf.eprintf "%s link error: %s\n" source message;
+    exit 1
   | Tka_circuit.Builder.Invalid m ->
     Printf.eprintf "invalid netlist: %s\n" m;
     exit 1
@@ -774,6 +780,106 @@ let eco_cmd =
       $ fixed_out $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
+(* verify                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let module Driver = Tka_verify.Driver in
+  let module Repro = Tka_verify.Repro in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Master RNG seed.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 500
+      & info [ "trials" ] ~docv:"N" ~doc:"Number of trials to run.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-s" ] ~docv:"SECONDS"
+          ~doc:"Stop starting new trials after this much wall time.")
+  in
+  let no_minimize =
+    Arg.(
+      value & flag
+      & info [ "no-minimize" ]
+          ~doc:"Skip delta-debug minimization of failing instances.")
+  in
+  let out =
+    Arg.(
+      value & opt string "tka-reproducers.ndjson"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Where to dump NDJSON reproducers when defects are found (the \
+             file is only written on failure).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Instead of running new trials, re-execute every reproducer in \
+             this NDJSON file (as written by a failing run).")
+  in
+  let run_replay path =
+    match Repro.load path with
+    | Error m -> failwith m
+    | Ok rs ->
+      let still = ref 0 in
+      List.iteri
+        (fun i r ->
+          let tag = Printf.sprintf "[%d] %s" (i + 1) r.Repro.rp_invariant in
+          match Driver.replay r with
+          | Driver.Passed -> Printf.printf "%s: now passes\n" tag
+          | Driver.Skipped why -> Printf.printf "%s: skipped (%s)\n" tag why
+          | Driver.Reproduced detail ->
+            incr still;
+            Printf.printf "%s: STILL FAILING: %s\n" tag detail)
+        rs;
+      Printf.printf "%d reproducer(s), %d still failing\n" (List.length rs)
+        !still;
+      if !still > 0 then exit 1
+  in
+  let run obs seed trials budget no_minimize out replay =
+    run_obs obs (fun () ->
+        match replay with
+        | Some path -> run_replay path
+        | None ->
+          let s =
+            Driver.run ~seed ~trials ?budget_s:budget
+              ~minimize:(not no_minimize) ()
+          in
+          Printf.printf
+            "verify: %d trial(s) in %.1f s (%d oracle, %d fuzz, %d skipped), seed %d\n"
+            s.Driver.vs_trials s.Driver.vs_elapsed_s s.Driver.vs_oracle
+            s.Driver.vs_fuzz s.Driver.vs_skipped seed;
+          (match s.Driver.vs_failures with
+          | [] -> Printf.printf "no invariant violations found\n"
+          | failures ->
+            Repro.save out failures;
+            Printf.printf "%d DEFECT(S) FOUND — reproducers written to %s\n"
+              (List.length failures) out;
+            List.iter
+              (fun r ->
+                Printf.printf "  trial %d %s: %s\n" r.Repro.rp_trial
+                  r.Repro.rp_invariant r.Repro.rp_detail)
+              failures;
+            exit 1))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Differential self-verification: random circuits through the \
+          brute-force, duality, determinism and incremental oracles, plus \
+          mutation fuzzing of the text-format parsers.")
+    Term.(
+      const run $ obs_term $ seed $ trials $ budget $ no_minimize $ out
+      $ replay)
+
+(* ------------------------------------------------------------------ *)
 (* liberty                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -792,5 +898,5 @@ let () =
           [
             gen_cmd; info_cmd; sta_cmd; noise_cmd; topk_cmd; glitch_cmd;
             falseagg_cmd; kvalue_cmd; sensitivity_cmd; compare_cmd; sdf_cmd;
-            eco_cmd; liberty_cmd;
+            eco_cmd; verify_cmd; liberty_cmd;
           ]))

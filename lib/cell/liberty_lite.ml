@@ -103,7 +103,8 @@ let lex_token lx =
     done;
     let s = String.sub lx.src start (lx.pos - start) in
     (match float_of_string_opt s with
-    | Some f -> Number f
+    | Some f when Float.is_finite f -> Number f
+    | Some _ -> error lx (Printf.sprintf "non-finite number %S" s)
     | None -> error lx (Printf.sprintf "malformed number %S" s))
   | Some c when is_ident_char c ->
     let start = lx.pos in
@@ -243,7 +244,10 @@ let parse_cell st =
     match p.rp_direction with
     | Some "input" -> (
       match p.rp_capacitance with
-      | Some c -> `Input (Cell.input_pin ~name:p.rp_name ~capacitance:c)
+      | Some c -> (
+        try `Input (Cell.input_pin ~name:p.rp_name ~capacitance:c)
+        with Invalid_argument m ->
+          error st.lx (Printf.sprintf "cell %s: %s" cname m))
       | None ->
         error st.lx
           (Printf.sprintf "cell %s: input pin %s has no capacitance" cname p.rp_name))

@@ -2,6 +2,11 @@ type net_id = int
 type gate_id = int
 type coupling_id = int
 
+exception Link_error of { source : string; message : string }
+
+let link_error source fmt =
+  Printf.ksprintf (fun message -> raise (Link_error { source; message })) fmt
+
 type driver = Primary_input | Driven_by of gate_id
 
 type sink = { sink_gate : gate_id; sink_pin : string }

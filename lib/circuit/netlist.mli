@@ -13,6 +13,19 @@ type net_id = int
 type gate_id = int
 type coupling_id = int
 
+exception Link_error of { source : string; message : string }
+(** Raised when a parsed annotation (SPEF parasitics, SDF delays, ...)
+    names a net or instance that does not exist in the netlist it is
+    being linked against. [source] is the annotation format
+    (["spef"], ["sdf"], ...). Unlike {!Spef_lite.Parse_error} this is
+    not a syntax problem — the file is well-formed but refers to a
+    different design — so it gets its own structured exception instead
+    of a raw [Invalid_argument]. *)
+
+val link_error : string -> ('a, unit, string, 'b) format4 -> 'a
+(** [link_error source fmt ...] raises {!Link_error} with a formatted
+    message (helper for the annotation parsers). *)
+
 type driver =
   | Primary_input  (** driven from outside the circuit *)
   | Driven_by of gate_id

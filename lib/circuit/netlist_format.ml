@@ -8,6 +8,7 @@ let fail line fmt =
 let split_words s =
   String.split_on_char ' ' s
   |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
   |> List.filter (fun w -> w <> "")
 
 let strip_comment s =
@@ -24,7 +25,8 @@ let parse_binding line w =
 
 let parse_float line key v =
   match float_of_string_opt v with
-  | Some f -> f
+  | Some f when Float.is_finite f -> f
+  | Some _ -> fail line "%s: non-finite number %S" key v
   | None -> fail line "%s: malformed number %S" key v
 
 (* optional cap=/res= bindings for net declarations *)

@@ -69,6 +69,7 @@ let tokenize src =
       let start = !i + 1 in
       let j = ref start in
       while !j < n && src.[!j] <> '"' do
+        if src.[!j] = '\n' then incr line;
         incr j
       done;
       if !j >= n then err "unterminated string";
@@ -86,25 +87,33 @@ let tokenize src =
   done;
   List.rev !out
 
-type sexp = L of sexp list | A of string | S of string
+(* Every node carries the source line of its first token so the
+   second-phase checker can point at the offending SDF line. *)
+type sexp = L of int * sexp list | A of int * string | S of int * string
+
+let sexp_line = function L (l, _) | A (l, _) | S (l, _) -> l
+
+let last_line tokens =
+  List.fold_left (fun _ (_, line) -> line) 1 tokens
 
 let parse_sexps tokens =
   let err line message = raise (Parse_error { line; message }) in
+  let eof_line = last_line tokens in
   let rec one = function
-    | [] -> err 0 "unexpected end of input"
-    | (Lp, _) :: rest ->
-      let items, rest = list_items rest in
-      (L items, rest)
+    | [] -> err eof_line "unexpected end of input"
+    | (Lp, line) :: rest ->
+      let items, rest = list_items line rest in
+      (L (line, items), rest)
     | (Rp, line) :: _ -> err line "unexpected ')'"
-    | (Atom a, _) :: rest -> (A a, rest)
-    | (Str s, _) :: rest -> (S s, rest)
-  and list_items tokens =
+    | (Atom a, line) :: rest -> (A (line, a), rest)
+    | (Str s, line) :: rest -> (S (line, s), rest)
+  and list_items open_line tokens =
     match tokens with
     | (Rp, _) :: rest -> ([], rest)
-    | [] -> err 0 "missing ')'"
+    | [] -> err eof_line (Printf.sprintf "missing ')' for '(' on line %d" open_line)
     | _ :: _ ->
       let x, rest = one tokens in
-      let xs, rest = list_items rest in
+      let xs, rest = list_items open_line rest in
       (x :: xs, rest)
   in
   let rec all tokens =
@@ -117,25 +126,28 @@ let parse_sexps tokens =
   all tokens
 
 let parse src =
-  let err message = raise (Parse_error { line = 0; message }) in
+  let err line message = raise (Parse_error { line; message }) in
   match parse_sexps (tokenize src) with
-  | [ L (A "DELAYFILE" :: items) ] ->
+  | [ L (_, A (_, "DELAYFILE") :: items) ] ->
     let design = ref None in
     let arcs = ref [] in
     let rec walk_cell instance = function
-      | L (A "DELAY" :: dels) :: rest ->
+      | L (_, A (_, "DELAY") :: dels) :: rest ->
         List.iter
           (function
-            | L (A "ABSOLUTE" :: paths) ->
+            | L (_, A (_, "ABSOLUTE") :: paths) ->
               List.iter
                 (function
-                  | L [ A "IOPATH"; A from_pin; A to_pin; L [ A v ] ] -> (
+                  | L (line, [ A (_, "IOPATH"); A (_, from_pin); A (_, to_pin);
+                               L (_, [ A (_, v) ]) ]) -> (
                     match float_of_string_opt v with
-                    | Some d -> arcs := (instance, from_pin, to_pin, d) :: !arcs
-                    | None -> err (Printf.sprintf "bad delay %S" v))
-                  | _ -> err "malformed IOPATH")
+                    | Some d when Float.is_finite d ->
+                      arcs := (instance, from_pin, to_pin, d) :: !arcs
+                    | Some _ -> err line (Printf.sprintf "non-finite delay %S" v)
+                    | None -> err line (Printf.sprintf "bad delay %S" v))
+                  | node -> err (sexp_line node) "malformed IOPATH")
                 paths
-            | _ -> err "expected ABSOLUTE")
+            | node -> err (sexp_line node) "expected ABSOLUTE")
           dels;
         walk_cell instance rest
       | _ :: rest -> walk_cell instance rest
@@ -143,27 +155,30 @@ let parse src =
     in
     List.iter
       (function
-        | L [ A "SDFVERSION"; S _ ] | L [ A "TIMESCALE"; A _ ] -> ()
-        | L [ A "DESIGN"; S name ] -> design := Some name
-        | L (A "CELL" :: cell_items) ->
+        | L (_, [ A (_, "SDFVERSION"); S _ ]) | L (_, [ A (_, "TIMESCALE"); A _ ]) -> ()
+        | L (_, [ A (_, "DESIGN"); S (_, name) ]) -> design := Some name
+        | L (line, A (_, "CELL") :: cell_items) ->
           let instance =
             List.find_map
-              (function L [ A "INSTANCE"; A i ] -> Some i | _ -> None)
+              (function
+                | L (_, [ A (_, "INSTANCE"); A (_, i) ]) -> Some i
+                | _ -> None)
               cell_items
           in
           (match instance with
           | Some i -> walk_cell i cell_items
-          | None -> err "CELL without INSTANCE")
-        | _ -> err "unexpected item in DELAYFILE")
+          | None -> err line "CELL without INSTANCE")
+        | node -> err (sexp_line node) "unexpected item in DELAYFILE")
       items;
     { sdf_design = !design; sdf_arcs = List.rev !arcs }
-  | _ -> err "expected a single (DELAYFILE ...)"
+  | node :: _ -> err (sexp_line node) "expected a single (DELAYFILE ...)"
+  | [] -> err 1 "expected a single (DELAYFILE ...)"
 
 let check_against ann ~delay_of nl =
   List.filter_map
     (fun (instance, _, _, d) ->
       match N.find_gate nl instance with
-      | None -> invalid_arg (Printf.sprintf "Sdf_lite.check_against: unknown instance %S" instance)
+      | None -> N.link_error "sdf" "unknown instance %S" instance
       | Some g ->
         let expect = delay_of g in
         if Float.abs (expect -. d) > 1e-6 then Some (instance, d, expect) else None)

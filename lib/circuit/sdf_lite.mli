@@ -39,8 +39,9 @@ type annotation = {
 }
 
 val parse : string -> annotation
-(** Reads the subset back.
-    @raise Parse_error on malformed input. *)
+(** Reads the subset back. Delays must be finite.
+    @raise Parse_error on malformed input, with the line number of the
+    offending construct (line 1 for an empty file). *)
 
 val check_against :
   annotation ->
@@ -50,4 +51,4 @@ val check_against :
 (** Compare an annotation's arcs against [delay_of] (usually
     [Tka_sta.Delay_calc.stage_delay]); returns mismatches as
     [(instance, sdf_delay, computed)] beyond 1e-6 ns. Unknown
-    instances raise [Invalid_argument]. *)
+    instances raise {!Netlist.Link_error} with source ["sdf"]. *)

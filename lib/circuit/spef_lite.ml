@@ -20,6 +20,7 @@ type annotation = {
 let split_words s =
   String.split_on_char ' ' s
   |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
   |> List.filter (fun w -> w <> "")
 
 let strip_comment s =
@@ -29,12 +30,14 @@ let strip_comment s =
 
 let parse_float line what v =
   match float_of_string_opt v with
-  | Some f -> f
+  | Some f when Float.is_finite f -> f
+  | Some _ -> fail line "%s: non-finite number %S" what v
   | None -> fail line "%s: malformed number %S" what v
 
 type state = {
   mutable design : string option;
-  mutable current : (string * float) option; (* net under *D_NET, declared total *)
+  mutable current : (string * float * int) option;
+      (* net under *D_NET, declared total, opening line *)
   mutable in_cap : bool;
   mutable res : (string * float) list;
   mutable gcap : (string, float) Hashtbl.t;
@@ -68,12 +71,12 @@ let parse src =
         | [ v ] -> parse_float line_no "*D_NET total" v
         | _ -> fail line_no "usage: *D_NET NET [TOTAL]"
       in
-      st.current <- Some (net, total);
+      st.current <- Some (net, total, line_no);
       st.in_cap <- false
     | [ "*RES"; v ] -> (
       match st.current with
       | None -> fail line_no "*RES outside *D_NET"
-      | Some (net, _) ->
+      | Some (net, _, _) ->
         st.in_cap <- false;
         st.res <- (net, parse_float line_no "*RES" v) :: st.res)
     | [ "*CAP" ] ->
@@ -87,7 +90,7 @@ let parse src =
         st.in_cap <- false)
     | words when st.in_cap -> (
       match (st.current, words) with
-      | Some (dnet, _), [ _idx; net; v ] ->
+      | Some (dnet, _, _), [ _idx; net; v ] ->
         (* ambiguous two-name vs ground form: ground entries name the
            D_NET's own net *)
         if net = dnet then
@@ -120,7 +123,9 @@ let parse src =
   in
   let lines = String.split_on_char '\n' src in
   List.iteri (fun i l -> handle (i + 1) l) lines;
-  if st.current <> None then fail 0 "unterminated *D_NET";
+  (match st.current with
+  | Some (net, _, opened) -> fail opened "unterminated *D_NET %s" net
+  | None -> ());
   let res_of net = Option.value ~default:0. (List.assoc_opt net st.res) in
   let ground =
     Hashtbl.fold (fun net cap acc -> (net, cap, res_of net) :: acc) st.gcap []
@@ -177,7 +182,7 @@ let apply (ann : annotation) nl =
   let resolve name =
     match Hashtbl.find_opt ids name with
     | Some id -> id
-    | None -> invalid_arg (Printf.sprintf "Spef_lite.apply: unknown net %S" name)
+    | None -> N.link_error "spef" "unknown net %S" name
   in
   Array.iter
     (fun g ->

@@ -41,7 +41,9 @@ type annotation = {
 }
 
 val parse : string -> annotation
-(** @raise Parse_error on malformed input. *)
+(** @raise Parse_error on malformed input, with the offending line
+    (an unterminated [*D_NET] reports its opening line). Capacitance and
+    resistance values must be finite. *)
 
 val parse_file : string -> annotation
 
@@ -49,7 +51,7 @@ val apply : annotation -> Netlist.t -> Netlist.t
 (** Rebuilds the netlist with the annotation's parasitics: wire cap/res
     replaced for every annotated net, all prior couplings dropped and
     replaced by the annotation's. Unknown net names raise
-    [Invalid_argument]. *)
+    {!Netlist.Link_error} with source ["spef"]. *)
 
 val print : Netlist.t -> string
 (** Renders a netlist's parasitics in the SPEF-lite format (round-trips

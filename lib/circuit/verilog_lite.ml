@@ -275,11 +275,11 @@ let parse ~lookup src =
       | None ->
         let full = prefix ^ n in
         let id =
-          match kind with
-          | `Input when prefix = "" -> Builder.add_input b full
-          | `Input | `Output | `Wire -> (
-            try Builder.add_net b full
-            with Builder.Invalid msg -> fail m.vm_line msg)
+          try
+            match kind with
+            | `Input when prefix = "" -> Builder.add_input b full
+            | `Input | `Output | `Wire -> Builder.add_net b full
+          with Builder.Invalid msg -> fail m.vm_line msg
         in
         if kind = `Output && prefix = "" then
           declared_outputs := id :: !declared_outputs;

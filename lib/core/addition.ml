@@ -16,11 +16,41 @@ let estimated_delay t i = Engine.estimated_delay t.result i
 let evaluate_set topo s =
   Iterate.circuit_delay (Iterate.run ~active:(Coupling_set.contains_fn s) topo)
 
+(* Recombination pool: every directed coupling named by a retained
+   candidate. Cardinality 1 first — the static ranking is exact for
+   singles (k = 1 matches brute force), so individually strong members
+   are the likeliest optimum members and must survive truncation. *)
+let ranked_members t i =
+  List.concat_map
+    (fun j -> List.concat_map Coupling_set.to_list (candidates t (j + 1)))
+    (List.init i Fun.id)
+
 (* The engine's objectives are first-order; the paper evaluates the
    whole sink I-list. Rank the retained candidates by the exact
-   iterative analysis and keep the strongest. *)
+   iterative analysis — together with a bounded recombination of their
+   members (see {!Refine}) — and keep the strongest. *)
 let best_choice t i =
-  match candidates t i with
+  let universe =
+    2 * Tka_circuit.Netlist.num_couplings (Tka_circuit.Topo.netlist t.topo)
+  in
+  let cands = candidates t i in
+  let recombined =
+    if cands = [] then []
+    else Refine.subsets ~universe ~k:i ~members:(ranked_members t i) ()
+  in
+  let seen = Hashtbl.create 16 in
+  let distinct =
+    List.filter
+      (fun s ->
+        let key = Coupling_set.to_list s in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      (cands @ recombined)
+  in
+  match distinct with
   | [] -> None
   | first :: rest ->
     let score s = (s, evaluate_set t.topo s) in

@@ -66,9 +66,42 @@ let estimated_delay t i = Engine.estimated_delay t.result i
 let evaluate_set topo s =
   Iterate.circuit_delay (Iterate.run ~active:(Coupling_set.excludes_fn s) topo)
 
-(* exact re-ranking over the retained candidates and the dual pick *)
+(* Recombination pool: members of the retained elimination candidates
+   and of the dual engine's sink lists. Cardinality 1 first — the
+   static ranking is exact for singles, so individually strong members
+   are the likeliest optimum members and must survive truncation. *)
+let ranked_members t i =
+  List.concat_map
+    (fun j ->
+      let i' = j + 1 in
+      List.concat_map Coupling_set.to_list
+        (candidates t i' @ top_of_result t.dual i'))
+    (List.init i Fun.id)
+
+(* exact re-ranking over the retained candidates, the dual pick, and a
+   bounded recombination of their members (see {!Refine}) *)
 let best_choice t i =
-  match candidates t i with
+  let universe =
+    2 * Tka_circuit.Netlist.num_couplings (Tka_circuit.Topo.netlist t.topo)
+  in
+  let cands = candidates t i in
+  let recombined =
+    if cands = [] then []
+    else Refine.subsets ~universe ~k:i ~members:(ranked_members t i) ()
+  in
+  let seen = Hashtbl.create 16 in
+  let distinct =
+    List.filter
+      (fun s ->
+        let key = Coupling_set.to_list s in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      (cands @ recombined)
+  in
+  match distinct with
   | [] -> None
   | first :: rest ->
     let score s = (s, evaluate_set t.topo s) in

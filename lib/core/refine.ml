@@ -1,0 +1,41 @@
+let default_budget = 128
+
+let subsets ?(budget = default_budget) ~universe ~k ~members () =
+  if k < 1 then []
+  else begin
+    let seen = Hashtbl.create 16 in
+    let rev_pool = ref [] in
+    let push d =
+      if d >= 0 && d < universe && not (Hashtbl.mem seen d) then begin
+        Hashtbl.replace seen d ();
+        rev_pool := d :: !rev_pool
+      end
+    in
+    (* directly retained members first: a slot spent on a partner
+       direction must never evict a coupling the engine itself kept *)
+    List.iter push members;
+    (* then the opposite directions of the same physical couplings:
+       mutual aggression is exactly the interaction static ranking
+       misses *)
+    List.iter (fun d -> push (d lxor 1)) members;
+    let pool = Array.of_list (List.rev !rev_pool) in
+    let n = ref (Array.length pool) in
+    while !n > k && Brute_force.binomial !n k > budget do
+      decr n
+    done;
+    let n = !n in
+    if n < k then []
+    else begin
+      let out = ref [] in
+      let rec go idx chosen set =
+        if chosen = k then out := set :: !out
+        else if n - idx < k - chosen then ()
+        else begin
+          go (idx + 1) (chosen + 1) (Coupling_set.add pool.(idx) set);
+          go (idx + 1) chosen set
+        end
+      in
+      go 0 0 Coupling_set.empty;
+      List.rev !out
+    end
+  end

@@ -1,0 +1,32 @@
+(** Bounded exact recombination of retained candidate members.
+
+    The engine ranks candidate sets with the static envelope model
+    (the paper's Theorem 1 world); the exact fixpoint can disagree when
+    in-set feedback — one member widening another member's switching
+    window, including mutual aggression across the two directions of
+    one physical coupling — amplifies a set beyond what static
+    superposition predicts. In practice the exact optimum's members
+    still appear scattered across the candidates the engine retained at
+    lower cardinalities; what the static ranking got wrong is only
+    their *combination*.
+
+    This module rebuilds that combination space: it pools the directed
+    couplings named by the ranked candidates (each together with its
+    opposite direction, [id lxor 1]), truncates the pool until the
+    number of k-subsets fits a budget, and enumerates them all for the
+    caller to evaluate exactly. The budget caps the extra full
+    iterative analyses per query, keeping selection cost bounded on
+    large circuits. *)
+
+val default_budget : int
+(** Maximum number of recombined subsets per query. *)
+
+val subsets :
+  ?budget:int -> universe:int -> k:int -> members:int list -> unit ->
+  Coupling_set.t list
+(** [subsets ~universe ~k ~members ()] enumerates the k-subsets of the
+    pool built from [members] (directed coupling ids, best first,
+    duplicates ignored), followed by every member's partner direction
+    in the same order. The pool is truncated from the tail until
+    [binomial pool k <= budget]. Returns [[]] when fewer than [k]
+    distinct ids are available. *)

@@ -1,14 +1,23 @@
 let default_eps = 1e-9
 
-let approx ?(eps = default_eps) a b = Float.abs (a -. b) <= eps
+(* [a = b] first: equal infinities must compare approx-equal even though
+   [inf -. inf] is NaN. A NaN argument fails both branches, so approx
+   involving NaN is always false (consistent with IEEE equality). *)
+let approx ?(eps = default_eps) a b = a = b || Float.abs (a -. b) <= eps
 let leq ?(eps = default_eps) a b = a <= b +. eps
 let geq ?(eps = default_eps) a b = a >= b -. eps
 let lt ?(eps = default_eps) a b = a < b -. eps
 let gt ?(eps = default_eps) a b = a > b +. eps
 let is_zero ?eps x = approx ?eps x 0.
 
+let is_finite x = Float.is_finite x
+
 let clamp ~lo ~hi x =
-  if x < lo then lo else if x > hi then hi else x
+  if Float.is_nan x then
+    invalid_arg "Float_cmp.clamp: NaN"
+  else if x < lo then lo
+  else if x > hi then hi
+  else x
 
 let compare_approx ?eps a b =
   if approx ?eps a b then 0 else compare a b

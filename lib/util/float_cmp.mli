@@ -9,7 +9,9 @@ val default_eps : float
 (** The library-wide absolute tolerance, [1e-9]. *)
 
 val approx : ?eps:float -> float -> float -> bool
-(** [approx a b] is true when [|a - b| <= eps]. *)
+(** [approx a b] is true when [|a - b| <= eps] or [a = b] — the second
+    disjunct makes equal infinities approx-equal (their difference is
+    NaN). Any comparison involving NaN is false. *)
 
 val leq : ?eps:float -> float -> float -> bool
 (** [leq a b] is [a <= b + eps]. *)
@@ -26,8 +28,15 @@ val gt : ?eps:float -> float -> float -> bool
 val is_zero : ?eps:float -> float -> bool
 (** [is_zero x] is [approx x 0.]. *)
 
+val is_finite : float -> bool
+(** Neither NaN nor an infinity — the validity test parsers apply to
+    every physical quantity before it enters the analysis. *)
+
 val clamp : lo:float -> hi:float -> float -> float
-(** [clamp ~lo ~hi x] restricts [x] to [\[lo, hi\]]. *)
+(** [clamp ~lo ~hi x] restricts [x] to [\[lo, hi\]]. Raises
+    [Invalid_argument] on a NaN [x] (a silently propagated NaN defeated
+    the clamp's purpose downstream; see the fuzz harness notes in
+    [docs/verification.md]). *)
 
 val compare_approx : ?eps:float -> float -> float -> int
 (** Three-way comparison treating values within [eps] as equal. *)

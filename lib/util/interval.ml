@@ -1,14 +1,18 @@
 type t = { lo : float; hi : float }
 
 let make lo hi =
-  if lo > hi then
+  if Float.is_nan lo || Float.is_nan hi then
+    invalid_arg (Printf.sprintf "Interval.make: NaN bound (%g, %g)" lo hi)
+  else if lo > hi then
     if Float_cmp.approx lo hi then { lo; hi = lo }
     else
       invalid_arg
         (Printf.sprintf "Interval.make: lo (%g) > hi (%g)" lo hi)
   else { lo; hi }
 
-let point x = { lo = x; hi = x }
+let point x =
+  if Float.is_nan x then invalid_arg "Interval.point: NaN"
+  else { lo = x; hi = x }
 let lo t = t.lo
 let hi t = t.hi
 let width t = t.hi -. t.lo
@@ -27,14 +31,18 @@ let intersect a b =
 
 let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
 
-let shift d t = { lo = t.lo +. d; hi = t.hi +. d }
+let shift d t =
+  if Float.is_nan d then invalid_arg "Interval.shift: NaN";
+  { lo = t.lo +. d; hi = t.hi +. d }
 
+(* [d < 0.] is false for NaN, so the negativity guards alone would wave
+   a NaN through and poison both bounds — reject it explicitly. *)
 let expand_hi d t =
-  if d < 0. then invalid_arg "Interval.expand_hi: negative";
+  if not (d >= 0.) then invalid_arg "Interval.expand_hi: negative or NaN";
   { t with hi = t.hi +. d }
 
 let expand d t =
-  if d < 0. then invalid_arg "Interval.expand: negative";
+  if not (d >= 0.) then invalid_arg "Interval.expand: negative or NaN";
   { lo = t.lo -. d; hi = t.hi +. d }
 
 let equal ?eps a b = Float_cmp.approx ?eps a.lo b.lo && Float_cmp.approx ?eps a.hi b.hi

@@ -8,10 +8,11 @@ type t = private { lo : float; hi : float }
 
 val make : float -> float -> t
 (** [make lo hi]. Raises [Invalid_argument] if [lo > hi] (beyond
-    tolerance); values within tolerance are snapped. *)
+    tolerance) or if either bound is NaN; values within tolerance are
+    snapped. Infinite bounds are allowed (open-ended windows). *)
 
 val point : float -> t
-(** Degenerate interval [\[x, x\]]. *)
+(** Degenerate interval [\[x, x\]]. Raises [Invalid_argument] on NaN. *)
 
 val lo : t -> float
 val hi : t -> float
@@ -37,15 +38,18 @@ val hull : t -> t -> t
 (** Smallest interval containing both. *)
 
 val shift : float -> t -> t
-(** Translate both endpoints. *)
+(** Translate both endpoints. Raises [Invalid_argument] on a NaN
+    distance. *)
 
 val expand_hi : float -> t -> t
 (** [expand_hi d t] extends the upper endpoint by [d >= 0]. This is how a
     higher-order aggressor's timing window grows when indirect aggressors
-    add delay noise to its latest arrival. *)
+    add delay noise to its latest arrival. Raises [Invalid_argument] when
+    [d] is negative or NaN. *)
 
 val expand : float -> t -> t
-(** Symmetric expansion of both endpoints by [d >= 0]. *)
+(** Symmetric expansion of both endpoints by [d >= 0]. Raises
+    [Invalid_argument] when [d] is negative or NaN. *)
 
 val equal : ?eps:float -> t -> t -> bool
 val compare : t -> t -> int

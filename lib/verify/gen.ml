@@ -1,0 +1,52 @@
+module B = Tka_layout.Benchmarks
+module N = Tka_circuit.Netlist
+module Rng = Tka_util.Rng
+module Edit = Tka_incr.Edit
+module Lib = Tka_cell.Default_lib
+
+let circuit rng ~tag ~gates ~inputs ~depth ~couplings =
+  let seed = Rng.int rng 1_000_000 in
+  B.generate
+    {
+      B.sp_name = Printf.sprintf "%s%d" tag seed;
+      sp_gates = gates;
+      sp_inputs = inputs;
+      sp_depth = depth;
+      sp_couplings = couplings;
+      sp_seed = seed;
+    }
+
+let small_circuit rng =
+  circuit rng ~tag:"vs"
+    ~gates:(Rng.int_in rng 6 10)
+    ~inputs:(Rng.int_in rng 2 3)
+    ~depth:(Rng.int_in rng 2 3)
+    ~couplings:(Rng.int_in rng 3 6)
+
+let medium_circuit rng =
+  circuit rng ~tag:"vm"
+    ~gates:(Rng.int_in rng 12 20)
+    ~inputs:3
+    ~depth:(Rng.int_in rng 3 5)
+    ~couplings:(Rng.int_in rng 12 22)
+
+let random_edit rng nl =
+  let nc = N.num_couplings nl in
+  let resize () =
+    let g = Rng.int rng (N.num_gates nl) in
+    let arity = List.length (N.gate nl g).N.fanin in
+    match Lib.combinational_of_arity arity with
+    | [] -> None
+    | cells -> Some (Edit.Resize_driver { gate = g; cell = Rng.pick_list rng cells })
+  in
+  match if nc = 0 then 2 else Rng.int rng 3 with
+  | 0 -> Some (Edit.Remove_coupling (Rng.int rng nc))
+  | 1 ->
+    Some
+      (Edit.Scale_coupling
+         { coupling = Rng.int rng nc; factor = Rng.float rng 1.0 })
+  | _ -> resize ()
+
+let edits rng nl =
+  if N.num_gates nl = 0 then []
+  else List.filter_map (fun () -> random_edit rng nl) (List.init (Rng.int_in rng 1 4) (fun _ -> ()))

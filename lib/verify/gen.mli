@@ -1,0 +1,22 @@
+(** Seeded random circuits and edit scripts for the differential oracle.
+
+    Thin wrappers over {!Tka_layout.Benchmarks.generate} (itself fully
+    deterministic in its seed) and {!Tka_incr.Edit}, drawing every size
+    parameter from a caller-supplied {!Tka_util.Rng} stream so a trial
+    is reproducible from the master seed alone. *)
+
+val small_circuit : Tka_util.Rng.t -> Tka_circuit.Netlist.t
+(** 6–10 gates with 3–6 coupling caps: small enough that the
+    brute-force baseline enumerates [C(2c, 3)] subsets in well under a
+    second, the regime the k ≤ 3 differential check needs. *)
+
+val medium_circuit : Tka_util.Rng.t -> Tka_circuit.Netlist.t
+(** 12–20 gates with 12–22 coupling caps, matching the random-circuit
+    property tests: enough couplings for duality / determinism /
+    incremental invariants to exercise real enumeration. *)
+
+val edits : Tka_util.Rng.t -> Tka_circuit.Netlist.t -> Tka_incr.Edit.t list
+(** A 1–4 step random ECO script valid for the given netlist: coupling
+    removals, coupling scalings with a factor in [0, 1], and driver
+    resizes to a same-arity library cell. May be empty when the
+    netlist offers no applicable edit. *)

@@ -1,0 +1,41 @@
+(* Classic ddmin. Lists here are tiny (couplings of a generated
+   circuit, lines of a fuzz input), so the quadratic worst case is
+   irrelevant next to the cost of one [test] evaluation. *)
+
+let partition xs size =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n = size then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 xs
+
+let ddmin test xs =
+  let rec go n xs =
+    let len = List.length xs in
+    if len <= 1 then xs
+    else begin
+      let size = max 1 ((len + n - 1) / n) in
+      let chunks = partition xs size in
+      match List.find_opt test chunks with
+      | Some c -> go 2 c (* reduce to a failing chunk *)
+      | None -> (
+        let complements =
+          List.mapi
+            (fun i _ ->
+              List.concat (List.filteri (fun j _ -> j <> i) chunks))
+            chunks
+        in
+        match List.find_opt test complements with
+        | Some c -> go (max (n - 1) 2) c (* reduce to a failing complement *)
+        | None -> if n < len then go (min len (2 * n)) xs else xs)
+    end
+  in
+  if test xs then go 2 xs else xs
+
+let lines test src =
+  if not (test src) then src
+  else
+    let ls = String.split_on_char '\n' src in
+    String.concat "\n" (ddmin (fun ls -> test (String.concat "\n" ls)) ls)

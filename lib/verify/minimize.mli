@@ -1,0 +1,21 @@
+(** Delta-debugging test-case minimization.
+
+    Zeller–Hildebrandt ddmin specialised to lists: given a list whose
+    elements jointly trigger a failure, find a 1-minimal sublist that
+    still triggers it. Used by {!Driver} to shrink a failing circuit's
+    coupling list, a failing edit script, a failing duality set, and
+    the line list of a failing fuzz input before the reproducer is
+    dumped. *)
+
+val ddmin : ('a list -> bool) -> 'a list -> 'a list
+(** [ddmin test xs] returns a sublist [ys] of [xs] (elements in their
+    original order) with [test ys = true], such that removing any
+    single element of [ys] makes [test] false (1-minimality). When
+    [test xs] is false the input is returned unchanged. [test] must be
+    total — wrap it so exceptions map to [false]. *)
+
+val lines : (string -> bool) -> string -> string
+(** [lines test src] is {!ddmin} over the newline-separated lines of
+    [src], rejoined with ['\n']: the smallest subset of lines that
+    still makes [test] true. Falls back to [src] when [test src] is
+    false. *)

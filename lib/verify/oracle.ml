@@ -1,0 +1,114 @@
+module N = Tka_circuit.Netlist
+module Topo = Tka_circuit.Topo
+module Addition = Tka_topk.Addition
+module Elimination = Tka_topk.Elimination
+module BF = Tka_topk.Brute_force
+module CS = Tka_topk.Coupling_set
+module Pool = Tka_parallel.Pool
+module Eco = Tka_incr.Eco
+module Analyzer = Tka_incr.Analyzer
+
+type verdict = Pass | Skip of string | Fail of string
+
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Tolerances mirror the regression suite: top-1 is exact (the engine
+   evaluates every single-coupling candidate), larger sets are a
+   heuristic with a 1%-of-optimum contract, and in no case may the
+   engine land on the wrong side of the optimum — both sides evaluate
+   candidates with the same iterative analysis. *)
+let brute ?(budget_s = 30.) ~k topo =
+  if k < 1 || k > 3 then invalid_arg "Oracle.brute: k must be in [1, 3]";
+  let nl = Topo.netlist topo in
+  if 2 * N.num_couplings nl < k then Skip "universe smaller than k"
+  else begin
+    let add = Addition.compute ~k topo in
+    let bfa = BF.addition ~budget_s ~k topo in
+    if not bfa.BF.bf_completed then Skip "brute-force addition budget expired"
+    else begin
+      let d = Addition.evaluate add k in
+      let opt = bfa.BF.bf_delay in
+      let tol = if k = 1 then 1e-6 else (0.01 *. opt) +. 1e-9 in
+      if d > opt +. 1e-9 then
+        Fail
+          (Printf.sprintf
+             "addition k=%d: engine delay %.9f exceeds the brute-force optimum %.9f"
+             k d opt)
+      else if opt -. d > tol then
+        Fail
+          (Printf.sprintf
+             "addition k=%d: engine delay %.9f misses the brute-force optimum %.9f by more than %.1e"
+             k d opt tol)
+      else begin
+        let elim = Elimination.compute ~k topo in
+        let bfe = BF.elimination ~budget_s ~k topo in
+        if not bfe.BF.bf_completed then
+          Skip "brute-force elimination budget expired"
+        else begin
+          let d = Elimination.evaluate elim k in
+          let opt = bfe.BF.bf_delay in
+          if d < opt -. 1e-9 then
+            Fail
+              (Printf.sprintf
+                 "elimination k=%d: engine delay %.9f beats the brute-force optimum %.9f"
+                 k d opt)
+          else if d -. opt > (0.01 *. opt) +. 1e-9 then
+            Fail
+              (Printf.sprintf
+                 "elimination k=%d: engine delay %.9f misses the brute-force optimum %.9f by more than 1%%"
+                 k d opt)
+          else Pass
+        end
+      end
+    end
+  end
+
+let duality ~set topo =
+  let nl = Topo.netlist topo in
+  let u = 2 * N.num_couplings nl in
+  if u = 0 then Skip "no couplings"
+  else begin
+    let complement =
+      CS.of_list (List.filter (fun d -> not (CS.mem d set)) (List.init u Fun.id))
+    in
+    let d_elim = Elimination.evaluate_set topo set in
+    let d_add = Addition.evaluate_set topo complement in
+    if feq d_elim d_add then Pass
+    else
+      Fail
+        (Printf.sprintf
+           "duality: eliminating %s gives %.17g but activating the complement gives %.17g"
+           (Format.asprintf "%a" CS.pp set)
+           d_elim d_add)
+  end
+
+let jobs ?(jobs = 4) ~k topo =
+  let saved = Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs saved) @@ fun () ->
+  Pool.set_default_jobs 1;
+  let seq = Elimination.compute ~k topo in
+  Pool.set_default_jobs jobs;
+  let par = Elimination.compute ~k topo in
+  if Eco.elim_identical seq par then Pass
+  else
+    Fail
+      (Printf.sprintf
+         "jobs: k=%d results differ bitwise between --jobs 1 and --jobs %d" k
+         jobs)
+
+let incremental ~k nl edits =
+  match edits with
+  | [] -> Skip "empty edit script"
+  | _ :: _ ->
+    let az = Analyzer.create ~k () in
+    let _warmup = Analyzer.run az (Topo.create nl) in
+    let nl', _dirty = Analyzer.apply az nl edits in
+    let topo' = Topo.create nl' in
+    let incr, _stats = Analyzer.run az topo' in
+    let full = Elimination.compute ~k topo' in
+    if Eco.elim_identical full incr then Pass
+    else
+      Fail
+        (Printf.sprintf
+           "incremental: k=%d cached re-analysis differs bitwise from scratch after %d edit(s)"
+           k (List.length edits))

@@ -1,0 +1,50 @@
+(** Differential oracle invariants for the top-k engine.
+
+    Each check takes a concrete circuit (and, where relevant, a
+    concrete set or edit script) so that a failing instance can be
+    replayed from a reproducer without regenerating anything. The
+    invariants, and why they hold (see [docs/verification.md]):
+
+    - {!brute}: for k ≤ 3 the implicit enumeration's exact-evaluated
+      pick must never beat the brute-force optimum (both evaluate sets
+      with the same iterative analysis, and brute force scans every
+      subset), must match it exactly for k = 1, and must land within
+      1% of it for k = 2, 3 — the paper's Table 1 claim.
+    - {!duality}: eliminating a set S is, by construction, the same
+      fixpoint as activating its complement — the active-coupling
+      predicates are pointwise equal — so the two delays must be
+      bit-identical.
+    - {!jobs}: the domain-pool engine is deterministic by construction;
+      a 1-domain and an N-domain run must agree bitwise on every
+      semantic field.
+    - {!incremental}: re-analysis through the {!Tka_incr} cache after
+      an edit script must be bit-identical to a from-scratch run on
+      the edited design. *)
+
+type verdict =
+  | Pass
+  | Skip of string  (** instance not checkable (budget expired, no couplings) *)
+  | Fail of string  (** the invariant is violated; payload describes how *)
+
+val brute : ?budget_s:float -> k:int -> Tka_circuit.Topo.t -> verdict
+(** Differential check of both modes against {!Tka_topk.Brute_force}.
+    [k] must be ≤ 3 (raises [Invalid_argument] otherwise — larger k is
+    a harness bug, not an instance failure). Default budget 30 s per
+    brute-force run; expiry yields [Skip]. *)
+
+val duality : set:Tka_topk.Coupling_set.t -> Tka_circuit.Topo.t -> verdict
+(** [duality ~set topo] checks
+    [Elimination.evaluate_set topo set] is bit-identical to
+    [Addition.evaluate_set topo (universe \ set)]. *)
+
+val jobs : ?jobs:int -> k:int -> Tka_circuit.Topo.t -> verdict
+(** Bit-identity of a [jobs = 1] and a [jobs = N] (default 4) run of
+    {!Tka_topk.Elimination.compute}. The pool default in effect on
+    entry is restored on exit. *)
+
+val incremental :
+  k:int -> Tka_circuit.Netlist.t -> Tka_incr.Edit.t list -> verdict
+(** Apply the script through {!Tka_incr.Analyzer}, re-analyze
+    incrementally, and compare bitwise against a from-scratch
+    {!Tka_topk.Elimination.compute} of the edited design. [Skip] on an
+    empty script. *)

@@ -247,6 +247,57 @@ let test_liberty_error_line () =
   with Liberty.Parse_error { line; _ } ->
     Alcotest.(check bool) "line recorded" true (line >= 2)
 
+(* Table-driven error paths: (case, source, expected line, message
+   substring). Lexical errors carry the exact offending line; semantic
+   errors (missing attribute, pin checks) are exercised on one-line
+   sources so the reported line is unambiguous. *)
+let test_liberty_error_table () =
+  List.iter
+    (fun (case, src, want_line, want_sub) ->
+      match Liberty.parse src with
+      | _ -> Alcotest.fail (Printf.sprintf "%s: expected Parse_error" case)
+      | exception Liberty.Parse_error { line; message } ->
+        Alcotest.(check int) (Printf.sprintf "%s: line" case) want_line line;
+        let contains_sub s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          m = 0 || go 0
+        in
+        if not (contains_sub message want_sub) then
+          Alcotest.fail
+            (Printf.sprintf "%s: message %S does not mention %S" case message
+               want_sub))
+    [
+      ("not a library", "cell(X) {}", 1, "expected 'library'");
+      ( "malformed number",
+        "library(x) {\ncell(A) {\nintrinsic_delay : 1.2.3;\n}\n}",
+        3,
+        "malformed number" );
+      ( "non-finite number",
+        "library(x) {\ncell(A) {\nintrinsic_delay : 1e999;\n}\n}",
+        3,
+        "non-finite number" );
+      ("unterminated block comment", "library(x) {\n/* foo", 2, "unterminated");
+      ( "unterminated string",
+        "library(x) {\ncell(A) {\nfunction : \"!A",
+        3,
+        "unterminated string" );
+      ( "missing attribute",
+        "library(x) { cell(A) { pin(Y) { direction : output; } } }",
+        1,
+        "missing attribute" );
+      ( "no output pin",
+        "library(x) { cell(A) { intrinsic_delay : 1; drive_resistance : 1; \
+         intrinsic_slew : 1; slew_resistance : 1; } }",
+        1,
+        "no output pin" );
+      ("truncated file", "library(x) { cell(A) ", 1, "expected '{'");
+      ( "trailing content",
+        "library(x) { } garbage",
+        1,
+        "trailing content" );
+    ]
+
 let test_liberty_unknown_pin_attr_tolerated () =
   let src =
     {|
@@ -431,6 +482,7 @@ let () =
           Alcotest.test_case "block comment" `Quick test_liberty_block_comment;
           Alcotest.test_case "errors" `Quick test_liberty_errors;
           Alcotest.test_case "error line" `Quick test_liberty_error_line;
+          Alcotest.test_case "error table" `Quick test_liberty_error_table;
           Alcotest.test_case "unknown pin attr" `Quick
             test_liberty_unknown_pin_attr_tolerated;
         ] );

@@ -361,11 +361,11 @@ let test_spef_errors () =
 let test_spef_apply_unknown_net () =
   let nl, _, _, _, _, _, _, _ = small () in
   let ann = { Spef.design = None; ground = []; couplings = [ ("zz", "n1", 0.001) ] } in
-  Alcotest.(check bool) "raises" true
-    (try
-       ignore (Spef.apply ann nl);
-       false
-     with Invalid_argument _ -> true)
+  match Spef.apply ann nl with
+  | _ -> Alcotest.fail "expected Link_error"
+  | exception N.Link_error { source; message } ->
+    Alcotest.(check string) "source" "spef" source;
+    Alcotest.(check bool) "names the net" true (contains_sub message "zz")
 
 (* ------------------------------------------------------------------ *)
 (* Transform                                                          *)
@@ -587,6 +587,199 @@ let test_verilog_errors () =
     "module m (a); input a; input a; endmodule"
 
 (* ------------------------------------------------------------------ *)
+(* Table-driven error paths: every parser reports the offending line  *)
+(* ------------------------------------------------------------------ *)
+
+module Sdf = Tka_circuit.Sdf_lite
+
+(* Each table row is (case, source, expected line, message substring). *)
+let check_error_table what err table =
+  List.iter
+    (fun (case, src, want_line, want_sub) ->
+      match err src with
+      | None ->
+        Alcotest.fail (Printf.sprintf "%s/%s: expected Parse_error" what case)
+      | Some (line, message) ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s/%s: line" what case)
+          want_line line;
+        if not (contains_sub message want_sub) then
+          Alcotest.fail
+            (Printf.sprintf "%s/%s: message %S does not mention %S" what case
+               message want_sub))
+    table
+
+let nf_err src =
+  match Nf.parse ~lookup:Lib.find src with
+  | _ -> None
+  | exception Nf.Parse_error { line; message } -> Some (line, message)
+
+let spef_err src =
+  match Spef.parse src with
+  | _ -> None
+  | exception Spef.Parse_error { line; message } -> Some (line, message)
+
+let sdf_err src =
+  match Sdf.parse src with
+  | _ -> None
+  | exception Sdf.Parse_error { line; message } -> Some (line, message)
+
+let v_err src =
+  match V.parse ~lookup:Lib.find src with
+  | _ -> None
+  | exception V.Parse_error { line; message } -> Some (line, message)
+
+let test_error_table_netlist () =
+  check_error_table "nf" nf_err
+    [
+      ("duplicate input", "circuit t\ninput a\ninput a\n", 3, "duplicate net");
+      ( "unknown cell",
+        "circuit t\ninput a\nnet n1\ngate g1 NOPE A=a Y=n1\noutput n1\n",
+        4,
+        "unknown cell" );
+      ("malformed number", "circuit t\ninput a cap=abc\n", 2, "malformed number");
+      ("nan rejected", "circuit t\ninput a cap=nan\n", 2, "non-finite");
+      ("inf rejected", "circuit t\ninput a cap=inf\n", 2, "non-finite");
+      ("overflow rejected", "circuit t\ninput a cap=1e999\n", 2, "non-finite");
+      ( "missing output binding",
+        "circuit t\ninput a\nnet n1\ngate g1 INV_X1 A=a\n",
+        4,
+        "missing output binding" );
+      ( "truncated file: undriven net is a whole-file (line 0) error",
+        "circuit t\ninput a\nnet n1\noutput n1\n",
+        0,
+        "no driver" );
+    ]
+
+let test_error_table_spef () =
+  check_error_table "spef" spef_err
+    [
+      ("*CAP outside *D_NET", "*CAP\n", 1, "*CAP outside");
+      ("*END without *D_NET", "*END\n", 1, "*END without");
+      ( "duplicate *D_NET before *END",
+        "*D_NET a 1\n*D_NET b 1\n",
+        2,
+        "without closing" );
+      ( "foreign ground net",
+        "*D_NET a 1\n*CAP\n1 b 0.1\n*END\n",
+        3,
+        "foreign net" );
+      ("malformed number", "*D_NET a x\n", 1, "malformed number");
+      ("non-finite total", "*D_NET a inf\n", 1, "non-finite");
+      ( "non-finite ground cap",
+        "*D_NET a 1\n*CAP\n1 a 1e999\n*END\n",
+        3,
+        "non-finite" );
+      ( "truncated file: unterminated *D_NET reports its opening line",
+        "*SPEF lite\n*D_NET a 0.1\n*CAP\n1 a 0.05\n",
+        2,
+        "unterminated *D_NET" );
+    ]
+
+let test_error_table_sdf () =
+  check_error_table "sdf" sdf_err
+    [
+      ("empty input", "", 1, "expected a single");
+      ("unexpected rparen", ")", 1, "unexpected ')'");
+      ( "truncated file names the unclosed paren",
+        "(DELAYFILE\n  (CELL (INSTANCE g1)\n",
+        2,
+        "missing ')' for '(' on line 2" );
+      ("unterminated string", "(DELAYFILE (DESIGN \"x", 1, "unterminated string");
+      ( "bad delay on its own line",
+        "(DELAYFILE\n(CELL (CELLTYPE \"c\") (INSTANCE g1)\n(DELAY (ABSOLUTE\n\
+         (IOPATH A Y (oops))))))\n",
+        4,
+        "bad delay" );
+      ( "non-finite delay",
+        "(DELAYFILE\n(CELL (CELLTYPE \"c\") (INSTANCE g1)\n(DELAY (ABSOLUTE\n\
+         (IOPATH A Y (1e999))))))\n",
+        4,
+        "non-finite delay" );
+      ( "malformed IOPATH",
+        "(DELAYFILE\n(CELL (INSTANCE g1)\n(DELAY (ABSOLUTE\n\
+         (IOPATH A Y)))))\n",
+        4,
+        "malformed IOPATH" );
+      ( "expected ABSOLUTE",
+        "(DELAYFILE\n(CELL (INSTANCE g1)\n(DELAY (RELATIVE))))\n",
+        3,
+        "expected ABSOLUTE" );
+      ( "CELL without INSTANCE",
+        "(DELAYFILE\n(CELL (CELLTYPE \"c\")))\n",
+        2,
+        "CELL without INSTANCE" );
+      ( "newline inside quoted string still counted",
+        "(DELAYFILE\n(DESIGN \"a\nb\")\nBAD)\n",
+        4,
+        "unexpected item" );
+    ]
+
+let test_error_table_verilog () =
+  check_error_table "verilog" v_err
+    [
+      ( "vector",
+        "module m (a);\ninput a[3:0];\nendmodule\n",
+        2,
+        "vectors are not supported" );
+      ( "behavioural",
+        "module m (a);\ninput a;\nassign b = a;\nendmodule\n",
+        3,
+        "behavioural" );
+      ( "module defined twice",
+        "module m (a); input a; endmodule\nmodule m (a); input a; endmodule\n",
+        2,
+        "defined twice" );
+      ( "duplicate declaration reported at the module line",
+        "module m (a);\ninput a;\ninput a;\nendmodule\n",
+        1,
+        "declared twice" );
+      ("truncated file", "module m (a);\ninput a;", 2, "missing endmodule");
+      ( "unknown cell",
+        "module m (a, y);\ninput a;\noutput y;\nNOPE_X9 g (.A(a), .Y(y));\n\
+         endmodule\n",
+        1,
+        "unknown cell" );
+    ]
+
+(* Valid documents with CRLF line endings and blank lines must parse,
+   and numbers followed by a CR must not be rejected as malformed. *)
+let test_crlf_and_blank_lines () =
+  let nl =
+    Nf.parse ~lookup:Lib.find
+      "circuit t\r\n\r\ninput a\r\nnet n1 cap=0.01\r\ngate g1 INV_X1 A=a \
+       Y=n1\r\noutput n1\r\n"
+  in
+  Alcotest.(check int) "nf gates" 1 (N.num_gates nl);
+  check_f "nf cap survives CR" 0.01 (N.find_net_exn nl "n1").N.wire_cap;
+  let ann = Spef.parse "*D_NET n1 0.1\r\n*CAP\r\n\r\n1 n1 0.5\r\n*END\r\n" in
+  (match ann.Spef.ground with
+  | [ (net, cap, _res) ] ->
+    Alcotest.(check string) "spef net" "n1" net;
+    check_f "spef cap survives CR" 0.5 cap
+  | _ -> Alcotest.fail "expected exactly one ground entry");
+  let modules = "module m (a, y);\r\ninput a;\r\noutput y;\r\nINV_X1 g (.A(a), .Y(y));\r\nendmodule\r\n" in
+  let nl2 = V.parse ~lookup:Lib.find modules in
+  Alcotest.(check int) "verilog gates" 1 (N.num_gates nl2)
+
+let test_sdf_roundtrip_and_link_error () =
+  let nl, _, _, _, _, _, _, _ = small () in
+  let src = Sdf.print ~delay_of:(fun _ -> 0.05) nl in
+  let ann = Sdf.parse src in
+  (* g1 has one input arc, g2 two *)
+  Alcotest.(check int) "arcs" 3 (List.length ann.Sdf.sdf_arcs);
+  Alcotest.(check (list (triple string (float 1e-9) (float 1e-9))))
+    "no mismatches"
+    []
+    (Sdf.check_against ann ~delay_of:(fun _ -> 0.05) nl);
+  let bad = { ann with Sdf.sdf_arcs = [ ("gX", "A", "Y", 0.1) ] } in
+  match Sdf.check_against bad ~delay_of:(fun _ -> 0.1) nl with
+  | _ -> Alcotest.fail "expected Link_error"
+  | exception N.Link_error { source; message } ->
+    Alcotest.(check string) "source" "sdf" source;
+    Alcotest.(check bool) "names the instance" true (contains_sub message "gX")
+
+(* ------------------------------------------------------------------ *)
 (* Dot and stats                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -751,6 +944,17 @@ let () =
           Alcotest.test_case "hierarchy deep" `Quick test_verilog_hierarchy_deep;
           Alcotest.test_case "hierarchy errors" `Quick test_verilog_hierarchy_errors;
           Alcotest.test_case "errors" `Quick test_verilog_errors;
+        ] );
+      ( "parser error tables",
+        [
+          Alcotest.test_case "netlist format" `Quick test_error_table_netlist;
+          Alcotest.test_case "spef" `Quick test_error_table_spef;
+          Alcotest.test_case "sdf" `Quick test_error_table_sdf;
+          Alcotest.test_case "verilog" `Quick test_error_table_verilog;
+          Alcotest.test_case "crlf and blank lines" `Quick
+            test_crlf_and_blank_lines;
+          Alcotest.test_case "sdf roundtrip and link error" `Quick
+            test_sdf_roundtrip_and_link_error;
         ] );
       ("parser robustness", List.map QCheck_alcotest.to_alcotest parser_robustness);
       ( "dot+stats",

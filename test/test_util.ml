@@ -203,6 +203,61 @@ let test_float_cmp () =
   Alcotest.(check int) "compare_approx equal" 0 (F.compare_approx 1.0 (1.0 +. 1e-12));
   Alcotest.(check int) "compare_approx lt" (-1) (F.compare_approx 1.0 2.0)
 
+(* IEEE special values: [approx] must treat equal infinities as equal
+   (inf -. inf is NaN, so the subtraction path alone gets this wrong),
+   NaN as unequal to everything, and [clamp] must reject NaN rather
+   than return a range-dependent bound. *)
+let test_float_cmp_special_values () =
+  let nan = Float.nan and inf = Float.infinity in
+  Alcotest.(check bool) "inf approx inf" true (F.approx inf inf);
+  Alcotest.(check bool) "-inf approx -inf" true (F.approx (-.inf) (-.inf));
+  Alcotest.(check bool) "inf not approx -inf" false (F.approx inf (-.inf));
+  Alcotest.(check bool) "inf not approx finite" false (F.approx inf 1e308);
+  Alcotest.(check bool) "nan not approx nan" false (F.approx nan nan);
+  Alcotest.(check bool) "nan not approx 0" false (F.approx nan 0.);
+  Alcotest.(check bool) "0 not approx nan" false (F.approx 0. nan);
+  Alcotest.(check bool) "nan not is_zero" false (F.is_zero nan);
+  Alcotest.(check bool) "inf not finite" false (F.is_finite inf);
+  Alcotest.(check bool) "nan not finite" false (F.is_finite nan);
+  check_f "clamp inf to hi" 1. (F.clamp ~lo:0. ~hi:1. inf);
+  check_f "clamp -inf to lo" 0. (F.clamp ~lo:0. ~hi:1. (-.inf));
+  Alcotest.(check bool) "clamp nan raises" true
+    (try
+       ignore (F.clamp ~lo:0. ~hi:1. nan);
+       false
+     with Invalid_argument _ -> true)
+
+let expect_invalid what f =
+  Alcotest.(check bool) what true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+(* NaN must never enter an interval: a NaN bound or a NaN shift/expand
+   amount would silently poison every later comparison. Infinite bounds
+   stay legal — half-open delay windows use them. *)
+let test_interval_special_values () =
+  let nan = Float.nan and inf = Float.infinity in
+  expect_invalid "make nan lo" (fun () -> Interval.make nan 1.);
+  expect_invalid "make nan hi" (fun () -> Interval.make 0. nan);
+  expect_invalid "make nan both" (fun () -> Interval.make nan nan);
+  expect_invalid "point nan" (fun () -> Interval.point nan);
+  let i = Interval.make 0. 1. in
+  expect_invalid "shift nan" (fun () -> Interval.shift nan i);
+  expect_invalid "expand nan" (fun () -> Interval.expand nan i);
+  expect_invalid "expand negative" (fun () -> Interval.expand (-0.1) i);
+  expect_invalid "expand_hi nan" (fun () -> Interval.expand_hi nan i);
+  expect_invalid "expand_hi negative" (fun () -> Interval.expand_hi (-0.1) i);
+  let half_open = Interval.make 0. inf in
+  Alcotest.(check bool) "infinite hi allowed" true
+    (Interval.contains half_open 1e300);
+  let full = Interval.make (-.inf) inf in
+  Alcotest.(check bool) "full line contains 0" true (Interval.contains full 0.);
+  check_f "shift keeps inf hi" 1. (Interval.lo (Interval.shift 1. half_open));
+  Alcotest.(check bool) "shifted hi still inf" true
+    (Interval.hi (Interval.shift 1. half_open) = inf)
+
 (* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -360,8 +415,13 @@ let () =
           Alcotest.test_case "intersect" `Quick test_interval_intersect;
           Alcotest.test_case "hull/shift/expand" `Quick test_interval_hull_shift_expand;
           Alcotest.test_case "subset" `Quick test_interval_subset;
+          Alcotest.test_case "special values" `Quick test_interval_special_values;
         ] );
-      ("float_cmp", [ Alcotest.test_case "all" `Quick test_float_cmp ]);
+      ( "float_cmp",
+        [
+          Alcotest.test_case "all" `Quick test_float_cmp;
+          Alcotest.test_case "special values" `Quick test_float_cmp_special_values;
+        ] );
       ( "stats",
         [
           Alcotest.test_case "mean" `Quick test_stats_mean;

@@ -53,6 +53,11 @@ let rec subset a b =
 let equal = List.equal Int.equal
 let compare = List.compare Int.compare
 
+let hash_key t =
+  match t with
+  | [] -> ""
+  | _ -> String.concat "," (List.map string_of_int t)
+
 let fold f t acc = List.fold_left (fun acc c -> f c acc) acc t
 let iter = List.iter
 let exists = List.exists

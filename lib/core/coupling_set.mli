@@ -30,6 +30,12 @@ val subset : t -> t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val hash_key : t -> string
+(** Canonical dedupe key: the sorted directed-coupling ids joined by
+    commas. Injective over well-formed sets, so it can stand in for the
+    set in hash tables without polymorphic structural hashing of the
+    underlying list (the hot-path cost in {!Ilist.prune}). *)
+
 val fold : (elt -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (elt -> unit) -> t -> unit
 val exists : (elt -> bool) -> t -> bool

@@ -600,10 +600,10 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
               scored
           in
           (* dedupe identical sets, keep the best few *)
-          let seen = Hashtbl.create 8 in
+          let seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
           List.filter_map
             (fun (_, c) ->
-              let key = Coupling_set.to_list c.ch_set in
+              let key = Coupling_set.hash_key c.ch_set in
               if Hashtbl.mem seen key then None
               else begin
                 Hashtbl.replace seen key ();

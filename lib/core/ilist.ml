@@ -41,13 +41,15 @@ let prune ?(capacity = default_capacity) ~interval ~stats entries =
   and u0 = stats.duplicates
   and p0 = stats.capped
   and k0 = stats.checks in
-  (* dedupe identical coupling sets (same set => same envelope) *)
-  let by_set = Hashtbl.create 32 in
+  (* dedupe identical coupling sets (same set => same envelope); the
+     canonical string key avoids polymorphic structural hashing of the
+     underlying int list on every candidate *)
+  let by_set : (string, unit) Hashtbl.t = Hashtbl.create 32 in
   let deduped =
     List.filter
       (fun e ->
         stats.candidates <- stats.candidates + 1;
-        let key = Coupling_set.to_list e.couplings in
+        let key = Coupling_set.hash_key e.couplings in
         if Hashtbl.mem by_set key then begin
           stats.duplicates <- stats.duplicates + 1;
           false
@@ -83,8 +85,10 @@ let prune ?(capacity = default_capacity) ~interval ~stats entries =
   in
   (* Objective-descending scan: an entry can only be dominated by one
      with an objective at least as large (Theorem 1), i.e. by an entry
-     already kept. The peak of each envelope is computed once up front
-     and reused as the cheap prefilter ruling out most pairs. *)
+     already kept. The envelope peaks (memoised inside the waveform, so
+     each envelope folds its ordinates at most once in its lifetime)
+     are staged into a flat array as the cheap prefilter ruling out
+     most pairs before the two-cursor dominance scan. *)
   let kept = if scan_n = 0 then [||] else Array.make scan_n arr.(order.(0)) in
   let kept_peak = Array.make scan_n 0. in
   let kept_n = ref 0 in

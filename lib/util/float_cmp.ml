@@ -12,6 +12,9 @@ let is_zero ?eps x = approx ?eps x 0.
 
 let is_finite x = Float.is_finite x
 
+let not_nan ~what x =
+  if Float.is_nan x then invalid_arg (what ^ ": NaN") else x
+
 let clamp ~lo ~hi x =
   if Float.is_nan x then
     invalid_arg "Float_cmp.clamp: NaN"

@@ -32,6 +32,11 @@ val is_finite : float -> bool
 (** Neither NaN nor an infinity — the validity test parsers apply to
     every physical quantity before it enters the analysis. *)
 
+val not_nan : what:string -> float -> float
+(** [not_nan ~what x] is [x], or raises [Invalid_argument what ^ ": NaN"]
+    when [x] is NaN — the guard waveform constructors apply to every
+    breakpoint coordinate. *)
+
 val clamp : lo:float -> hi:float -> float -> float
 (** [clamp ~lo ~hi x] restricts [x] to [\[lo, hi\]]. Raises
     [Invalid_argument] on a NaN [x] (a silently propagated NaN defeated

@@ -36,7 +36,9 @@ val is_zero : t -> bool
 val waveform : t -> Pwl.t
 
 val combine : t list -> t
-(** Pointwise sum (linear superposition). [combine [] = zero]. *)
+(** Pointwise sum (linear superposition). [combine [] = zero]. A single
+    k-way merge over all operands' breakpoints — combining r envelopes
+    costs one pass over their union grid, not r pairwise re-merges. *)
 
 val add : t -> t -> t
 
@@ -48,6 +50,9 @@ val widen : float -> t -> t
     unimodal envelope. *)
 
 val peak : t -> float
+(** Supremum of the envelope. Memoised inside the waveform: O(n) on the
+    first call, O(1) after — [Ilist.prune]'s prefilter and {!is_zero}
+    lean on this. *)
 
 val encapsulates : ?interval:Tka_util.Interval.t -> t -> t -> bool
 (** [encapsulates a b]: [a] is pointwise >= [b], over the given interval

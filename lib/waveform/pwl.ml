@@ -1,36 +1,71 @@
 module F = Tka_util.Float_cmp
 module Interval = Tka_util.Interval
 
-type t = { xs : float array; ys : float array }
+(* [peak] caches [max_value]; NaN means "not yet computed". Breakpoint
+   construction rejects NaN ordinates, so the sentinel is unambiguous.
+   The field is boxed (the record is not a float record), so concurrent
+   domains racing to fill it each store a word-sized pointer to the
+   same deterministic value — a benign race. *)
+type t = { xs : float array; ys : float array; mutable peak : float }
+
+let mk xs ys = { xs; ys; peak = Float.nan }
 
 (* Merge tolerance for abscissae: two breakpoints closer than this are
    considered the same instant. *)
 let x_eps = 1e-12
 
-let collinear (x0, y0) (x1, y1) (x2, y2) =
+let collinear x0 y0 x1 y1 x2 y2 =
   (* (x1,y1) lies on the segment (x0,y0)-(x2,y2)? Cross-product test with a
      scale-aware tolerance. *)
   let cross = ((x1 -. x0) *. (y2 -. y0)) -. ((x2 -. x0) *. (y1 -. y0)) in
   Float.abs cross <= 1e-12 *. (1. +. Float.abs (x2 -. x0)) *. (1. +. Float.abs y2 +. Float.abs y0)
 
-let simplify_points pts =
-  match pts with
-  | [] | [ _ ] | [ _; _ ] -> pts
-  | first :: rest ->
-    let rec go acc prev = function
-      | [] -> List.rev (prev :: acc)
-      | cur :: tl -> (
-        match tl with
-        | [] -> List.rev (cur :: prev :: acc)
-        | next :: _ ->
-          if collinear prev cur next then go acc prev tl
-          else go (prev :: acc) cur tl)
-    in
-    go [] first rest
+(* In-place collinear simplification of the first [n] breakpoints:
+   drops every interior point collinear with the last kept point and
+   the next original point, returns the compacted length. The write
+   cursor never passes the read cursor, so no scratch array is
+   needed. *)
+let simplify_into xs ys n =
+  if n <= 2 then n
+  else begin
+    let w = ref 1 in
+    for r = 1 to n - 2 do
+      if
+        not
+          (collinear xs.(!w - 1) ys.(!w - 1) xs.(r) ys.(r) xs.(r + 1) ys.(r + 1))
+      then begin
+        xs.(!w) <- xs.(r);
+        ys.(!w) <- ys.(r);
+        incr w
+      end
+    done;
+    xs.(!w) <- xs.(n - 1);
+    ys.(!w) <- ys.(n - 1);
+    incr w;
+    !w
+  end
+
+(* Take ownership of work arrays holding [n] valid breakpoints:
+   simplify in place, then trim. *)
+let of_arrays_owned xs ys n =
+  let n' = simplify_into xs ys n in
+  if n' = Array.length xs then mk xs ys
+  else mk (Array.sub xs 0 n') (Array.sub ys 0 n')
 
 let of_points_unchecked pts =
-  let pts = simplify_points pts in
-  { xs = Array.of_list (List.map fst pts); ys = Array.of_list (List.map snd pts) }
+  match pts with
+  | [] -> mk [||] [||]
+  | _ ->
+    let n = List.length pts in
+    let xs = Array.make n 0. and ys = Array.make n 0. in
+    let i = ref 0 in
+    List.iter
+      (fun (x, y) ->
+        xs.(!i) <- F.not_nan ~what:"Pwl: breakpoint abscissa" x;
+        ys.(!i) <- F.not_nan ~what:"Pwl: breakpoint ordinate" y;
+        incr i)
+      pts;
+    of_arrays_owned xs ys n
 
 let create pts =
   match pts with
@@ -52,10 +87,15 @@ let create pts =
     in
     of_points_unchecked (merge [] sorted)
 
-let constant y = { xs = [| 0. |]; ys = [| y |] }
+let constant y = mk [| 0. |] [| F.not_nan ~what:"Pwl.constant" y |]
+
 let zero = constant 0.
 
-let breakpoints t = Array.to_list (Array.map2 (fun x y -> (x, y)) t.xs t.ys)
+let breakpoints t =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((t.xs.(i), t.ys.(i)) :: acc)
+  in
+  go (Array.length t.xs - 1) []
 
 let first_x t = t.xs.(0)
 let last_x t = t.xs.(Array.length t.xs - 1)
@@ -89,8 +129,24 @@ let eval t x =
     y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
   end
 
-let max_value t = Array.fold_left Float.max Float.neg_infinity t.ys
-let min_value t = Array.fold_left Float.min Float.infinity t.ys
+let max_value t =
+  if Float.is_nan t.peak then begin
+    let ys = t.ys in
+    let m = ref ys.(0) in
+    for i = 1 to Array.length ys - 1 do
+      if ys.(i) > !m then m := ys.(i)
+    done;
+    t.peak <- !m
+  end;
+  t.peak
+
+let min_value t =
+  let ys = t.ys in
+  let m = ref ys.(0) in
+  for i = 1 to Array.length ys - 1 do
+    if ys.(i) < !m then m := ys.(i)
+  done;
+  !m
 
 let extremum_on ~better interval t =
   let lo = Interval.lo interval and hi = Interval.hi interval in
@@ -120,99 +176,224 @@ let support ?(eps = F.default_eps) t =
     Some (Interval.make lo hi)
   end
 
-let map_y f t = { xs = Array.copy t.xs; ys = Array.map f t.ys }
+let map_y f t = mk (Array.copy t.xs) (Array.map f t.ys)
 
 let scale k t = map_y (fun y -> k *. y) t
 let neg t = map_y (fun y -> -.y) t
 let shift_y d t = map_y (fun y -> y +. d) t
-let shift_x d t = { xs = Array.map (fun x -> x +. d) t.xs; ys = Array.copy t.ys }
 
-(* Sorted union of the abscissae of two waveforms. *)
-let merged_grid a b =
-  let na = Array.length a.xs and nb = Array.length b.xs in
-  let out = ref [] in
+let shift_x d t =
+  (* the ordinates are untouched, so the cached peak carries over *)
+  { xs = Array.map (fun x -> x +. d) t.xs; ys = Array.copy t.ys; peak = t.peak }
+
+(* ------------------------------------------------------------------ *)
+(* Linear-merge kernels                                               *)
+(* ------------------------------------------------------------------ *)
+(* Every binary operation below walks the two breakpoint arrays with a
+   pair of cursors in a single pass — no merged-grid allocation and no
+   per-point binary search. Invariants of the co-scan:
+     - merged abscissae are visited in non-decreasing order, deduped
+       within [x_eps] (the first of a cluster wins, as in the previous
+       merged-grid construction);
+     - when the scan stands at x, each operand's cursor [i] is the
+       index of its first breakpoint with xs.(i) >= x, so the value at
+       x is ys.(i) on an exact hit and the (i-1, i) segment
+       interpolation otherwise — bit-identical to [eval]. *)
+
+(* Value of (xs, ys) at [x] given cursor [i] = first index with
+   xs.(i) >= x (n when exhausted). Same formula as [eval]. *)
+let value_at xs ys n i x =
+  if i < n && xs.(i) = x then ys.(i)
+  else if i = 0 then ys.(0)
+  else if i >= n then ys.(n - 1)
+  else begin
+    let x0 = xs.(i - 1) and x1 = xs.(i) in
+    let y0 = ys.(i - 1) and y1 = ys.(i) in
+    y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
+  end
+
+(* Two-cursor co-scan of [a] and [b]: calls [f x ya yb] at every merged
+   abscissa; [f] returns [false] to stop the scan early. *)
+let co_scan2 a b f =
+  let axs = a.xs and ays = a.ys and bxs = b.xs and bys = b.ys in
+  let na = Array.length axs and nb = Array.length bxs in
   let i = ref 0 and j = ref 0 in
-  let push x =
-    match !out with
-    | x' :: _ when Float.abs (x -. x') <= x_eps -> ()
-    | _ -> out := x :: !out
-  in
-  while !i < na || !j < nb do
-    if !j >= nb || (!i < na && a.xs.(!i) <= b.xs.(!j)) then begin
-      push a.xs.(!i);
+  let last = ref Float.neg_infinity in
+  let go = ref true in
+  while !go && (!i < na || !j < nb) do
+    let xa = if !i < na then axs.(!i) else Float.infinity
+    and xb = if !j < nb then bxs.(!j) else Float.infinity in
+    if xa <= xb then begin
+      if xa -. !last > x_eps then begin
+        go := f xa ays.(!i) (value_at bxs bys nb !j xa);
+        last := xa
+      end;
       incr i
     end
     else begin
-      push b.xs.(!j);
+      if xb -. !last > x_eps then begin
+        go := f xb (value_at axs ays na !i xb) bys.(!j);
+        last := xb
+      end;
       incr j
     end
-  done;
-  Array.of_list (List.rev !out)
+  done
 
 let combine2 f a b =
-  let grid = merged_grid a b in
-  let pts =
-    Array.to_list (Array.map (fun x -> (x, f (eval a x) (eval b x))) grid)
-  in
-  of_points_unchecked pts
+  let cap = Array.length a.xs + Array.length b.xs in
+  let oxs = Array.make cap 0. and oys = Array.make cap 0. in
+  let m = ref 0 in
+  co_scan2 a b (fun x ya yb ->
+      oxs.(!m) <- x;
+      oys.(!m) <- f ya yb;
+      incr m;
+      true);
+  of_arrays_owned oxs oys !m
 
 let add a b = combine2 ( +. ) a b
 let sub a b = combine2 ( -. ) a b
 
+(* k-way superposition: one pass over the union of all operand
+   breakpoints with an index-array cursor front. Combining r envelopes
+   costs O(total breakpoints * r) cursor work and allocates only the
+   output, against the former left fold's O(r^2 * n) re-merges, each
+   allocating an intermediate waveform. The operand count is tiny
+   (<= k ~ 75 aggressors), so a linear min-scan beats a heap. *)
 let sum = function
   | [] -> zero
-  | w :: ws -> List.fold_left add w ws
-
-(* Pointwise max/min need the crossing abscissae inserted: within one cell
-   of the merged grid both functions are linear, so they cross at most
-   once. *)
-let extremum2 pickhi a b =
-  let grid = merged_grid a b in
-  let n = Array.length grid in
-  let pts = ref [] in
-  let push x y = pts := (x, y) :: !pts in
-  let value x =
-    let ya = eval a x and yb = eval b x in
-    if pickhi then Float.max ya yb else Float.min ya yb
-  in
-  for i = 0 to n - 1 do
-    let x = grid.(i) in
-    push x (value x);
-    if i < n - 1 then begin
-      let x' = grid.(i + 1) in
-      let d0 = eval a x -. eval b x and d1 = eval a x' -. eval b x' in
-      if (d0 > 0. && d1 < 0.) || (d0 < 0. && d1 > 0.) then begin
-        let xc = x +. ((x' -. x) *. d0 /. (d0 -. d1)) in
-        if xc > x +. x_eps && xc < x' -. x_eps then push xc (value xc)
+  | [ w ] -> w
+  | ws ->
+    let ops = Array.of_list ws in
+    let r = Array.length ops in
+    let idx = Array.make r 0 in
+    let cap = Array.fold_left (fun acc o -> acc + Array.length o.xs) 0 ops in
+    let oxs = Array.make cap 0. and oys = Array.make cap 0. in
+    let m = ref 0 in
+    let last = ref Float.neg_infinity in
+    let go = ref true in
+    while !go do
+      (* front: smallest unconsumed breakpoint across the operands *)
+      let x = ref Float.infinity in
+      for c = 0 to r - 1 do
+        let o = ops.(c) in
+        if idx.(c) < Array.length o.xs && o.xs.(idx.(c)) < !x then
+          x := o.xs.(idx.(c))
+      done;
+      let x = !x in
+      if x = Float.infinity then go := false
+      else begin
+        if x -. !last > x_eps then begin
+          let acc = ref 0. in
+          for c = 0 to r - 1 do
+            let o = ops.(c) in
+            acc := !acc +. value_at o.xs o.ys (Array.length o.xs) idx.(c) x
+          done;
+          oxs.(!m) <- x;
+          oys.(!m) <- !acc;
+          incr m;
+          last := x
+        end;
+        for c = 0 to r - 1 do
+          let o = ops.(c) in
+          if idx.(c) < Array.length o.xs && o.xs.(idx.(c)) = x then
+            idx.(c) <- idx.(c) + 1
+        done
       end
-    end
-  done;
-  of_points_unchecked (List.rev !pts)
+    done;
+    of_arrays_owned oxs oys !m
+
+(* Pointwise max/min need the crossing abscissae inserted: within one
+   cell of the co-scan both functions are linear, so they cross at most
+   once. Each merged point plus at most one crossing per cell bounds
+   the output by 2 * (na + nb). *)
+let extremum2 pickhi a b =
+  let cap = 2 * (Array.length a.xs + Array.length b.xs) in
+  let oxs = Array.make cap 0. and oys = Array.make cap 0. in
+  let m = ref 0 in
+  let px = ref 0. and pya = ref 0. and pyb = ref 0. in
+  let have_prev = ref false in
+  co_scan2 a b (fun x ya yb ->
+      if !have_prev then begin
+        let d0 = !pya -. !pyb and d1 = ya -. yb in
+        if (d0 > 0. && d1 < 0.) || (d0 < 0. && d1 > 0.) then begin
+          let xc = !px +. ((x -. !px) *. d0 /. (d0 -. d1)) in
+          if xc > !px +. x_eps && xc < x -. x_eps then begin
+            let s = (xc -. !px) /. (x -. !px) in
+            let yac = !pya +. ((ya -. !pya) *. s)
+            and ybc = !pyb +. ((yb -. !pyb) *. s) in
+            oxs.(!m) <- xc;
+            oys.(!m) <- (if pickhi then Float.max yac ybc else Float.min yac ybc);
+            incr m
+          end
+        end
+      end;
+      oxs.(!m) <- x;
+      oys.(!m) <- (if pickhi then Float.max ya yb else Float.min ya yb);
+      incr m;
+      px := x;
+      pya := ya;
+      pyb := yb;
+      have_prev := true;
+      true);
+  of_arrays_owned oxs oys !m
 
 let max2 a b = extremum2 true a b
 let min2 a b = extremum2 false a b
 
+(* Balanced pairwise reduction: log k rounds of two-cursor merges,
+   O(total breakpoints * log k) instead of the left fold's O(k^2 * n)
+   re-merges of an ever-growing accumulator. *)
 let max_list = function
   | [] -> invalid_arg "Pwl.max_list: empty list"
-  | w :: ws -> List.fold_left max2 w ws
+  | ws ->
+    let rec pair = function
+      | a :: b :: tl -> max2 a b :: pair tl
+      | rest -> rest
+    in
+    let rec round = function [ w ] -> w | ws -> round (pair ws) in
+    round ws
 
 let clip_min lo t = max2 t (constant lo)
 let clip_max hi t = min2 t (constant hi)
 
 let dominates ?(eps = F.default_eps) a b =
-  (* Within each cell of the merged grid (a - b) is linear, so checking
-     grid points suffices; constant extension is covered by the first and
-     last grid points. *)
-  let grid = merged_grid a b in
-  Array.for_all (fun x -> eval a x >= eval b x -. eps) grid
+  (* Within each cell of the co-scan (a - b) is linear, so checking the
+     merged abscissae suffices; constant extension is covered by the
+     first and last of them. The peak comparison is a free O(1)
+     rejection: if b's supremum clears a's by more than eps, a cannot
+     dominate at b's argmax. The scan stops at the first violation —
+     this is the hot inner loop of [Ilist.prune]. *)
+  a == b
+  || max_value a >= max_value b -. eps
+     && begin
+          let ok = ref true in
+          co_scan2 a b (fun _ ya yb ->
+              if ya >= yb -. eps then true
+              else begin
+                ok := false;
+                false
+              end);
+          !ok
+        end
 
 let dominates_on ?(eps = F.default_eps) interval a b =
   let lo = Interval.lo interval and hi = Interval.hi interval in
   let ok x = eval a x >= eval b x -. eps in
   ok lo && ok hi
-  && Array.for_all
-       (fun x -> (x <= lo || x >= hi) || ok x)
-       (merged_grid a b)
+  && begin
+       (* interior merged points only; the scan is ascending, so stop
+          once past [hi] *)
+       let good = ref true in
+       co_scan2 a b (fun x ya yb ->
+           if x <= lo then true
+           else if x >= hi then false
+           else if ya >= yb -. eps then true
+           else begin
+             good := false;
+             false
+           end);
+       !good
+     end
 
 let equal ?(eps = F.default_eps) a b = dominates ~eps a b && dominates ~eps b a
 

@@ -9,7 +9,14 @@
     pulses, trapezoidal noise envelopes, combined envelopes, noisy
     transitions — live in this algebra, and every operation below is
     exact (no sampling), which makes dominance checks and delay-noise
-    [t50] computations exact as well. *)
+    [t50] computations exact as well.
+
+    The binary and n-ary operations ({!add}, {!sub}, {!sum}, {!max2},
+    {!dominates}, …) are single-pass cursor merges over the breakpoint
+    arrays: no intermediate merged grid is allocated and no per-point
+    binary search is performed (see docs/performance.md for the kernel
+    design). Breakpoints are rejected when NaN; {!max_value} is
+    memoised per waveform. *)
 
 type t
 
@@ -22,7 +29,7 @@ val create : (float * float) list -> t
     interior points are simplified away. *)
 
 val constant : float -> t
-(** The constant function. *)
+(** The constant function. Raises [Invalid_argument] on NaN. *)
 
 val zero : t
 
@@ -41,7 +48,7 @@ val is_constant : t -> bool
 
 val max_value : t -> float
 (** Supremum of [f] (attained at a breakpoint or at infinity = end
-    values). *)
+    values). Memoised: O(n) the first time, O(1) after. *)
 
 val min_value : t -> float
 
@@ -63,12 +70,21 @@ val shift_x : float -> t -> t
 val shift_y : float -> t -> t
 val add : t -> t -> t
 val sub : t -> t -> t
+
 val sum : t list -> t
+(** Pointwise sum of all operands in one k-way breakpoint merge
+    (an index-array cursor front; no intermediate waveforms).
+    [sum [] = zero]. *)
+
 val max2 : t -> t -> t
 (** Exact pointwise maximum (inserts crossing abscissae). *)
 
 val min2 : t -> t -> t
+
 val max_list : t list -> t
+(** Pointwise maximum of a non-empty list, reduced as a balanced
+    tournament of {!max2} merges (log k rounds). *)
+
 val clip_min : float -> t -> t
 (** [clip_min lo f] is [max f lo] pointwise. *)
 
@@ -78,7 +94,9 @@ val clip_max : float -> t -> t
 
 val dominates : ?eps:float -> t -> t -> bool
 (** [dominates a b]: [a x >= b x - eps] for all [x]. This is the
-    envelope-encapsulation test of the paper's dominance property. *)
+    envelope-encapsulation test of the paper's dominance property.
+    A two-cursor co-scan with a peak prefilter; returns at the first
+    violated point. *)
 
 val dominates_on : ?eps:float -> Tka_util.Interval.t -> t -> t -> bool
 (** Same, restricted to a closed interval (the dominance interval of

@@ -253,6 +253,163 @@ let arb_window =
       let* w = float_range 0. 3. in
       return (Interval.make lo (lo +. w)))
 
+(* ------------------------------------------------------------------ *)
+(* Kernel properties: linear-merge kernels vs a naive reference        *)
+(* ------------------------------------------------------------------ *)
+
+(* The rewritten PWL kernels (single-pass cursor merges, cached peaks)
+   must agree with the obvious reference semantics: merge the abscissa
+   grids, evaluate each operand pointwise. The reference is kept here,
+   in the pre-rewrite list-and-eval style, and the generators stress
+   the merge edge cases: coincident abscissae across operands (exact
+   and within the x_eps = 1e-12 merge tolerance), constants, and
+   single-breakpoint waveforms. *)
+module Kernel_ref = struct
+  let x_eps = 1e-12 (* mirror of Pwl's internal merge tolerance *)
+
+  (* Sorted eps-deduped union of the operand abscissae, keeping the
+     first of each cluster — the exact point set the cursor merges
+     visit. *)
+  let grid ws =
+    let xs =
+      List.concat_map (fun w -> List.map fst (Pwl.breakpoints w)) ws
+      |> List.sort_uniq Float.compare
+    in
+    let rec dedupe last = function
+      | [] -> []
+      | x :: tl ->
+        if x -. last <= x_eps then dedupe last tl else x :: dedupe x tl
+    in
+    match xs with [] -> [] | x :: tl -> x :: dedupe x tl
+
+  (* Probe abscissae for pointwise comparison: every grid point, every
+     cell midpoint (catches missed max2 crossings), and both constant
+     extensions. *)
+  let probes ws =
+    let g = grid ws in
+    let rec mids = function
+      | a :: (b :: _ as tl) -> (0.5 *. (a +. b)) :: mids tl
+      | _ -> []
+    in
+    (-100.) :: 100. :: (g @ mids g)
+
+  let eval_sum ws x = List.fold_left (fun acc w -> acc +. Pwl.eval w x) 0. ws
+
+  let dominates ?(eps = 1e-9) a b =
+    List.for_all (fun x -> Pwl.eval a x >= Pwl.eval b x -. eps) (grid [ a; b ])
+end
+
+let kernel_pwl_gen =
+  QCheck.Gen.(
+    let* kind = int_bound 9 in
+    if kind = 0 then map Pwl.constant (float_range (-2.) 2.)
+    else if kind = 1 then
+      (* single breakpoint on the shared tick grid *)
+      let* t = int_range (-8) 8 in
+      let* y = float_range (-3.) 3. in
+      return (Pwl.create [ (0.25 *. float_of_int t, y) ])
+    else
+      let* n = int_range 2 8 in
+      let* ticks = list_repeat n (int_range (-8) 8) in
+      let ticks = List.sort_uniq Int.compare ticks in
+      let* pts =
+        flatten_l
+          (List.map
+             (fun t ->
+               let* y = float_range (-3.) 3. in
+               let* j = int_bound 4 in
+               (* occasional sub-x_eps jitter: collides with another
+                  operand's breakpoint at the same tick without being
+                  bitwise equal *)
+               let jitter =
+                 if j = 0 then 1e-13 else if j = 1 then -1e-13 else 0.
+               in
+               return ((0.25 *. float_of_int t) +. jitter, y))
+             ticks)
+      in
+      return (Pwl.create pts))
+
+let arb_kernel_pwl = QCheck.make ~print:Pwl.to_string kernel_pwl_gen
+
+let arb_kernel_pwl_list =
+  QCheck.make
+    ~print:(fun ws -> String.concat " | " (List.map Pwl.to_string ws))
+    QCheck.Gen.(
+      let* n = int_range 2 6 in
+      list_repeat n kernel_pwl_gen)
+
+let pointwise_ok expect got ws =
+  List.for_all
+    (fun x -> Float.abs (Pwl.eval got x -. expect x) <= 1e-9)
+    (Kernel_ref.probes ws)
+
+let kernel_qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"add agrees with reference" ~count:500
+      (pair arb_kernel_pwl arb_kernel_pwl) (fun (a, b) ->
+        pointwise_ok
+          (fun x -> Pwl.eval a x +. Pwl.eval b x)
+          (Pwl.add a b) [ a; b ]);
+    Test.make ~name:"sub agrees with reference" ~count:500
+      (pair arb_kernel_pwl arb_kernel_pwl) (fun (a, b) ->
+        pointwise_ok
+          (fun x -> Pwl.eval a x -. Pwl.eval b x)
+          (Pwl.sub a b) [ a; b ]);
+    Test.make ~name:"max2 agrees with reference" ~count:500
+      (pair arb_kernel_pwl arb_kernel_pwl) (fun (a, b) ->
+        pointwise_ok
+          (fun x -> Float.max (Pwl.eval a x) (Pwl.eval b x))
+          (Pwl.max2 a b) [ a; b ]);
+    Test.make ~name:"min2 agrees with reference" ~count:500
+      (pair arb_kernel_pwl arb_kernel_pwl) (fun (a, b) ->
+        pointwise_ok
+          (fun x -> Float.min (Pwl.eval a x) (Pwl.eval b x))
+          (Pwl.min2 a b) [ a; b ]);
+    Test.make ~name:"k-way sum agrees with reference" ~count:500
+      arb_kernel_pwl_list (fun ws ->
+        pointwise_ok (Kernel_ref.eval_sum ws) (Pwl.sum ws) ws);
+    Test.make ~name:"max_list agrees with reference" ~count:300
+      arb_kernel_pwl_list (fun ws ->
+        pointwise_ok
+          (fun x ->
+            List.fold_left
+              (fun acc w -> Float.max acc (Pwl.eval w x))
+              Float.neg_infinity ws)
+          (Pwl.max_list ws) ws);
+    Test.make ~name:"dominates agrees with reference" ~count:500
+      (pair arb_kernel_pwl arb_kernel_pwl) (fun (a, b) ->
+        Pwl.dominates a b = Kernel_ref.dominates a b
+        && Pwl.dominates b a = Kernel_ref.dominates b a);
+    Test.make ~name:"dominates holds for a vs a - |c|" ~count:300
+      (pair arb_kernel_pwl (float_range 0. 2.)) (fun (a, c) ->
+        Pwl.dominates a (Pwl.shift_y (-.c) a));
+    Test.make ~name:"max_value is cached and exact" ~count:300
+      arb_kernel_pwl (fun a ->
+        let expected =
+          List.fold_left
+            (fun acc (_, y) -> Float.max acc y)
+            Float.neg_infinity (Pwl.breakpoints a)
+        in
+        Pwl.max_value a = expected && Pwl.max_value a = expected);
+    Test.make ~name:"min_value is exact" ~count:300 arb_kernel_pwl (fun a ->
+        let expected =
+          List.fold_left
+            (fun acc (_, y) -> Float.min acc y)
+            Float.infinity (Pwl.breakpoints a)
+        in
+        Pwl.min_value a = expected);
+  ]
+
+let test_nan_rejected () =
+  let bad f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "constant nan" true
+    (bad (fun () -> ignore (Pwl.constant Float.nan)));
+  Alcotest.(check bool) "create nan y" true
+    (bad (fun () -> ignore (Pwl.create [ (0., Float.nan); (1., 0.) ])));
+  Alcotest.(check bool) "create nan x" true
+    (bad (fun () -> ignore (Pwl.create [ (Float.nan, 0.); (1., 0.) ])))
+
 let qcheck_tests =
   let open QCheck in
   [
@@ -329,5 +486,8 @@ let () =
           Alcotest.test_case "two series" `Quick test_render_ascii_two_series;
           Alcotest.test_case "csv" `Quick test_render_csv;
         ] );
+      ( "kernels",
+        Alcotest.test_case "NaN breakpoints rejected" `Quick test_nan_rejected
+        :: List.map QCheck_alcotest.to_alcotest kernel_qcheck_tests );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

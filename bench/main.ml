@@ -872,20 +872,30 @@ let () =
      Noise Analysis' (DAC 2007)\ncircuits: %s%s\n"
     (String.concat ", " o.circuits)
     (if o.quick then " (quick mode)" else "");
+  (* per-section wall times feed both BENCH_topk.json and the history
+     record: section-level granularity is what bench-diff thresholds *)
+  let section_times = ref [] in
+  let timed name f =
+    let t0 = wall () in
+    f ();
+    section_times := !section_times @ [ (name, wall () -. t0) ]
+  in
   List.iter
-    (function
-      | "stats" -> run_stats o
-      | "table1" -> run_table1 o
-      | "table2a" -> run_table2 o ~mode:Engine.Elimination
-      | "table2b" -> run_table2 o ~mode:Engine.Addition
-      | "figure10" -> run_figure10 o
-      | "ablation" -> run_ablation o
-      | "parallel" -> run_parallel o
-      | "eco" -> run_eco o
-      | "kernels" ->
-        run_kernel_rewrite o;
-        run_kernels ()
-      | s -> failwith (Printf.sprintf "unknown section %S" s))
+    (fun name ->
+      timed name (fun () ->
+          match name with
+          | "stats" -> run_stats o
+          | "table1" -> run_table1 o
+          | "table2a" -> run_table2 o ~mode:Engine.Elimination
+          | "table2b" -> run_table2 o ~mode:Engine.Addition
+          | "figure10" -> run_figure10 o
+          | "ablation" -> run_ablation o
+          | "parallel" -> run_parallel o
+          | "eco" -> run_eco o
+          | "kernels" ->
+            run_kernel_rewrite o;
+            run_kernels ()
+          | s -> failwith (Printf.sprintf "unknown section %S" s)))
     o.sections;
   let total = wall () -. t0 in
   let doc =
@@ -896,10 +906,19 @@ let () =
          ("jobs", J.Int (Pool.default_jobs ()));
          ("circuits", J.List (List.map (fun c -> J.Str c) o.circuits));
          ("sections", J.List (List.map (fun s -> J.Str s) o.sections));
+         ( "section_runtime_s",
+           J.Obj (List.map (fun (s, t) -> (s, J.Float t)) !section_times) );
        ]
       @ !json_out
       @ [ ("total_runtime_s", J.Float total) ])
   in
   J.write_file "BENCH_topk.json" doc;
-  Printf.printf "\nwrote BENCH_topk.json\n";
+  let record =
+    Tka_prof.Bench_history.make
+      ~jobs:(Pool.default_jobs ())
+      ~quick:o.quick ~circuits:o.circuits ~sections:!section_times
+      ~total_s:total ()
+  in
+  Tka_prof.Bench_history.append "BENCH_history.ndjson" record;
+  Printf.printf "\nwrote BENCH_topk.json (+ BENCH_history.ndjson record)\n";
   Printf.printf "total benchmark time: %.1f s\n%!" (wall () -. t0)

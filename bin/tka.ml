@@ -113,6 +113,26 @@ let obs_term =
     const make $ verbose $ log_level $ log_json $ metrics_out $ trace_out
     $ jobs)
 
+(* Every dump flag ([--log-json], [--metrics-out], [--trace-out],
+   [--json]) accepts [-] for stdout; real paths get their parent
+   directories created up front so a dump-at-exit cannot fail on a
+   fresh output tree. *)
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let prepare_out path = if path <> "-" then mkdirs (Filename.dirname path)
+
+(* dump a JSON document honouring the [-] convention *)
+let emit_json path json =
+  if path = "-" then print_endline (Tka_obs.Jsonx.to_string_pretty json)
+  else begin
+    prepare_out path;
+    Tka_obs.Jsonx.write_file path json
+  end
+
 (* Configure the observability stack, run [f], then dump the requested
    metrics/trace files (also on exceptions). *)
 let with_obs o f =
@@ -133,10 +153,14 @@ let with_obs o f =
       Printf.eprintf "tka: bad --log-level: %s\n" m;
       exit 2));
   let open_or_die path =
-    try open_out path
-    with Sys_error m ->
-      Printf.eprintf "tka: cannot open --log-json file: %s\n" m;
-      exit 2
+    if path = "-" then stdout
+    else begin
+      prepare_out path;
+      try open_out path
+      with Sys_error m ->
+        Printf.eprintf "tka: cannot open --log-json file: %s\n" m;
+        exit 2
+    end
   in
   let log_oc = Option.map open_or_die o.ob_log_json in
   let reporters =
@@ -148,15 +172,17 @@ let with_obs o f =
   if o.ob_trace_out <> None then Trace.set_enabled true;
   let write_failed = ref false in
   let finally () =
-    let write path writer =
-      try writer path
+    let write path json =
+      try emit_json path (json ())
       with Sys_error m ->
         write_failed := true;
         Printf.eprintf "tka: cannot write %s: %s\n" path m
     in
-    Option.iter (fun path -> write path Metrics.write_file) o.ob_metrics_out;
-    Option.iter (fun path -> write path Trace.write_file) o.ob_trace_out;
-    Option.iter close_out log_oc
+    Option.iter
+      (fun path -> write path (fun () -> Metrics.to_json ()))
+      o.ob_metrics_out;
+    Option.iter (fun path -> write path Trace.to_json) o.ob_trace_out;
+    Option.iter (fun oc -> if oc != stdout then close_out oc) log_oc
   in
   let v = Fun.protect ~finally f in
   if !write_failed then exit 1;
@@ -228,6 +254,12 @@ let handle_errors f =
     exit 1
   | V.Parse_error { line; message } ->
     Printf.eprintf "verilog parse error, line %d: %s\n" line message;
+    exit 1
+  | Tka_obs.Jsonx.Parse_error m ->
+    Printf.eprintf "json parse error: %s\n" m;
+    exit 1
+  | Sys_error m ->
+    Printf.eprintf "error: %s\n" m;
     exit 1
   | Failure m ->
     Printf.eprintf "error: %s\n" m;
@@ -880,6 +912,153 @@ let verify_cmd =
       $ replay)
 
 (* ------------------------------------------------------------------ *)
+(* profile                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let module P = Tka_prof.Profile in
+  let trace_in =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Analyse this Chrome-trace dump (as written by \
+             $(b,--trace-out)) instead of running an analysis inline.")
+  in
+  let k =
+    Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"Set cardinality bound.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("add", `Add); ("elim", `Elim) ]) `Elim
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Analysis to profile inline: $(b,add) or $(b,elim) (default).")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Rows in the slowest-victims and allocation tables.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON ($(b,-) for stdout).")
+  in
+  let netlist_opt =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"NETLIST"
+          ~doc:"Netlist to analyse inline (omit when using $(b,--trace)).")
+  in
+  let run obs liberty trace_in k mode top json path =
+    run_obs obs (fun () ->
+        let spans =
+          match (trace_in, path) with
+          | Some f, _ -> P.of_trace_file f
+          | None, Some nlpath ->
+            let nl = load ~liberty nlpath in
+            let topo = Topo.create nl in
+            (* record the analysis whether or not --trace-out is given;
+               an outer dump still sees these spans *)
+            Trace.set_enabled true;
+            (match mode with
+            | `Add -> ignore (Addition.compute ~k topo)
+            | `Elim -> ignore (Elimination.compute ~k topo));
+            Trace.spans ()
+          | None, None ->
+            failwith "profile needs a NETLIST to run, or --trace FILE to ingest"
+        in
+        let r = P.analyze ~top spans in
+        (match json with
+        | Some path -> emit_json path (P.to_json r)
+        | None -> ());
+        if json <> Some "-" then print_string (P.render r))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Trace analytics: self/total time per span, slowest victims with \
+          prune attribution, and GC-allocation hotspots — from a trace dump \
+          or an inline run.")
+    Term.(
+      const run $ obs_term $ liberty_arg $ trace_in $ k $ mode $ top $ json
+      $ netlist_opt)
+
+(* ------------------------------------------------------------------ *)
+(* bench-diff                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bench_diff_cmd =
+  let module Bd = Tka_prof.Bench_diff in
+  let base_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASE"
+          ~doc:
+            "Baseline bench file: a $(b,BENCH_topk.json), or a \
+             $(b,BENCH_history.ndjson) whose last record is used.")
+  in
+  let new_pos =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Bench file to compare against the baseline.")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt float 0.20
+      & info [ "threshold" ] ~docv:"FRAC"
+          ~doc:
+            "Relative regression threshold (0.20 = flag changes beyond \
+             ±20%).")
+  in
+  let min_seconds =
+    Arg.(
+      value
+      & opt float Bd.default_min_seconds
+      & info [ "min-seconds" ] ~docv:"S"
+          ~doc:
+            "Noise floor: timing metrics below this in both files are \
+             skipped.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the comparison as JSON ($(b,-) for stdout).")
+  in
+  let run obs base next threshold min_seconds json =
+    run_obs obs (fun () ->
+        if not (threshold > 0.) then failwith "--threshold must be > 0";
+        let r =
+          Bd.compare_docs ~threshold ~min_seconds (Bd.load_file base)
+            (Bd.load_file next)
+        in
+        (match json with
+        | Some path -> emit_json path (Bd.to_json r)
+        | None -> ());
+        if json <> Some "-" then print_string (Bd.render r);
+        if Bd.has_regressions r then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two benchmark result files and fail (exit 1) on \
+          performance regressions beyond a noise threshold.")
+    Term.(
+      const run $ obs_term $ base_pos $ new_pos $ threshold $ min_seconds
+      $ json)
+
+(* ------------------------------------------------------------------ *)
 (* liberty                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -898,5 +1077,5 @@ let () =
           [
             gen_cmd; info_cmd; sta_cmd; noise_cmd; topk_cmd; glitch_cmd;
             falseagg_cmd; kvalue_cmd; sensitivity_cmd; compare_cmd; sdf_cmd;
-            eco_cmd; verify_cmd; liberty_cmd;
+            eco_cmd; verify_cmd; profile_cmd; bench_diff_cmd; liberty_cmd;
           ]))

@@ -512,9 +512,22 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
     if Trace.is_enabled () || Metrics.is_enabled () then begin
       Metrics.Counter.incr m_victims;
       let t0 = Tka_obs.Clock.now_ns () in
-      Trace.with_span ~cat:"engine"
+      (* prune attribution is only known after processing, so it is
+         attached via the late-args hook *)
+      Trace.with_span_args ~cat:"engine"
         ~args:[ ("net", Tka_obs.Jsonx.Str (N.net nl v).N.net_name) ]
         "engine.victim"
+        (fun () ->
+          match victim_stats.(v) with
+          | None -> []
+          | Some st ->
+            [
+              ("candidates", Tka_obs.Jsonx.Int st.Ilist.candidates);
+              ("dominated", Tka_obs.Jsonx.Int st.Ilist.dominated);
+              ("duplicates", Tka_obs.Jsonx.Int st.Ilist.duplicates);
+              ("capped", Tka_obs.Jsonx.Int st.Ilist.capped);
+              ("checks", Tka_obs.Jsonx.Int st.Ilist.checks);
+            ])
         (fun () -> process v);
       Metrics.Histogram.observe h_victim_s (Tka_obs.Clock.seconds_since t0)
     end

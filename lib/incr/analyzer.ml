@@ -4,8 +4,10 @@ module Engine = Tka_topk.Engine
 module Elimination = Tka_topk.Elimination
 module Metrics = Tka_obs.Metrics
 module Trace = Tka_obs.Trace
+module Log = Tka_obs.Log
 module J = Tka_obs.Jsonx
 
+let log_src = Log.Src.create "incr" ~doc:"incremental re-analysis engine"
 let c_hits = Metrics.Counter.make "incr.cache_hits"
 let c_misses = Metrics.Counter.make "incr.cache_misses"
 let c_dirty = Metrics.Counter.make "incr.dirty_nets"
@@ -38,7 +40,16 @@ let run ?fixpoint t topo =
      design — so the whole cache must be flushed, not consulted. *)
   let u = Fingerprint.universe nl in
   (match Cache.universe t.a_cache with
-  | Some u' when not (Int64.equal u' u) -> Cache.clear t.a_cache
+  | Some u' when not (Int64.equal u' u) ->
+    Log.warn log_src (fun m ->
+        m
+          ~fields:
+            [
+              Log.str "cached" (Printf.sprintf "%Lx" u');
+              Log.str "netlist" (Printf.sprintf "%Lx" u);
+            ]
+          "coupling universe mismatch: flushing result cache");
+    Cache.clear t.a_cache
   | Some _ | None -> ());
   Cache.set_universe t.a_cache u;
   let view mode =
@@ -143,7 +154,18 @@ let run ?fixpoint t topo =
       ~use_higher_order:t.a_config.Engine.use_higher_order ~fixpoint:fix
       ~victim_cache:view ~k:t.a_config.Engine.k topo
   in
-  (elim, { rs_hits = Atomic.get hits; rs_misses = Atomic.get misses })
+  let stats = { rs_hits = Atomic.get hits; rs_misses = Atomic.get misses } in
+  Log.info log_src (fun m ->
+      m
+        ~fields:
+          [
+            Log.int "hits" stats.rs_hits;
+            Log.int "misses" stats.rs_misses;
+            Log.int "nets" nn;
+          ]
+        "incremental run: %d cache hit(s), %d miss(es)" stats.rs_hits
+        stats.rs_misses);
+  (elim, stats)
 
 let apply t nl edits =
   Trace.with_span ~cat:"incr"
@@ -153,6 +175,10 @@ let apply t nl edits =
   let topo = Topo.create nl in
   let dirty = Dirty.count (Dirty.closure topo (Edit.touched_nets nl edits)) in
   Metrics.Counter.add c_dirty dirty;
+  Log.info log_src (fun m ->
+      m
+        ~fields:[ Log.int "edits" (List.length edits); Log.int "dirty" dirty ]
+        "applied %d edit(s): %d net(s) dirtied" (List.length edits) dirty);
   let nl', remap = Edit.apply nl edits in
   Cache.remap_couplings t.a_cache remap;
   (* the remapped values now index the edited netlist's coupling table *)

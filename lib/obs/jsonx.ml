@@ -32,11 +32,16 @@ let add_float buf f =
     Buffer.add_string buf "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.1f" f)
-  else
+  else begin
     (* shortest representation that round-trips *)
     let s = Printf.sprintf "%.12g" f in
-    if float_of_string s = f then Buffer.add_string buf s
-    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    Buffer.add_string buf s;
+    (* %.17g prints huge integer-valued doubles (2^53) without a point
+       or exponent; keep them parsing back as floats, not ints *)
+    if not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s) then
+      Buffer.add_string buf ".0"
+  end
 
 let rec add_compact buf = function
   | Null -> Buffer.add_string buf "null"

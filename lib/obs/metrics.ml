@@ -67,6 +67,32 @@ module Histogram0 = struct
   let buckets h = Array.copy h.h_buckets
   let counts h = Array.map Atomic.get h.h_counts
   let name h = h.h_name
+
+  (* Prometheus-style quantile estimate: walk the cumulative bucket
+     counts to the one containing rank q*count, then interpolate
+     linearly inside it (the first bucket's lower bound is 0, the
+     overflow bucket clamps to the last bound). *)
+  let percentile h q =
+    if not (q >= 0. && q <= 1.) then
+      invalid_arg "Tka_obs.Metrics.Histogram.percentile: q must be in [0,1]";
+    let total = Atomic.get h.h_count in
+    if total = 0 then Float.nan
+    else begin
+      let rank = q *. float_of_int total in
+      let nb = Array.length h.h_buckets in
+      let rec go i cum =
+        if i >= nb then h.h_buckets.(nb - 1)
+        else
+          let c = Atomic.get h.h_counts.(i) in
+          let cum' = cum +. float_of_int c in
+          if cum' >= rank && c > 0 then
+            let lo = if i = 0 then 0. else h.h_buckets.(i - 1) in
+            let hi = h.h_buckets.(i) in
+            lo +. ((hi -. lo) *. ((rank -. cum) /. float_of_int c))
+          else go (i + 1) cum'
+      in
+      go 0 0.
+    end
 end
 
 type metric =
@@ -180,6 +206,12 @@ let reset ?(registry = default_registry) () =
     registry.items
 
 let to_json ?(registry = default_registry) () =
+  (* nan (empty histogram) would serialise as null anyway; make the
+     in-memory document say so explicitly *)
+  let pct h q =
+    let v = Histogram0.percentile h q in
+    if Float.is_nan v then Jsonx.Null else Jsonx.Float v
+  in
   let entry _ m acc =
     let kv =
       match m with
@@ -200,6 +232,9 @@ let to_json ?(registry = default_registry) () =
               );
               ("sum", Jsonx.Float (Histogram0.sum h));
               ("count", Jsonx.Int (Histogram0.count h));
+              ("p50", pct h 0.50);
+              ("p90", pct h 0.90);
+              ("p99", pct h 0.99);
             ] )
     in
     kv :: acc

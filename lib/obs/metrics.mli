@@ -77,6 +77,14 @@ module Histogram : sig
   (** Per-bucket counts; length = [Array.length (buckets h) + 1] (the
       last cell is the overflow bucket). *)
 
+  val percentile : t -> float -> float
+  (** [percentile h q] estimates the [q]-quantile ([q] in [[0,1]]) from
+      the bucket counts, interpolating linearly inside the containing
+      bucket; the first bucket's lower bound is 0 and observations in
+      the overflow bucket clamp to the last bound. [nan] when the
+      histogram is empty. Raises [Invalid_argument] when [q] is outside
+      [[0,1]]. *)
+
   val name : t -> string
 end
 
@@ -89,7 +97,9 @@ val reset : ?registry:registry -> unit -> unit
 
 val to_json : ?registry:registry -> unit -> Jsonx.t
 (** Flat object, keys sorted: counters as integers, gauges as floats,
-    histograms as [{"buckets":[..],"counts":[..],"sum":s,"count":n}]. *)
+    histograms as [{"buckets":[..],"counts":[..],"sum":s,"count":n,
+    "p50":..,"p90":..,"p99":..}] (percentiles are bucket-interpolated
+    estimates, [null] when empty). *)
 
 val write_file : ?registry:registry -> string -> unit
 (** Pretty-printed {!to_json} to [path]. *)

@@ -3,6 +3,18 @@ let enabled = Atomic.make false
 let set_enabled b = Atomic.set enabled b
 let is_enabled () = Atomic.get enabled
 
+(* Allocation deltas come from [Gc.quick_stat] (no heap walk, O(1)), so
+   sampling them per span is cheap. In a multi-domain program the word
+   counts are dominated by the recording domain's own allocation, which
+   is exactly the attribution a profiler wants. *)
+type gc_delta = {
+  gd_minor_words : float;
+  gd_major_words : float;
+  gd_promoted_words : float;
+  gd_minor_collections : int;
+  gd_major_collections : int;
+}
+
 type span = {
   sp_name : string;
   sp_cat : string;
@@ -10,6 +22,7 @@ type span = {
   sp_dur_ns : int64;
   sp_depth : int;
   sp_args : (string * Jsonx.t) list;
+  sp_gc : gc_delta option;
 }
 
 (* Session origin: timestamps are reported relative to the first event
@@ -45,7 +58,7 @@ let clear () =
       recorded := [];
       depth := 0)
 
-let record name cat args start_ns dur_ns d =
+let record name cat args start_ns dur_ns d gc =
   recorded :=
     {
       sp_name = name;
@@ -54,44 +67,76 @@ let record name cat args start_ns dur_ns d =
       sp_dur_ns = dur_ns;
       sp_depth = d;
       sp_args = args;
+      sp_gc = gc;
     }
     :: !recorded
 
+let gc_delta (a : Gc.stat) (b : Gc.stat) =
+  {
+    gd_minor_words = b.Gc.minor_words -. a.Gc.minor_words;
+    gd_major_words = b.Gc.major_words -. a.Gc.major_words;
+    gd_promoted_words = b.Gc.promoted_words -. a.Gc.promoted_words;
+    gd_minor_collections = b.Gc.minor_collections - a.Gc.minor_collections;
+    gd_major_collections = b.Gc.major_collections - a.Gc.major_collections;
+  }
+
+(* Shared body for the two span-scoping entry points: [late_args]
+   computes extra args from the thunk's result once it is available
+   (used by the engine to attach per-victim prune stats). *)
+let span_scope cat args name late_args f =
+  let gc0 = Gc.quick_stat () in
+  let start, d =
+    with_state (fun () ->
+        let start = rel (Monotonic_clock.now ()) in
+        let d = !depth in
+        incr depth;
+        (start, d))
+  in
+  let finish extra =
+    let gc = gc_delta gc0 (Gc.quick_stat ()) in
+    with_state (fun () ->
+        decr depth;
+        let stop = rel (Monotonic_clock.now ()) in
+        record name cat (args @ extra) start (Int64.sub stop start) d (Some gc))
+  in
+  match f () with
+  | v ->
+    finish (late_args v);
+    v
+  | exception e ->
+    finish [];
+    raise e
+
 let with_span ?(cat = "tka") ?(args = []) name f =
   if not (Atomic.get enabled) then f ()
-  else begin
-    let start, d =
-      with_state (fun () ->
-          let start = rel (Monotonic_clock.now ()) in
-          let d = !depth in
-          incr depth;
-          (start, d))
-    in
-    let finish () =
-      with_state (fun () ->
-          decr depth;
-          let stop = rel (Monotonic_clock.now ()) in
-          record name cat args start (Int64.sub stop start) d)
-    in
-    match f () with
-    | v ->
-      finish ();
-      v
-    | exception e ->
-      finish ();
-      raise e
-  end
+  else span_scope cat args name (fun _ -> []) f
+
+let with_span_args ?(cat = "tka") ?(args = []) name late_args f =
+  if not (Atomic.get enabled) then f ()
+  else span_scope cat args name late_args f
 
 let instant ?(cat = "tka") ?(args = []) name =
   if Atomic.get enabled then
     with_state (fun () ->
-        record name cat args (rel (Monotonic_clock.now ())) (-1L) !depth)
+        record name cat args (rel (Monotonic_clock.now ())) (-1L) !depth None)
 
 let spans () = with_state (fun () -> List.rev !recorded)
+
+let gc_args gd =
+  [
+    ("minor_words", Jsonx.Float gd.gd_minor_words);
+    ("major_words", Jsonx.Float gd.gd_major_words);
+    ("promoted_words", Jsonx.Float gd.gd_promoted_words);
+    ("minor_collections", Jsonx.Int gd.gd_minor_collections);
+    ("major_collections", Jsonx.Int gd.gd_major_collections);
+  ]
 
 let to_json () =
   let us ns = Jsonx.Float (Int64.to_float ns /. 1e3) in
   let event sp =
+    let args =
+      sp.sp_args @ (match sp.sp_gc with Some gd -> gc_args gd | None -> [])
+    in
     Jsonx.Obj
       ([
          ("name", Jsonx.Str sp.sp_name);
@@ -103,7 +148,7 @@ let to_json () =
          else [ ("dur", us sp.sp_dur_ns) ])
       @ [ ("pid", Jsonx.Int 1); ("tid", Jsonx.Int 1) ]
       @
-      match sp.sp_args with [] -> [] | args -> [ ("args", Jsonx.Obj args) ])
+      match args with [] -> [] | args -> [ ("args", Jsonx.Obj args) ])
   in
   Jsonx.Obj
     [

@@ -4,9 +4,12 @@
 
     {!with_span} scopes nest arbitrarily; each completed scope records a
     complete ("ph":"X") event with microsecond timestamps relative to
-    the first event of the session. Disabled (the default), [with_span]
-    reduces to running its thunk — enable with {!set_enabled} (the CLI
-    does this when [--trace-out] is given). *)
+    the first event of the session, plus the [Gc.quick_stat] allocation
+    delta across the scope (minor/major/promoted words and collection
+    counts — [tka profile] turns these into allocation hotspots).
+    Disabled (the default), [with_span] reduces to running its thunk —
+    enable with {!set_enabled} (the CLI does this when [--trace-out] is
+    given). *)
 
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool
@@ -18,8 +21,29 @@ val with_span :
     trace category (default ["tka"]); [args] show up in the viewer's
     detail pane. *)
 
+val with_span_args :
+  ?cat:string ->
+  ?args:(string * Jsonx.t) list ->
+  string ->
+  ('a -> (string * Jsonx.t) list) ->
+  (unit -> 'a) ->
+  'a
+(** Like {!with_span}, but [late_args result] is evaluated once the
+    thunk returns and its fields are appended to the span's args — for
+    attribution data only known at scope exit (per-victim prune stats).
+    When the thunk raises, the span records with the static [args]
+    only. *)
+
 val instant : ?cat:string -> ?args:(string * Jsonx.t) list -> string -> unit
 (** A zero-duration marker ("ph":"i"). *)
+
+type gc_delta = {
+  gd_minor_words : float;
+  gd_major_words : float;
+  gd_promoted_words : float;
+  gd_minor_collections : int;
+  gd_major_collections : int;
+}
 
 type span = {
   sp_name : string;
@@ -28,6 +52,7 @@ type span = {
   sp_dur_ns : int64;  (** -1 for instants *)
   sp_depth : int;  (** nesting depth at record time (0 = toplevel) *)
   sp_args : (string * Jsonx.t) list;
+  sp_gc : gc_delta option;  (** [None] for instants *)
 }
 
 val spans : unit -> span list
@@ -36,8 +61,14 @@ val spans : unit -> span list
 val clear : unit -> unit
 (** Drop recorded spans and reset the session origin and depth. *)
 
+val gc_args : gc_delta -> (string * Jsonx.t) list
+(** The delta as Chrome-trace arg fields ([minor_words],
+    [major_words], [promoted_words], [minor_collections],
+    [major_collections]). *)
+
 val to_json : unit -> Jsonx.t
 (** [{"traceEvents": [...], "displayTimeUnit": "ns"}] — valid Chrome
-    trace; spans become "X" events on pid 1 / tid 1. *)
+    trace; spans become "X" events on pid 1 / tid 1 with the GC delta
+    merged into [args]. *)
 
 val write_file : string -> unit

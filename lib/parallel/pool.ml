@@ -1,3 +1,12 @@
+module Log = Tka_obs.Log
+module Metrics = Tka_obs.Metrics
+module Trace = Tka_obs.Trace
+module J = Tka_obs.Jsonx
+
+let log_src = Log.Src.create "parallel" ~doc:"work-stealing domain pool"
+let c_batches = Metrics.Counter.make "pool.batches"
+let c_tasks = Metrics.Counter.make "pool.tasks"
+
 type task = unit -> unit
 
 type t = {
@@ -47,6 +56,8 @@ let create ~jobs =
   in
   if jobs > 1 then
     t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  Log.debug log_src (fun m ->
+      m ~fields:[ Log.int "jobs" jobs ] "pool created with %d job(s)" jobs);
   t
 
 let size t = t.jobs
@@ -61,7 +72,12 @@ let shutdown t =
     Mutex.unlock t.mutex;
     ws
   in
-  Array.iter Domain.join ws
+  Array.iter Domain.join ws;
+  if Array.length ws > 0 then
+    Log.debug log_src (fun m ->
+        m
+          ~fields:[ Log.int "workers" (Array.length ws) ]
+          "pool shut down (%d worker(s) joined)" (Array.length ws))
 
 (* ------------------------------------------------------------------ *)
 (* Batches                                                            *)
@@ -86,6 +102,12 @@ let run_batch t (thunks : task array) =
   if n = 0 then ()
   else if t.jobs = 1 || n = 1 || not t.live then Array.iter (fun f -> f ()) thunks
   else begin
+    Metrics.Counter.incr c_batches;
+    Metrics.Counter.add c_tasks n;
+    Trace.with_span ~cat:"pool" ~args:[ ("tasks", J.Int n) ] "pool.batch"
+    @@ fun () ->
+    Log.debug log_src (fun m ->
+        m ~fields:[ Log.int "tasks" n ] "batch submitted: %d task(s)" n);
     let b =
       {
         remaining = Atomic.make n;
@@ -130,6 +152,8 @@ let run_batch t (thunks : task array) =
       end
     in
     help ();
+    Log.debug log_src (fun m ->
+        m ~fields:[ Log.int "tasks" n ] "batch drained: %d task(s)" n);
     match Atomic.get b.failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()

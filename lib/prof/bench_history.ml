@@ -1,0 +1,136 @@
+(* Append-only bench observatory: every bench run adds one
+   schema-versioned NDJSON record to BENCH_history.ndjson, so perf
+   history survives the overwrite of BENCH_topk.json and bench-diff /
+   plotting tools can track trends across commits. *)
+
+module J = Tka_obs.Jsonx
+
+let schema_version = 1
+
+type record = {
+  bh_schema : int;
+  bh_git_rev : string;
+  bh_date : string;  (** ISO-8601 UTC *)
+  bh_date_unix : float;
+  bh_jobs : int;
+  bh_quick : bool;
+  bh_circuits : string list;
+  bh_sections : (string * float) list;  (** section name -> wall seconds *)
+  bh_total_s : float;
+  bh_peak_rss_bytes : int option;
+  bh_minor_words : float;
+  bh_major_words : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Environment probes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Reproducible-build friendly: an explicit env override wins, then the
+   CI-provided sha, then a direct read of .git/HEAD (works without a
+   git binary), then "unknown". *)
+let git_rev () =
+  let env k =
+    match Sys.getenv_opt k with
+    | Some v when String.trim v <> "" -> Some (String.trim v)
+    | _ -> None
+  in
+  match (env "TKA_GIT_REV", env "GITHUB_SHA") with
+  | Some v, _ | None, Some v -> v
+  | None, None -> (
+    let read path =
+      match open_in path with
+      | exception Sys_error _ -> None
+      | ic ->
+        let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+        close_in ic;
+        line
+    in
+    match read ".git/HEAD" with
+    | Some head ->
+      let prefix = "ref: " in
+      if String.length head > String.length prefix
+         && String.sub head 0 (String.length prefix) = prefix
+      then
+        let r = String.sub head 5 (String.length head - 5) in
+        Option.value ~default:"unknown" (read (Filename.concat ".git" r))
+      else head
+    | None -> "unknown")
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* Date from the environment when pinned (SOURCE_DATE_EPOCH, the
+   reproducible-builds convention) so two runs of the same rev can emit
+   identical records; wall clock otherwise. *)
+let now () =
+  match Sys.getenv_opt "SOURCE_DATE_EPOCH" with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some t -> t
+    | None -> Unix.gettimeofday ())
+  | None -> Unix.gettimeofday ()
+
+let make ~jobs ~quick ~circuits ~sections ~total_s () =
+  let t = now () in
+  let gc = Gc.quick_stat () in
+  {
+    bh_schema = schema_version;
+    bh_git_rev = git_rev ();
+    bh_date = iso8601 t;
+    bh_date_unix = t;
+    bh_jobs = jobs;
+    bh_quick = quick;
+    bh_circuits = circuits;
+    bh_sections = sections;
+    bh_total_s = total_s;
+    bh_peak_rss_bytes = Rss.peak_bytes ();
+    bh_minor_words = gc.Gc.minor_words;
+    bh_major_words = gc.Gc.major_words;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let to_json r =
+  J.Obj
+    [
+      ("schema", J.Int r.bh_schema);
+      ("git_rev", J.Str r.bh_git_rev);
+      ("date", J.Str r.bh_date);
+      ("date_unix", J.Float r.bh_date_unix);
+      ("jobs", J.Int r.bh_jobs);
+      ("quick", J.Bool r.bh_quick);
+      ("circuits", J.List (List.map (fun c -> J.Str c) r.bh_circuits));
+      ( "sections",
+        J.Obj (List.map (fun (s, t) -> (s, J.Float t)) r.bh_sections) );
+      ("total_runtime_s", J.Float r.bh_total_s);
+      ( "peak_rss_bytes",
+        match r.bh_peak_rss_bytes with Some b -> J.Int b | None -> J.Null );
+      ("minor_words", J.Float r.bh_minor_words);
+      ("major_words", J.Float r.bh_major_words);
+    ]
+
+let append path r =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (J.to_string (to_json r));
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> List.rev acc
+      | line when String.trim line = "" -> go acc
+      | line -> go (J.of_string line :: acc)
+    in
+    let records = try Ok (go []) with J.Parse_error m -> Error m in
+    close_in ic;
+    records

@@ -1,0 +1,45 @@
+(** Append-only benchmark history ([BENCH_history.ndjson]).
+
+    [BENCH_topk.json] is overwritten every run; the history file keeps
+    one compact schema-versioned JSON record per line per run — git
+    rev, timestamp (pinned by [SOURCE_DATE_EPOCH] when set), jobs,
+    per-section wall times, peak RSS and GC allocation totals — the
+    raw material for [tka bench-diff] and trend plots. *)
+
+val schema_version : int
+
+type record = {
+  bh_schema : int;
+  bh_git_rev : string;
+  bh_date : string;  (** ISO-8601 UTC *)
+  bh_date_unix : float;
+  bh_jobs : int;
+  bh_quick : bool;
+  bh_circuits : string list;
+  bh_sections : (string * float) list;  (** section name -> wall seconds *)
+  bh_total_s : float;
+  bh_peak_rss_bytes : int option;  (** [None] off-Linux *)
+  bh_minor_words : float;  (** process-lifetime GC totals at record time *)
+  bh_major_words : float;
+}
+
+val git_rev : unit -> string
+(** [TKA_GIT_REV] env, then [GITHUB_SHA], then [.git/HEAD], then
+    ["unknown"]. *)
+
+val make :
+  jobs:int ->
+  quick:bool ->
+  circuits:string list ->
+  sections:(string * float) list ->
+  total_s:float ->
+  unit ->
+  record
+(** Gathers git rev, date, peak RSS and GC totals itself. *)
+
+val to_json : record -> Tka_obs.Jsonx.t
+val append : string -> record -> unit
+(** Append one compact line, creating the file when missing. *)
+
+val load : string -> (Tka_obs.Jsonx.t list, string) result
+(** All records, oldest first. *)

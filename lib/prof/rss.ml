@@ -1,0 +1,46 @@
+(* Resident-set-size accounting from /proc/self/status. The kernel
+   maintains the high-water mark (VmHWM) itself, so "sampling" peak RSS
+   is a single file read at the moment of interest — no background
+   thread. On platforms without procfs every probe returns None and
+   callers degrade to omitting the figure. *)
+
+let status_path = "/proc/self/status"
+
+(* "VmHWM:     12345 kB" -> bytes *)
+let parse_kb_line line =
+  match String.index_opt line ':' with
+  | None -> None
+  | Some i ->
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    let tokens =
+      String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) rest)
+      |> List.filter (fun s -> s <> "")
+    in
+    (match tokens with
+    | value :: unit :: _ when String.lowercase_ascii unit = "kb" ->
+      Option.map (fun kb -> kb * 1024) (int_of_string_opt value)
+    | [ value ] -> int_of_string_opt value
+    | _ -> None)
+
+let field key =
+  match open_in status_path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let prefix = key ^ ":" in
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line >= String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix
+        then parse_kb_line line
+        else scan ()
+    in
+    let v = scan () in
+    close_in ic;
+    v
+
+let peak_bytes () = field "VmHWM"
+let current_bytes () = field "VmRSS"
+
+let supported () = Sys.file_exists status_path

@@ -1,0 +1,15 @@
+(** Process resident-set-size probes via [/proc/self/status].
+
+    The kernel tracks the peak itself ([VmHWM]), so reading it at the
+    end of a run captures the true high-water mark without a sampler
+    thread. On platforms without procfs (macOS, Windows) every probe
+    returns [None] — callers omit the figure instead of failing. *)
+
+val peak_bytes : unit -> int option
+(** Peak resident set size ([VmHWM]) in bytes. *)
+
+val current_bytes : unit -> int option
+(** Current resident set size ([VmRSS]) in bytes. *)
+
+val supported : unit -> bool
+(** Whether [/proc/self/status] exists on this platform. *)

@@ -6,6 +6,8 @@ module Rng = Tka_util.Rng
 module Edit = Tka_incr.Edit
 module Lib = Tka_cell.Default_lib
 module Log = Tka_obs.Log
+module Trace = Tka_obs.Trace
+module J = Tka_obs.Jsonx
 
 let log_src = Log.Src.create "verify" ~doc:"differential verification loop"
 
@@ -176,6 +178,10 @@ let trial_fuzz cx rng trial =
 
 let run ?(seed = 1) ?(trials = 500) ?(budget_s = infinity) ?(minimize = true)
     ?(progress = fun _ _ -> ()) () =
+  Trace.with_span ~cat:"verify"
+    ~args:[ ("seed", J.Int seed); ("trials", J.Int trials) ]
+    "verify.run"
+  @@ fun () ->
   let wall = Tka_obs.Clock.now_s in
   let t0 = wall () in
   let cx =
@@ -195,23 +201,42 @@ let run ?(seed = 1) ?(trials = 500) ?(budget_s = infinity) ?(minimize = true)
     (* two fuzz slots per six trials: the fuzzer is orders of magnitude
        cheaper than an oracle trial, so it still dominates in count
        when a budget is set *)
-    (match !trial mod 6 with
-    | 0 -> trial_brute cx rng !trial
-    | 1 -> trial_duality cx rng !trial
-    | 2 -> trial_jobs cx rng !trial
-    | 3 -> trial_incr cx rng !trial
-    | _ -> trial_fuzz cx rng !trial);
+    let family, body =
+      match !trial mod 6 with
+      | 0 -> ("brute", trial_brute)
+      | 1 -> ("duality", trial_duality)
+      | 2 -> ("jobs", trial_jobs)
+      | 3 -> ("incr", trial_incr)
+      | _ -> ("fuzz", trial_fuzz)
+    in
+    Trace.with_span ~cat:"verify"
+      ~args:[ ("trial", J.Int !trial); ("family", J.Str family) ]
+      "verify.trial"
+      (fun () -> body cx rng !trial);
     incr trial;
     progress !trial trials
   done;
-  {
-    vs_trials = !trial;
-    vs_oracle = cx.cx_oracle;
-    vs_fuzz = cx.cx_fuzz;
-    vs_skipped = cx.cx_skipped;
-    vs_failures = List.rev cx.cx_failures;
-    vs_elapsed_s = wall () -. t0;
-  }
+  let s =
+    {
+      vs_trials = !trial;
+      vs_oracle = cx.cx_oracle;
+      vs_fuzz = cx.cx_fuzz;
+      vs_skipped = cx.cx_skipped;
+      vs_failures = List.rev cx.cx_failures;
+      vs_elapsed_s = wall () -. t0;
+    }
+  in
+  Log.info log_src (fun m ->
+      m
+        ~fields:
+          [
+            Log.int "trials" s.vs_trials;
+            Log.int "failures" (List.length s.vs_failures);
+            Log.float "elapsed_s" s.vs_elapsed_s;
+          ]
+        "verification loop done: %d trial(s), %d failure(s)" s.vs_trials
+        (List.length s.vs_failures));
+  s
 
 (* --------------------------------------------------------------- *)
 (* Replay                                                          *)

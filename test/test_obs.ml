@@ -60,6 +60,77 @@ let test_json_floats () =
       | _ -> Alcotest.fail "expected a float")
     [ 0.1; 1. /. 3.; 1e-300; 6.02e23; -0.0012345678901234567 ]
 
+let roundtrip v = J.of_string (J.to_string v)
+
+let test_json_string_escapes () =
+  (* every control character escapes and parses back byte-identically *)
+  let ctl = String.init 0x20 Char.chr in
+  (match roundtrip (J.Str ctl) with
+  | J.Str s -> checks "control chars round-trip" ctl s
+  | _ -> Alcotest.fail "expected a string");
+  checks "control chars use \\u escapes" {|"\u0001\u001f"|}
+    (J.to_string (J.Str "\x01\x1f"));
+  (* named escapes are preferred for the common cases *)
+  checks "named escapes" {|"a\"b\\c\nd\re\tf"|}
+    (J.to_string (J.Str "a\"b\\c\nd\re\tf"));
+  (* parser-side escapes the printer never emits *)
+  (match J.of_string {|"\/\b\f"|} with
+  | J.Str s -> checks "solidus/backspace/formfeed" "/\b\012" s
+  | _ -> Alcotest.fail "expected a string");
+  (* \u escapes decode to UTF-8 *)
+  (match J.of_string {|"caf\u00e9 \u2192 A"|} with
+  | J.Str s -> checks "\\u decodes as UTF-8" "café → A" s
+  | _ -> Alcotest.fail "expected a string");
+  match J.of_string {|"tru\uZZZZncated"|} with
+  | exception J.Parse_error _ -> ()
+  | _ -> Alcotest.fail "malformed \\u escape must not parse"
+
+let test_json_unicode () =
+  (* multibyte UTF-8 passes through the printer raw and intact *)
+  let s = "héllo wörld — ≤ 3 ∧ 日本語 🎉" in
+  (match roundtrip (J.Str s) with
+  | J.Str s' -> checks "utf-8 round-trip" s s'
+  | _ -> Alcotest.fail "expected a string");
+  checkb "printer leaves multibyte bytes unescaped" true
+    (J.to_string (J.Str "日") = "\"日\"")
+
+let test_json_nested_arrays () =
+  let deep =
+    J.List
+      [
+        J.List [ J.List [ J.List [ J.Int 1 ]; J.List [] ] ];
+        J.List [ J.Obj [ ("xs", J.List [ J.List [ J.Str "[" ] ]) ] ];
+      ]
+  in
+  checkb "deep nesting round-trips" true (roundtrip deep = deep);
+  checkb "pretty round-trips too" true
+    (J.of_string (J.to_string_pretty deep) = deep);
+  (* 1000 levels of array nesting: linear recursion must survive *)
+  let rec wrap n v = if n = 0 then v else wrap (n - 1) (J.List [ v ]) in
+  let tower = wrap 1000 (J.Int 7) in
+  checkb "1000-deep tower round-trips" true (roundtrip tower = tower)
+
+let test_json_float_extremes () =
+  List.iter
+    (fun f ->
+      match roundtrip (J.Float f) with
+      | J.Float f' -> check (Alcotest.float 0.) "exact" f f'
+      | _ -> Alcotest.fail "expected a float")
+    [
+      Float.max_float; -.Float.max_float; Float.min_float; -.Float.min_float;
+      4.9e-324 (* smallest subnormal *); -4.9e-324; 1e308; -1e308;
+      -123456789.0625; 2. ** 53.; -.(2. ** 53.);
+    ];
+  (* huge integer-valued floats must not be printed in %.1f notation
+     that silently rounds: they take the round-tripping path *)
+  (match roundtrip (J.Float 1e306) with
+  | J.Float f -> check (Alcotest.float 0.) "1e306" 1e306 f
+  | _ -> Alcotest.fail "expected a float");
+  (* negative zero keeps its sign bit *)
+  match roundtrip (J.Float (-0.0)) with
+  | J.Float f -> checkb "negative zero" true (1. /. f = Float.neg_infinity)
+  | _ -> Alcotest.fail "expected a float"
+
 let test_json_errors () =
   let bad s =
     match J.of_string s with
@@ -305,6 +376,49 @@ let test_metrics_noop_no_alloc () =
        allocated)
     true (allocated < 256.)
 
+let test_histogram_percentiles () =
+  let r = Metrics.create_registry () in
+  let h =
+    Metrics.Histogram.make ~registry:r ~buckets:[| 1.0; 2.0; 4.0 |] "t.pct"
+  in
+  checkb "empty histogram gives nan" true
+    (Float.is_nan (Metrics.Histogram.percentile h 0.5));
+  (match Metrics.Histogram.percentile h 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q outside [0,1] must be rejected");
+  (* one observation per bucket, including overflow *)
+  Metrics.with_enabled true (fun () ->
+      List.iter (Metrics.Histogram.observe h) [ 0.5; 1.5; 3.0; 8.0 ]);
+  (* rank = q * total; bucket boundaries interpolate exactly to the
+     bucket's upper bound *)
+  checkf "q=0 is the distribution floor" 0.0 (Metrics.Histogram.percentile h 0.);
+  checkf "p25 lands on the first bound" 1.0 (Metrics.Histogram.percentile h 0.25);
+  checkf "p50 lands on the second bound" 2.0 (Metrics.Histogram.percentile h 0.5);
+  checkf "p75 lands on the third bound" 4.0 (Metrics.Histogram.percentile h 0.75);
+  (* overflow observations clamp to the last finite bound *)
+  checkf "p100 clamps to the last bound" 4.0 (Metrics.Histogram.percentile h 1.);
+  (* interpolation inside one bucket *)
+  let h1 = Metrics.Histogram.make ~registry:r ~buckets:[| 4.0 |] "t.pct1" in
+  Metrics.with_enabled true (fun () ->
+      List.iter (Metrics.Histogram.observe h1) [ 1.0; 2.0; 3.0; 4.0 ]);
+  checkf "within-bucket interpolation" 2.0 (Metrics.Histogram.percentile h1 0.5);
+  (* empty buckets are skipped, not interpolated into *)
+  let h2 = Metrics.Histogram.make ~registry:r ~buckets:[| 1.0; 2.0; 4.0 |] "t.pct2" in
+  Metrics.with_enabled true (fun () -> Metrics.Histogram.observe h2 3.0);
+  checkf "empty leading buckets skipped" 3.0 (Metrics.Histogram.percentile h2 0.5);
+  (* the JSON export carries the percentile estimates (null when empty) *)
+  let j = J.of_string (J.to_string (Metrics.to_json ~registry:r ())) in
+  (match J.member "t.pct" j with
+  | Some hist ->
+    checkb "p50 exported" true (J.member "p50" hist = Some (J.Float 2.0));
+    checkb "p99 exported" true (J.member "p99" hist <> None)
+  | None -> Alcotest.fail "histogram missing from export");
+  let h3 = Metrics.Histogram.make ~registry:r ~buckets:[| 1.0 |] "t.pct3" in
+  ignore h3;
+  match J.member "t.pct3" (Metrics.to_json ~registry:r ()) with
+  | Some hist -> checkb "empty percentiles are null" true (J.member "p50" hist = Some J.Null)
+  | None -> Alcotest.fail "empty histogram missing from export"
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -401,6 +515,68 @@ let test_trace_json () =
           | None -> false)
       | _ -> Alcotest.fail "traceEvents missing")
 
+let test_span_gc_delta () =
+  with_tracing (fun () ->
+      Trace.with_span "alloc" (fun () ->
+          ignore (Sys.opaque_identity (Array.make 100_000 0.)));
+      (match Trace.spans () with
+      | [ s ] -> (
+        match s.Trace.sp_gc with
+        | Some gd ->
+          checkb "allocation counted" true
+            (gd.Trace.gd_minor_words +. gd.Trace.gd_major_words > 0.);
+          checkb "collection counts non-negative" true
+            (gd.Trace.gd_minor_collections >= 0
+            && gd.Trace.gd_major_collections >= 0)
+        | None -> Alcotest.fail "span must carry a GC delta")
+      | spans ->
+        Alcotest.fail
+          (Printf.sprintf "expected 1 span, got %d" (List.length spans)));
+      (* the Chrome export merges the delta into the event args *)
+      let j = Trace.to_json () in
+      (match J.member "traceEvents" j with
+      | Some (J.List [ ev ]) ->
+        checkb "minor_words in exported args" true
+          (match J.member "args" ev with
+          | Some a -> J.member "minor_words" a <> None
+          | None -> false)
+      | _ -> Alcotest.fail "expected one trace event");
+      (* instants carry no GC delta *)
+      Trace.clear ();
+      Trace.instant "mark";
+      match Trace.spans () with
+      | [ m ] -> checkb "instant has no gc" true (m.Trace.sp_gc = None)
+      | _ -> Alcotest.fail "expected the instant")
+
+let test_with_span_args () =
+  with_tracing (fun () ->
+      let r =
+        Trace.with_span_args ~args:[ ("static", J.Int 1) ] "late"
+          (fun result -> [ ("result", J.Int result) ])
+          (fun () -> 7)
+      in
+      checki "value passes through" 7 r;
+      (match Trace.spans () with
+      | [ s ] ->
+        checkb "static arg kept" true
+          (List.assoc_opt "static" s.Trace.sp_args = Some (J.Int 1));
+        checkb "late arg appended" true
+          (List.assoc_opt "result" s.Trace.sp_args = Some (J.Int 7))
+      | _ -> Alcotest.fail "expected 1 span");
+      Trace.clear ();
+      (match
+         Trace.with_span_args "boom"
+           (fun _ -> [ ("x", J.Int 1) ])
+           (fun () -> failwith "expected")
+       with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "exception must propagate");
+      match Trace.spans () with
+      | [ s ] ->
+        checkb "no late args when the thunk raises" true
+          (List.assoc_opt "x" s.Trace.sp_args = None)
+      | _ -> Alcotest.fail "expected 1 span")
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -410,6 +586,10 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "floats" `Quick test_json_floats;
+          Alcotest.test_case "string escapes" `Quick test_json_string_escapes;
+          Alcotest.test_case "unicode" `Quick test_json_unicode;
+          Alcotest.test_case "nested arrays" `Quick test_json_nested_arrays;
+          Alcotest.test_case "float extremes" `Quick test_json_float_extremes;
           Alcotest.test_case "errors and member" `Quick test_json_errors;
         ] );
       ( "log",
@@ -430,6 +610,8 @@ let () =
           Alcotest.test_case "json export" `Quick test_metrics_json;
           Alcotest.test_case "no-op mode allocates nothing" `Quick
             test_metrics_noop_no_alloc;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
         ] );
       ( "trace",
         [
@@ -438,5 +620,7 @@ let () =
           Alcotest.test_case "disabled identity" `Quick
             test_trace_disabled_is_identity;
           Alcotest.test_case "chrome json" `Quick test_trace_json;
+          Alcotest.test_case "gc delta" `Quick test_span_gc_delta;
+          Alcotest.test_case "late args" `Quick test_with_span_args;
         ] );
     ]

@@ -1,0 +1,434 @@
+(* Tests for Tka_prof: RSS probes, trace analytics (synthetic spans and
+   a live top-k run), bench-diff regression detection, and the bench
+   history record format. *)
+
+module J = Tka_obs.Jsonx
+module Trace = Tka_obs.Trace
+module Rss = Tka_prof.Rss
+module Profile = Tka_prof.Profile
+module Bd = Tka_prof.Bench_diff
+module Bh = Tka_prof.Bench_history
+module Topo = Tka_circuit.Topo
+module Elimination = Tka_topk.Elimination
+module B = Tka_layout.Benchmarks
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+(* ------------------------------------------------------------------ *)
+(* Rss                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rss () =
+  if Rss.supported () then begin
+    (* on Linux both probes must produce a plausible figure; read
+       current first — RSS can only have grown by the time the kernel's
+       high-water mark is sampled *)
+    match (Rss.current_bytes (), Rss.peak_bytes ()) with
+    | Some cur, Some peak ->
+      checkb "peak positive" true (peak > 0);
+      checkb "current positive" true (cur > 0);
+      checkb "peak >= current" true (peak >= cur);
+      (* a test binary needs at least a megabyte and fits in a terabyte *)
+      checkb "peak plausible" true (peak > 1_000_000 && peak < 1_000_000_000_000)
+    | _ -> Alcotest.fail "supported platform returned None"
+  end
+  else begin
+    checkb "peak is None off-procfs" true (Rss.peak_bytes () = None);
+    checkb "current is None off-procfs" true (Rss.current_bytes () = None)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Profile: synthetic spans                                           *)
+(* ------------------------------------------------------------------ *)
+
+let span ?(cat = "tka") ?(args = []) ?gc name ~start_ms ~dur_ms =
+  {
+    Trace.sp_name = name;
+    sp_cat = cat;
+    sp_start_ns = Int64.of_float (start_ms *. 1e6);
+    sp_dur_ns = Int64.of_float (dur_ms *. 1e6);
+    sp_depth = 0;
+    sp_args = args;
+    sp_gc = gc;
+  }
+
+let test_profile_self_time () =
+  (* outer [0,100ms) containing inner [10,40ms): self = 70 / 30 *)
+  let spans =
+    [
+      span "outer" ~start_ms:0. ~dur_ms:100.;
+      span "inner" ~start_ms:10. ~dur_ms:30.;
+    ]
+  in
+  let r = Profile.analyze spans in
+  checki "span count" 2 r.Profile.pr_span_count;
+  checkf "wall covers outer" 0.100 r.Profile.pr_wall_s;
+  (match r.Profile.pr_aggregates with
+  | [ outer; inner ] ->
+    (* total-time descending puts outer first *)
+    Alcotest.(check string) "outer first" "outer" outer.Profile.ag_name;
+    checkf "outer total" 0.100 outer.Profile.ag_total_s;
+    checkf "outer self excludes inner" 0.070 outer.Profile.ag_self_s;
+    checkf "inner self is its whole span" 0.030 inner.Profile.ag_self_s
+  | l -> Alcotest.failf "expected 2 aggregates, got %d" (List.length l));
+  (* same-named repeats accumulate count and time *)
+  let r2 =
+    Profile.analyze
+      [
+        span "leaf" ~start_ms:0. ~dur_ms:5.;
+        span "leaf" ~start_ms:10. ~dur_ms:7.;
+      ]
+  in
+  (match r2.Profile.pr_aggregates with
+  | [ a ] ->
+    checki "two calls aggregated" 2 a.Profile.ag_count;
+    checkf "totals add" 0.012 a.Profile.ag_total_s
+  | _ -> Alcotest.fail "expected one aggregate")
+
+let test_profile_victims () =
+  let v name ms cand dom cap =
+    span "engine.victim" ~start_ms:0. ~dur_ms:ms
+      ~args:
+        [
+          ("net", J.Str name); ("candidates", J.Int cand);
+          ("dominated", J.Int dom); ("capped", J.Int cap);
+        ]
+  in
+  let spans =
+    [ v "n1" 1. 10 4 2; v "n2" 5. 30 12 6; v "n3" 3. 20 8 4;
+      span "other" ~start_ms:0. ~dur_ms:50. ]
+  in
+  let r = Profile.analyze ~top:2 spans in
+  (* slowest first, truncated to top *)
+  (match r.Profile.pr_victims with
+  | [ a; b ] ->
+    Alcotest.(check string) "slowest victim" "n2" a.Profile.vi_net;
+    Alcotest.(check string) "second victim" "n3" b.Profile.vi_net;
+    Alcotest.(check (option int)) "candidates" (Some 30) a.Profile.vi_candidates;
+    Alcotest.(check (option int)) "dominated" (Some 12) a.Profile.vi_dominated;
+    Alcotest.(check (option int)) "capped" (Some 6) a.Profile.vi_capped
+  | l -> Alcotest.failf "expected 2 victims, got %d" (List.length l));
+  (* spans without attribution args still list, with None fields *)
+  let bare = span "engine.victim" ~start_ms:0. ~dur_ms:1. in
+  let r2 = Profile.analyze [ bare ] in
+  (match r2.Profile.pr_victims with
+  | [ v ] ->
+    Alcotest.(check string) "unnamed net" "?" v.Profile.vi_net;
+    Alcotest.(check (option int)) "no candidates" None v.Profile.vi_candidates
+  | _ -> Alcotest.fail "expected one victim")
+
+let test_profile_alloc_hotspots () =
+  let gc mw =
+    {
+      Trace.gd_minor_words = mw;
+      gd_major_words = 0.;
+      gd_promoted_words = 0.;
+      gd_minor_collections = 1;
+      gd_major_collections = 0;
+    }
+  in
+  let spans =
+    [
+      span "cold" ~start_ms:0. ~dur_ms:1.;
+      span "hot" ~start_ms:2. ~dur_ms:1. ~gc:(gc 5e6);
+      span "warm" ~start_ms:4. ~dur_ms:1. ~gc:(gc 1e6);
+    ]
+  in
+  let r = Profile.analyze spans in
+  (* allocation-free spans are excluded; the rest sort by words desc *)
+  (match r.Profile.pr_alloc_hotspots with
+  | [ a; b ] ->
+    Alcotest.(check string) "hottest" "hot" a.Profile.ag_name;
+    Alcotest.(check string) "second" "warm" b.Profile.ag_name;
+    checkf "words summed" 5e6 a.Profile.ag_minor_words
+  | l -> Alcotest.failf "expected 2 hotspots, got %d" (List.length l))
+
+let test_profile_trace_roundtrip () =
+  (* live spans -> Chrome trace JSON -> ingested spans -> same report *)
+  Trace.set_enabled true;
+  Trace.clear ();
+  Trace.with_span ~cat:"t" "rt.outer" (fun () ->
+      Trace.with_span ~cat:"t"
+        ~args:[ ("net", J.Str "x") ]
+        "rt.inner"
+        (fun () -> Sys.opaque_identity (ignore (Array.make 100_000 0.))));
+  Trace.instant "rt.marker";
+  let doc = Trace.to_json () in
+  let live = List.filter (fun s -> s.Trace.sp_dur_ns >= 0L) (Trace.spans ()) in
+  Trace.set_enabled false;
+  Trace.clear ();
+  let ingested = Profile.of_trace_json doc in
+  (* instants are dropped; both duration spans survive *)
+  checki "duration spans survive ingestion" (List.length live)
+    (List.length ingested);
+  let r = Profile.analyze ingested in
+  let names = List.map (fun a -> a.Profile.ag_name) r.Profile.pr_aggregates in
+  checkb "outer present" true (List.mem "rt.outer" names);
+  checkb "inner present" true (List.mem "rt.inner" names);
+  let inner =
+    List.find (fun s -> s.Trace.sp_name = "rt.inner") ingested
+  in
+  (* GC delta fields come back out of the Chrome args... *)
+  (match inner.Trace.sp_gc with
+  | Some g -> checkb "alloc recorded" true (g.Trace.gd_minor_words > 0.)
+  | None -> Alcotest.fail "gc delta lost in round trip");
+  (* ...and are stripped from the ordinary args, which survive *)
+  checkb "user arg survives" true
+    (List.assoc_opt "net" inner.Trace.sp_args = Some (J.Str "x"));
+  checkb "gc keys stripped" true
+    (List.assoc_opt "minor_words" inner.Trace.sp_args = None);
+  (* report renders and serialises without raising *)
+  checkb "render nonempty" true (String.length (Profile.render r) > 0);
+  match Profile.to_json r with
+  | J.Obj kvs -> checkb "json has spans" true (List.mem_assoc "spans" kvs)
+  | _ -> Alcotest.fail "to_json not an object"
+
+let test_profile_live_topk () =
+  (* the acceptance path: a real top-k run traced end to end must yield
+     per-victim prune attribution *)
+  let topo = Topo.create (Option.get (B.by_name "i1")) in
+  Trace.set_enabled true;
+  Trace.clear ();
+  ignore (Elimination.compute ~k:3 topo);
+  let spans = Trace.spans () in
+  Trace.set_enabled false;
+  Trace.clear ();
+  let r = Profile.analyze ~top:5 spans in
+  checkb "spans recorded" true (r.Profile.pr_span_count > 0);
+  checkb "victims attributed" true (r.Profile.pr_victims <> []);
+  let v = List.hd r.Profile.pr_victims in
+  checkb "victim has a net name" true (v.Profile.vi_net <> "?");
+  checkb "victim has candidate count" true (v.Profile.vi_candidates <> None);
+  checkb "victim has dominated count" true (v.Profile.vi_dominated <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Bench_diff                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bench_doc ?(topk = 1.0) ?(speedup = 2.0) ?(extra = []) () =
+  J.Obj
+    ([
+       ("schema", J.Int 1);
+       ("k", J.Int 10);
+       ( "sections",
+         J.Obj [ ("topk_runtime_s", J.Float topk); ("sta_runtime_s", J.Float 0.5) ]
+       );
+       ("speedup", J.Float speedup);
+       ("minor_words", J.Float 5e7);
+     ]
+    @ extra)
+
+let test_bench_diff_self () =
+  let d = bench_doc () in
+  let r = Bd.compare_docs d d in
+  checkb "self-compare clean" false (Bd.has_regressions r);
+  checkb "metrics were checked" true (List.length r.Bd.bd_checked >= 3);
+  checkb "no improvements either" true (r.Bd.bd_improvements = [])
+
+let test_bench_diff_slowdown () =
+  (* a 30% slowdown on a _s leaf trips the default 20% threshold *)
+  let base = bench_doc ~topk:1.0 () in
+  let slow = bench_doc ~topk:1.3 () in
+  let r = Bd.compare_docs base slow in
+  checkb "regression detected" true (Bd.has_regressions r);
+  (match r.Bd.bd_regressions with
+  | [ m ] ->
+    Alcotest.(check string) "right metric" "sections.topk_runtime_s"
+      m.Bd.m_path;
+    checkf "ratio" 1.3 m.Bd.m_ratio
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  (* the same delta under the threshold passes *)
+  let r2 = Bd.compare_docs ~threshold:0.40 base slow in
+  checkb "loose threshold passes" false (Bd.has_regressions r2);
+  (* and a 30% improvement is reported as such, not a regression *)
+  let r3 = Bd.compare_docs slow base in
+  checkb "reverse is improvement" false (Bd.has_regressions r3);
+  checkb "improvement listed" true (r3.Bd.bd_improvements <> [])
+
+let test_bench_diff_directions () =
+  (* "speedup" is higher-better: a drop regresses, a rise improves *)
+  let base = bench_doc ~speedup:4.0 () in
+  let r = Bd.compare_docs base (bench_doc ~speedup:2.0 ()) in
+  checkb "speedup drop regresses" true
+    (List.exists (fun m -> m.Bd.m_path = "speedup") r.Bd.bd_regressions);
+  let r2 = Bd.compare_docs base (bench_doc ~speedup:8.0 ()) in
+  checkb "speedup rise improves" true
+    (List.exists (fun m -> m.Bd.m_path = "speedup") r2.Bd.bd_improvements);
+  (* correctness fields (k, schema) are never thresholded *)
+  checkb "k not a perf metric" true
+    (List.for_all (fun m -> m.Bd.m_path <> "k") r.Bd.bd_checked)
+
+let test_bench_diff_noise_floor () =
+  (* 10x jitter on a 3ms timing is noise, not a regression *)
+  let tiny v =
+    J.Obj [ ("sections", J.Obj [ ("blip_runtime_s", J.Float v) ]) ]
+  in
+  let r = Bd.compare_docs (tiny 0.003) (tiny 0.03) in
+  checkb "sub-floor timing skipped" false (Bd.has_regressions r);
+  checkb "counted as skipped" true (r.Bd.bd_skipped_small = 1);
+  (* ...but the floor is configurable *)
+  let r2 = Bd.compare_docs ~min_seconds:0.001 (tiny 0.003) (tiny 0.03) in
+  checkb "lowered floor catches it" true (Bd.has_regressions r2)
+
+let test_bench_diff_missing_keys () =
+  let base =
+    J.Obj [ ("old_runtime_s", J.Float 1.0); ("both_runtime_s", J.Float 1.0) ]
+  in
+  let next =
+    J.Obj [ ("new_runtime_s", J.Float 1.0); ("both_runtime_s", J.Float 1.0) ]
+  in
+  let r = Bd.compare_docs base next in
+  Alcotest.(check (list string)) "only in base" [ "old_runtime_s" ]
+    r.Bd.bd_only_base;
+  Alcotest.(check (list string)) "only in new" [ "new_runtime_s" ]
+    r.Bd.bd_only_new;
+  checki "shared key still compared" 1 (List.length r.Bd.bd_checked)
+
+let test_bench_diff_load_ndjson () =
+  (* NDJSON history: the last record wins *)
+  let path = Filename.temp_file "tka_bd" ".ndjson" in
+  let oc = open_out path in
+  output_string oc
+    "{\"total_runtime_s\":1.0}\n{\"total_runtime_s\":9.0}\n";
+  close_out oc;
+  let v = Bd.load_file path in
+  Sys.remove path;
+  (match J.member "total_runtime_s" v with
+  | Some (J.Float f) -> checkf "last record" 9.0 f
+  | _ -> Alcotest.fail "missing total_runtime_s");
+  (* a whole-file JSON document loads as-is *)
+  let path2 = Filename.temp_file "tka_bd" ".json" in
+  let oc = open_out path2 in
+  output_string oc "{\n  \"total_runtime_s\": 2.0\n}\n";
+  close_out oc;
+  let v2 = Bd.load_file path2 in
+  Sys.remove path2;
+  match J.member "total_runtime_s" v2 with
+  | Some (J.Float f) -> checkf "whole doc" 2.0 f
+  | _ -> Alcotest.fail "missing total_runtime_s in whole doc"
+
+let test_bench_diff_render () =
+  let base = bench_doc ~topk:1.0 () in
+  let r = Bd.compare_docs base (bench_doc ~topk:1.5 ()) in
+  let s = Bd.render r in
+  checkb "renders REGRESSIONS table" true
+    (let n = String.length s in
+     let rec find i =
+       i + 11 <= n && (String.sub s i 11 = "REGRESSIONS" || find (i + 1))
+     in
+     find 0);
+  match Bd.to_json r with
+  | J.Obj kvs ->
+    checkb "json lists regressions" true (List.mem_assoc "regressions" kvs)
+  | _ -> Alcotest.fail "to_json not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Bench_history                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let with_env k v f =
+  let old = Sys.getenv_opt k in
+  Unix.putenv k v;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv k (Option.value ~default:"" old))
+    f
+
+let test_history_record () =
+  with_env "TKA_GIT_REV" "cafe1234" @@ fun () ->
+  with_env "SOURCE_DATE_EPOCH" "1754600000" @@ fun () ->
+  let r =
+    Bh.make ~jobs:2 ~quick:true ~circuits:[ "i1"; "i3" ]
+      ~sections:[ ("gen", 0.1); ("topk", 0.9) ]
+      ~total_s:1.0 ()
+  in
+  checki "schema version" Bh.schema_version r.Bh.bh_schema;
+  Alcotest.(check string) "env rev wins" "cafe1234" r.Bh.bh_git_rev;
+  Alcotest.(check string) "pinned date" "2025-08-07T20:53:20Z" r.Bh.bh_date;
+  checkb "rss present on procfs" true
+    (Rss.supported () = (r.Bh.bh_peak_rss_bytes <> None));
+  checkb "alloc totals present" true
+    (r.Bh.bh_minor_words > 0. && r.Bh.bh_major_words >= 0.);
+  (* the JSON record carries every schema-v1 field *)
+  match Bh.to_json r with
+  | J.Obj kvs ->
+    List.iter
+      (fun k -> checkb (k ^ " in record") true (List.mem_assoc k kvs))
+      [
+        "schema"; "git_rev"; "date"; "date_unix"; "jobs"; "quick"; "circuits";
+        "sections"; "total_runtime_s"; "peak_rss_bytes"; "minor_words";
+        "major_words";
+      ];
+    (match List.assoc "sections" kvs with
+    | J.Obj s -> checki "sections kept" 2 (List.length s)
+    | _ -> Alcotest.fail "sections not an object")
+  | _ -> Alcotest.fail "to_json not an object"
+
+let test_history_append_load () =
+  with_env "TKA_GIT_REV" "deadbeef" @@ fun () ->
+  let path = Filename.temp_file "tka_hist" ".ndjson" in
+  Sys.remove path;
+  (* append creates the file... *)
+  let mk total =
+    Bh.make ~jobs:1 ~quick:false ~circuits:[ "i1" ] ~sections:[] ~total_s:total
+      ()
+  in
+  Bh.append path (mk 1.0);
+  (* ...and appends to it *)
+  Bh.append path (mk 2.0);
+  let records =
+    match Bh.load path with Ok l -> l | Error m -> Alcotest.fail m
+  in
+  Sys.remove path;
+  checki "two records" 2 (List.length records);
+  (match List.nth records 1 with
+  | J.Obj _ as last ->
+    (match J.member "total_runtime_s" last with
+    | Some (J.Float f) -> checkf "append order preserved" 2.0 f
+    | _ -> Alcotest.fail "missing total_runtime_s");
+    (match J.member "git_rev" last with
+    | Some (J.Str s) -> Alcotest.(check string) "rev recorded" "deadbeef" s
+    | _ -> Alcotest.fail "missing git_rev")
+  | _ -> Alcotest.fail "record not an object");
+  (* history doubles as bench-diff input: a slowed re-run regresses *)
+  let fast = Bh.to_json (mk 1.0) and slow = Bh.to_json (mk 1.5) in
+  checkb "history records diffable" true
+    (Bd.has_regressions (Bd.compare_docs fast slow))
+
+let () =
+  Alcotest.run "tka_prof"
+    [
+      ("rss", [ Alcotest.test_case "procfs probes" `Quick test_rss ]);
+      ( "profile",
+        [
+          Alcotest.test_case "self time" `Quick test_profile_self_time;
+          Alcotest.test_case "victim attribution" `Quick test_profile_victims;
+          Alcotest.test_case "alloc hotspots" `Quick
+            test_profile_alloc_hotspots;
+          Alcotest.test_case "chrome trace round trip" `Quick
+            test_profile_trace_roundtrip;
+          Alcotest.test_case "live top-k attribution" `Quick
+            test_profile_live_topk;
+        ] );
+      ( "bench_diff",
+        [
+          Alcotest.test_case "self compare" `Quick test_bench_diff_self;
+          Alcotest.test_case "injected slowdown" `Quick
+            test_bench_diff_slowdown;
+          Alcotest.test_case "metric directions" `Quick
+            test_bench_diff_directions;
+          Alcotest.test_case "noise floor" `Quick test_bench_diff_noise_floor;
+          Alcotest.test_case "missing keys" `Quick
+            test_bench_diff_missing_keys;
+          Alcotest.test_case "ndjson loading" `Quick
+            test_bench_diff_load_ndjson;
+          Alcotest.test_case "render and json" `Quick test_bench_diff_render;
+        ] );
+      ( "bench_history",
+        [
+          Alcotest.test_case "record fields" `Quick test_history_record;
+          Alcotest.test_case "append and load" `Quick
+            test_history_append_load;
+        ] );
+    ]

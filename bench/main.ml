@@ -33,6 +33,8 @@ module CS = Tka_topk.Coupling_set
 module Tt = Tka_util.Text_table
 module J = Tka_obs.Jsonx
 module Pool = Tka_parallel.Pool
+module T2x = Tka_layout.Table2x
+module Rss = Tka_prof.Rss
 
 let wall () = Tka_obs.Clock.now_s ()
 
@@ -63,6 +65,7 @@ type options = {
   mutable fig10_max_k : int;
   mutable bf_budget : float;
   mutable quick : bool;
+  mutable rss_budget_mb : float option; (* table2x hard peak-RSS gate *)
 }
 
 let default_options () =
@@ -74,6 +77,7 @@ let default_options () =
     fig10_max_k = 75;
     bf_budget = 60.;
     quick = false;
+    rss_budget_mb = None;
   }
 
 let parse_args () =
@@ -93,6 +97,13 @@ let parse_args () =
       go rest
     | "--bf-budget" :: v :: rest ->
       o.bf_budget <- float_of_string v;
+      go rest
+    | "--rss-budget-mb" :: v :: rest ->
+      (match float_of_string_opt (String.trim v) with
+      | Some b when b > 0. -> o.rss_budget_mb <- Some b
+      | _ ->
+        Printf.eprintf "bench: --rss-budget-mb must be a positive number (got %S)\n" v;
+        exit 2);
       go rest
     | "--jobs" :: v :: rest ->
       (match int_of_string_opt (String.trim v) with
@@ -853,6 +864,90 @@ let run_kernels () =
 (* ------------------------------------------------------------------ *)
 (* Main                                                               *)
 (* ------------------------------------------------------------------ *)
+(* table2x: synthetic scaling beyond the Table 2 suite                *)
+(* ------------------------------------------------------------------ *)
+
+(* Runtime and peak-RSS scaling curves on the synthetic table2x
+   circuits (10^5 nets; 10^6 as well outside --quick). The Addition /
+   Elimination re-ranking loop re-runs the noise fixpoint once per
+   candidate set and is out of reach at these sizes, so the section
+   times exactly the work the scaling machinery targets: generation,
+   topo construction (incl. cone sharding), the base fixpoint, and the
+   full engine sweep (pseudo + higher-order aggressors) at k=5.
+
+   Peak RSS is the process high-water mark, so a budget check is only
+   meaningful when this section runs alone:
+     bench/main.exe table2x --quick --rss-budget-mb 2048 *)
+let run_table2x o =
+  let sizes = if o.quick then [ 100_000 ] else [ 100_000; 1_000_000 ] in
+  let k = 5 in
+  section
+    (Printf.sprintf "table2x: synthetic scaling sweep (k=%d, jobs=%d)" k
+       (Pool.default_jobs ()));
+  Printf.printf "  %9s %9s %9s %6s %7s %7s %7s %9s %8s\n" "nets" "gates"
+    "couplings" "shards" "gen_s" "topo_s" "fix_s" "sweep_s" "rss_mb";
+  let rows =
+    List.map
+      (fun nets ->
+        let spec = T2x.spec ~nets () in
+        let t0 = wall () in
+        let nl = T2x.generate spec in
+        let gen_s = wall () -. t0 in
+        let t1 = wall () in
+        let topo = Topo.create nl in
+        let topo_s = wall () -. t1 in
+        let shards = Array.length (Topo.cone_shards topo) in
+        let t2 = wall () in
+        let fixpoint = Iterate.run topo in
+        let fix_s = wall () -. t2 in
+        let t3 = wall () in
+        let res =
+          Engine.compute ~config:(Engine.default_config ~k) ~fixpoint
+            ~mode:Engine.Addition topo
+        in
+        let sweep_s = wall () -. t3 in
+        let peak = Rss.peak_bytes () in
+        let rss_mb =
+          match peak with Some b -> float_of_int b /. 1048576. | None -> Float.nan
+        in
+        Printf.printf "  %9d %9d %9d %6d %7.2f %7.2f %7.2f %9.2f %8.1f\n%!"
+          (N.num_nets nl) (N.num_gates nl) (N.num_couplings nl) shards gen_s
+          topo_s fix_s sweep_s rss_mb;
+        J.Obj
+          ([
+             ("circuit", J.Str spec.T2x.tx_name);
+             ("nets", J.Int (N.num_nets nl));
+             ("gates", J.Int (N.num_gates nl));
+             ("couplings", J.Int (N.num_couplings nl));
+             ("shards", J.Int shards);
+             ("k", J.Int k);
+             ("gen_s", J.Float gen_s);
+             ("topo_s", J.Float topo_s);
+             ("fix_s", J.Float fix_s);
+             ("sweep_s", J.Float sweep_s);
+             ("est_delay_ns", J.Float (Engine.estimated_delay res k));
+           ]
+          @ match peak with
+            | Some b -> [ ("peak_rss_mb", J.Float (float_of_int b /. 1048576.)) ]
+            | None -> []))
+      sizes
+  in
+  json_add "table2x" (J.List rows);
+  match o.rss_budget_mb with
+  | None -> ()
+  | Some budget -> (
+    match Rss.peak_bytes () with
+    | None ->
+      Printf.printf "  rss budget: peak RSS unsupported on this platform, skipping check\n%!"
+    | Some b ->
+      let peak_mb = float_of_int b /. 1048576. in
+      let ok = peak_mb <= budget in
+      Printf.printf "  rss budget: peak %.1f MB vs budget %.1f MB: %s\n%!" peak_mb
+        budget
+        (if ok then "ok" else "EXCEEDED");
+      if not ok then exit 1)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Tka_obs.Log.set_reporter (Tka_obs.Log.text_reporter ());
@@ -895,6 +990,7 @@ let () =
           | "kernels" ->
             run_kernel_rewrite o;
             run_kernels ()
+          | "table2x" -> run_table2x o
           | s -> failwith (Printf.sprintf "unknown section %S" s)))
     o.sections;
   let total = wall () -. t0 in

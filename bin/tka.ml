@@ -276,7 +276,9 @@ let gen_cmd =
     Arg.(
       value & opt string "i1"
       & info [ "b"; "benchmark" ] ~docv:"NAME"
-          ~doc:"Benchmark to generate: i1..i10, tiny, or c17.")
+          ~doc:
+            "Benchmark to generate: i1..i10, tiny, c17, or a table2x \
+             scaling circuit (t2x-100k, t2x-1m, t2x-<nets>).")
   in
   let out =
     Arg.(
@@ -306,7 +308,10 @@ let gen_cmd =
           else
             match B.by_name bench with
             | Some nl -> nl
-            | None -> failwith (Printf.sprintf "unknown benchmark %S" bench)
+            | None -> (
+              match Tka_layout.Table2x.by_name bench with
+              | Some nl -> nl
+              | None -> failwith (Printf.sprintf "unknown benchmark %S" bench))
         in
         let render, write =
           if verilog then (V.print, V.write_file) else (Nf.print, Nf.write_file)

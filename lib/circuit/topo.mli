@@ -32,6 +32,18 @@ val level_nets : t -> Netlist.net_id array array
     fanin lies strictly below its own level, which is what makes a
     level-synchronous parallel sweep safe (see [docs/parallelism.md]). *)
 
+val cone_shards : t -> Netlist.net_id array array
+(** Connected components of the net graph under gate-fanin and coupling
+    edges — the closure of everything the engine consults when
+    enumerating any member net. Shards are ordered by first appearance
+    in {!net_order} and each shard lists its nets in {!net_order} order
+    (level-monotone), so sweeping a shard sequentially is a valid
+    topological sweep of it. Computed on demand and memoised; not
+    thread-safe on first call. Concatenating the shards in an
+    interleave respecting per-shard order reproduces a permutation of
+    {!net_order} with identical per-net inputs — the basis of the
+    cone-sharded parallel sweep's determinism. *)
+
 val fanout_cone : t -> Netlist.net_id list -> bool array
 (** [fanout_cone t seeds] has [true] at every net reachable from any
     seed via driver→fanout edges, the seeds included. This is the set

@@ -5,8 +5,9 @@
     ({!Tka_noise.Coupled_noise.directed_id} — a physical coupling cap
     seen from one victim side). A top-k addition/elimination set is a
     value of this type with {!cardinality} k. Represented as sorted
-    duplicate-free int lists — the sets are tiny (≤ k ≈ 75) and
-    comparison/union dominate. *)
+    duplicate-free int arrays — the sets are tiny (≤ k ≈ 75) and
+    comparison/union dominate, so the members live in one flat block
+    and membership is a binary search. *)
 
 type t
 
@@ -35,6 +36,14 @@ val hash_key : t -> string
     commas. Injective over well-formed sets, so it can stand in for the
     set in hash tables without polymorphic structural hashing of the
     underlying list (the hot-path cost in {!Ilist.prune}). *)
+
+val hash : t -> int
+(** FNV-1a over the members: allocation-free alternative to
+    {!hash_key} for int-keyed tables. *)
+
+module Tbl : Hashtbl.S with type key = t
+(** Hashtables keyed directly by coupling sets ({!hash}/{!equal}),
+    replacing the string-keyed dedupe tables. *)
 
 val fold : (elt -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (elt -> unit) -> t -> unit

@@ -101,7 +101,15 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
      results stay deterministic at any jobs count. The stats recorded
      by the winning insertion are folded into the run totals at the end
      (in net-id order, also deterministic). *)
-  let direct_memo : (int, summary * Ilist.stats) Hashtbl.t = Hashtbl.create 64 in
+  (* Pre-sized to the net count (capped: a 1M-net design does not need
+     a quarter-million buckets up front) so the sweep never pays a
+     rehash-and-copy of a large table mid-run. *)
+  let direct_memo_size = max 64 (min 65536 (nn / 4)) in
+  let direct_memo : (int, summary * Ilist.stats) Hashtbl.t =
+    Hashtbl.create direct_memo_size
+  in
+  Log.debug log_src (fun m ->
+      m "direct memo pre-sized" ~fields:[ Log.int "initial_size" direct_memo_size ]);
   let memo_mutex = Mutex.create () in
 
   (* The victim's latest transition, anchored at the noiseless arrival:
@@ -134,7 +142,7 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
     let all_primaries = CN.aggressors_of_victim nl v in
     let victim = victim_tr v in
     let interval = Dominance.interval ~victim in
-    let prim_env_tbl = Hashtbl.create 16 in
+    let prim_env_tbl = Hashtbl.create (max 16 (List.length all_primaries)) in
     let prim_env (d : CN.directed) =
       match Hashtbl.find_opt prim_env_tbl (CN.directed_id d) with
       | Some e -> e
@@ -204,42 +212,65 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
        when all of them already belong to S. Non-dominated primaries
        are always allowed. *)
     let prim_arr = Array.of_list primaries in
-    let dominators =
-      Array.map
-        (fun (d : CN.directed) ->
+    let np = Array.length prim_arr in
+    (* Interned primary universe: each live primary gets a dense index
+       into [prim_arr]; dominator sets and entry membership then live in
+       bitsets over [0, np), so the extension filter below is a handful
+       of word ands instead of id-list scans per (entry, primary) pair. *)
+    let idx_of_id = Hashtbl.create (max 16 np) in
+    Array.iteri
+      (fun idx (d : CN.directed) ->
+        Hashtbl.replace idx_of_id (CN.directed_id d) idx)
+      prim_arr;
+    let dom_mask =
+      Array.mapi
+        (fun i (d : CN.directed) ->
+          let mask = Tka_util.Bitset.make np in
           let ed = prim_env d in
-          Array.to_list prim_arr
-          |> List.filter_map (fun (d' : CN.directed) ->
-                 if CN.directed_id d' = CN.directed_id d then None
-                 else
-                   let ed' = prim_env d' in
-                   let fwd = Dominance.dominates ~interval ed' ed in
-                   let bwd = Dominance.dominates ~interval ed ed' in
-                   if fwd && ((not bwd) || CN.directed_id d' < CN.directed_id d)
-                   then Some (CN.directed_id d')
-                   else None))
+          Array.iteri
+            (fun i' (d' : CN.directed) ->
+              if i' <> i then begin
+                let ed' = prim_env d' in
+                let fwd = Dominance.dominates ~interval ed' ed in
+                let bwd = Dominance.dominates ~interval ed ed' in
+                if fwd && ((not bwd) || CN.directed_id d' < CN.directed_id d)
+                then Tka_util.Bitset.set mask i'
+              end)
+            prim_arr;
+          mask)
         prim_arr
     in
     (* extension fan-out bound: only the strongest primaries (by
        singleton objective) plus any primary whose dominators are all in
        the set already (the stacking case) are tried *)
-    let strong =
+    let strong = Array.make (max 1 np) false in
+    let () =
       let scored =
         Array.mapi
           (fun idx d -> (idx, VN.delay_noise_of_envelope ~victim (prim_env d)))
           prim_arr
       in
       Array.sort (fun (_, a) (_, b) -> Float.compare b a) scored;
-      let set = Hashtbl.create 16 in
       Array.iteri
-        (fun rank (idx, _) -> if rank < 8 then Hashtbl.replace set idx ())
-        scored;
-      set
+        (fun rank (idx, _) -> if rank < 8 then strong.(idx) <- true)
+        scored
     in
-    let allowed_extension set (idx : int) =
-      (Hashtbl.mem strong idx
-      || List.exists (fun id -> Coupling_set.mem id set) dominators.(idx))
-      && List.for_all (fun id -> Coupling_set.mem id set) dominators.(idx)
+    (* One scratch membership mask, reloaded per entry in the extension
+       scan: set-bit per primary member of the entry's coupling set
+       (pseudo/higher ids have no primary index and cannot dominate). *)
+    let entry_mask = Tka_util.Bitset.make np in
+    let load_entry_mask set =
+      Tka_util.Bitset.clear entry_mask;
+      Coupling_set.iter
+        (fun id ->
+          match Hashtbl.find_opt idx_of_id id with
+          | Some idx -> Tka_util.Bitset.set entry_mask idx
+          | None -> ())
+        set
+    in
+    let allowed_extension (idx : int) =
+      (strong.(idx) || Tka_util.Bitset.intersects dom_mask.(idx) entry_mask)
+      && Tka_util.Bitset.subset dom_mask.(idx) entry_mask
     in
     let ilists = Array.make (upto + 1) [] in
     ilists.(0) <-
@@ -353,12 +384,13 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
         List.concat_map
           (fun (e : Ilist.entry) ->
             let out = ref [] in
+            load_entry_mask e.Ilist.couplings;
             Array.iteri
               (fun idx (d : CN.directed) ->
                 let id = CN.directed_id d in
                 if
                   (not (Coupling_set.mem id e.Ilist.couplings))
-                  && allowed_extension e.Ilist.couplings idx
+                  && allowed_extension idx
                 then
                   out :=
                     entry
@@ -536,13 +568,25 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
   let pool = Tka_parallel.Pool.get_default () in
   if Tka_parallel.Pool.size pool <= 1 then
     Array.iter instrumented (Topo.net_order topo)
-  else
-    (* Level-synchronous sweep: a net only reads summaries of strictly
-       lower levels, all published before its level starts (the pool
-       call is the barrier between levels). *)
-    Array.iter
-      (fun nets -> Tka_parallel.Pool.iter ~chunk:1 pool instrumented nets)
-      (Topo.level_nets topo);
+  else begin
+    let shards = Topo.cone_shards topo in
+    if Array.length shards > 1 then
+      (* Cone-sharded sweep: every net the enumeration of a victim can
+         consult (coupled aggressors, driver fanin for pseudo, coupled
+         nets for higher-order) lies in the victim's own shard, and a
+         shard's nets run sequentially in net_order — so all reads see
+         published summaries and every jobs count computes identical
+         per-victim inputs. Totals are merged in net order below, same
+         as the level-synchronous path. *)
+      Tka_parallel.Shard.run pool ~shards instrumented
+    else
+      (* Level-synchronous sweep: a net only reads summaries of strictly
+         lower levels, all published before its level starts (the pool
+         call is the barrier between levels). *)
+      Array.iter
+        (fun nets -> Tka_parallel.Pool.iter ~chunk:1 pool instrumented nets)
+        (Topo.level_nets topo)
+  end;
   (* Deterministic totals: per-victim records merged in net order, then
      the memoised direct enumerations in net-id order. All fields are
      sums, so the totals equal the sequential single-record run. *)
@@ -613,13 +657,12 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
               scored
           in
           (* dedupe identical sets, keep the best few *)
-          let seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+          let seen : unit Coupling_set.Tbl.t = Coupling_set.Tbl.create 16 in
           List.filter_map
             (fun (_, c) ->
-              let key = Coupling_set.hash_key c.ch_set in
-              if Hashtbl.mem seen key then None
+              if Coupling_set.Tbl.mem seen c.ch_set then None
               else begin
-                Hashtbl.replace seen key ();
+                Coupling_set.Tbl.replace seen c.ch_set ();
                 Some c
               end)
             sorted

@@ -35,6 +35,12 @@ let m_duplicates = M.Counter.make "engine.duplicate_sets"
 let m_capped = M.Counter.make "engine.capacity_evictions"
 let m_checks = M.Counter.make "engine.dominance_checks"
 
+let log_src = Tka_obs.Log.Src.create "ilist" ~doc:"I-list pruning"
+
+(* Dedupe-table sizing is logged once (first call) at debug so the
+   alloc-hotspot workflow can confirm the pre-size took effect. *)
+let logged_size = ref false
+
 let prune ?(capacity = default_capacity) ~interval ~stats entries =
   let c0 = stats.candidates
   and d0 = stats.dominated
@@ -42,20 +48,26 @@ let prune ?(capacity = default_capacity) ~interval ~stats entries =
   and p0 = stats.capped
   and k0 = stats.checks in
   (* dedupe identical coupling sets (same set => same envelope); the
-     canonical string key avoids polymorphic structural hashing of the
-     underlying int list on every candidate *)
-  let by_set : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+     sets key the table directly (FNV over the sorted members) so no
+     comma-joined string is built per candidate, and the table is
+     pre-sized to the candidate count to avoid rehash-and-copy churn *)
+  let size = max 16 (List.length entries) in
+  if not !logged_size then begin
+    logged_size := true;
+    Tka_obs.Log.debug log_src (fun m ->
+        m "dedupe table pre-sized" ~fields:[ Tka_obs.Log.int "initial_size" size ])
+  end;
+  let by_set : unit Coupling_set.Tbl.t = Coupling_set.Tbl.create size in
   let deduped =
     List.filter
       (fun e ->
         stats.candidates <- stats.candidates + 1;
-        let key = Coupling_set.hash_key e.couplings in
-        if Hashtbl.mem by_set key then begin
+        if Coupling_set.Tbl.mem by_set e.couplings then begin
           stats.duplicates <- stats.duplicates + 1;
           false
         end
         else begin
-          Hashtbl.replace by_set key ();
+          Coupling_set.Tbl.replace by_set e.couplings ();
           true
         end)
       entries

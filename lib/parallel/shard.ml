@@ -1,0 +1,30 @@
+module Log = Tka_obs.Log
+
+let log_src = Log.Src.create "shard" ~doc:"cone-sharded sweep scheduling"
+
+let run pool ~shards f =
+  let ns = Array.length shards in
+  if ns > 0 then begin
+    (* Largest shards first: each shard is an independent sequential
+       unit, so the schedule affects only wall-clock (a big shard
+       started last would serialise the tail), never results. The tie
+       break on the original index keeps the schedule itself
+       reproducible for tracing. *)
+    let order = Array.init ns Fun.id in
+    Array.sort
+      (fun a b ->
+        let c =
+          Int.compare (Array.length shards.(b)) (Array.length shards.(a))
+        in
+        if c <> 0 then c else Int.compare a b)
+      order;
+    Log.debug log_src (fun m ->
+        m "sharded sweep"
+          ~fields:
+            [
+              Log.int "shards" ns;
+              Log.int "largest" (Array.length shards.(order.(0)));
+              Log.int "jobs" (Pool.size pool);
+            ]);
+    Pool.iter ~chunk:1 pool (fun s -> Array.iter f shards.(s)) order
+  end

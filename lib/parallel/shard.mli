@@ -1,0 +1,17 @@
+(** Shard-per-job scheduling of independent work units.
+
+    A shard is an ordered [int array] of item ids that must be
+    processed sequentially, in array order, on one domain; distinct
+    shards must be mutually independent (the caller guarantees that
+    processing an item never reads state written by another shard —
+    for the engine, {!Tka_circuit.Topo.cone_shards} provides exactly
+    that closure). Under these two conditions any jobs count produces
+    the same per-item inputs as the sequential sweep, so results are
+    deterministic by construction. *)
+
+val run : Pool.t -> shards:int array array -> (int -> unit) -> unit
+(** [run pool ~shards f] applies [f] to every item of every shard:
+    items of one shard in order on one domain, shards dispatched to the
+    pool largest-first (scheduling affects wall-clock only). Empty
+    shard arrays are allowed. Exceptions propagate as in
+    {!Pool.iter}. *)

@@ -76,6 +76,8 @@ let classify path =
     || ends_with ~suffix:"_seconds" l
     || ends_with ~suffix:"_bytes" l
     || ends_with ~suffix:"_words" l
+    || ends_with ~suffix:"_kb" l
+    || ends_with ~suffix:"_mb" l
     || contains ~sub:"rss" l
   then Some Lower_better
   else None
@@ -85,12 +87,21 @@ let classify path =
 let default_min_seconds = 0.05
 let min_words = 1e6 (* ~8 MB of minor allocation *)
 
+(* ~8 MB expressed in the metric's own unit; the suffix wins over the
+   "rss" substring so peak_rss_mb is thresholded in megabytes, not
+   words *)
+let mem_floor l =
+  if ends_with ~suffix:"_mb" l then Some 8.
+  else if ends_with ~suffix:"_kb" l then Some 8192.
+  else if ends_with ~suffix:"_bytes" l then Some 8e6
+  else if ends_with ~suffix:"_words" l || contains ~sub:"rss" l then
+    Some min_words
+  else None
+
 let negligible path base_v new_v ~min_seconds =
-  let l = leaf path in
-  if ends_with ~suffix:"_bytes" l || ends_with ~suffix:"_words" l
-     || contains ~sub:"rss" l
-  then Float.max base_v new_v < min_words
-  else Float.max base_v new_v < min_seconds
+  match mem_floor (leaf path) with
+  | Some floor -> Float.max base_v new_v < floor
+  | None -> Float.max base_v new_v < min_seconds
 
 (* ------------------------------------------------------------------ *)
 (* Comparison                                                         *)

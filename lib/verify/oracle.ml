@@ -96,6 +96,60 @@ let jobs ?(jobs = 4) ~k topo =
          "jobs: k=%d results differ bitwise between --jobs 1 and --jobs %d" k
          jobs)
 
+(* Structural FNV-1a over every net, gate binding and coupling in id
+   order: pins the exact generated structure, not just the counts, so
+   any drift in the generator's draw order shows up as a new value. *)
+let netlist_fingerprint nl =
+  let h = ref 0x64_9c_9e_66_9c_9e_64_9c in
+  let mix i = h := (!h lxor i) * 0x100000001b3 land max_int in
+  let mix_str s =
+    mix (String.length s);
+    String.iter (fun c -> mix (Char.code c)) s
+  in
+  let mix_f f = mix (Int64.to_int (Int64.bits_of_float f) land max_int) in
+  Array.iter
+    (fun n ->
+      mix n.N.net_id;
+      mix_str n.N.net_name;
+      mix (if n.N.is_output then 1 else 0))
+    (N.nets nl);
+  Array.iter
+    (fun g ->
+      mix_str g.N.gate_name;
+      mix_str g.N.cell.Tka_cell.Cell.name;
+      List.iter
+        (fun (pin, src) ->
+          mix_str pin;
+          mix src)
+        g.N.fanin;
+      mix g.N.fanout)
+    (N.gates nl);
+  Array.iter
+    (fun c ->
+      mix c.N.net_a;
+      mix c.N.net_b;
+      mix_f c.N.coupling_cap)
+    (N.couplings nl);
+  Printf.sprintf "%016x" !h
+
+let table2x ?expected spec =
+  let a = netlist_fingerprint (Tka_layout.Table2x.generate spec) in
+  let b = netlist_fingerprint (Tka_layout.Table2x.generate spec) in
+  if a <> b then
+    Fail
+      (Printf.sprintf
+         "table2x: %s (seed %d) is not regeneration-deterministic: %s vs %s"
+         spec.Tka_layout.Table2x.tx_name spec.Tka_layout.Table2x.tx_seed a b)
+  else
+    match expected with
+    | None -> Pass
+    | Some e when e = a -> Pass
+    | Some e ->
+      Fail
+        (Printf.sprintf
+           "table2x: %s (seed %d) fingerprint drifted: expected %s, got %s"
+           spec.Tka_layout.Table2x.tx_name spec.Tka_layout.Table2x.tx_seed e a)
+
 let incremental ~k nl edits =
   match edits with
   | [] -> Skip "empty edit script"

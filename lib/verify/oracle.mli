@@ -42,6 +42,18 @@ val jobs : ?jobs:int -> k:int -> Tka_circuit.Topo.t -> verdict
     {!Tka_topk.Elimination.compute}. The pool default in effect on
     entry is restored on exit. *)
 
+val netlist_fingerprint : Tka_circuit.Netlist.t -> string
+(** Structural hash (nets, gate bindings, coupling caps, in id order)
+    as a fixed-width hex string. Two netlists with the same fingerprint
+    are structurally identical for analysis purposes. *)
+
+val table2x : ?expected:string -> Tka_layout.Table2x.spec -> verdict
+(** Generate [spec] twice and check the {!netlist_fingerprint}s agree
+    (the generator draws from one seeded stream in a fixed order, so a
+    spec pins its netlist exactly); with [expected], also pin the value
+    against a recorded fingerprint so silent generator drift across
+    revisions fails loudly. *)
+
 val incremental :
   k:int -> Tka_circuit.Netlist.t -> Tka_incr.Edit.t list -> verdict
 (** Apply the script through {!Tka_incr.Analyzer}, re-analyze

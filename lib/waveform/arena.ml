@@ -1,0 +1,51 @@
+(* Domain-local bump allocator backing PWL breakpoint storage.
+
+   Each domain owns one current chunk (a plain float array) and a bump
+   cursor; an allocation is a (buffer, offset) pair carved off the
+   cursor. Chunks are referenced only by the slices cut from them, so
+   when an analysis drops its waveforms the GC reclaims whole chunks at
+   once — there is no free list and no explicit reset. A chunk that no
+   longer fits a request is abandoned (still pinned by any live slices)
+   and replaced.
+
+   Lifetime rule (docs/performance.md): a slice must not outlive the
+   analysis that allocated it; a single escaping slice pins its whole
+   chunk. Long-lived singletons (e.g. [Pwl.constant]) therefore use
+   exact private arrays instead of the arena.
+
+   Domain-safety: the chunk state is in [Domain.DLS], so concurrent
+   pool workers bump distinct chunks without synchronisation. Reading a
+   finished slice from another domain is a plain float-array read,
+   published by the pool's level barriers. *)
+
+type chunk = { mutable buf : float array; mutable used : int }
+
+(* 64k floats = 512 KiB per chunk: big enough that kernel outputs
+   (tens to hundreds of floats) amortise the chunk allocation, small
+   enough that an escaping slice pins little. *)
+let chunk_floats = 1 lsl 16
+
+(* Requests at least a quarter-chunk large get their own exact array:
+   they would fragment chunks, and their size already amortises a
+   dedicated allocation. *)
+let large_threshold = chunk_floats / 4
+
+let key = Domain.DLS.new_key (fun () -> { buf = [||]; used = 0 })
+
+let alloc n =
+  if n < 0 then invalid_arg "Arena.alloc: negative size";
+  if n >= large_threshold then (Array.make n 0., 0)
+  else begin
+    let c = Domain.DLS.get key in
+    if c.used + n > Array.length c.buf then begin
+      c.buf <- Array.make chunk_floats 0.;
+      c.used <- 0
+    end;
+    let off = c.used in
+    c.used <- c.used + n;
+    (c.buf, off)
+  end
+
+let shrink_last buf off ~alloc ~used =
+  let c = Domain.DLS.get key in
+  if buf == c.buf && off + alloc = c.used then c.used <- off + used

@@ -1,0 +1,25 @@
+(** Domain-local flat float arenas for PWL breakpoint slices.
+
+    {!Pwl.t} values are (buffer, offset, length) slices of bump-allocated
+    chunks handed out here; a kernel allocates a worst-case slice, writes
+    its result, and returns the unused tail with {!shrink_last}. Chunks
+    are plain float arrays referenced only through the slices, so memory
+    comes back via the GC when an analysis drops its waveforms.
+
+    Lifetime rule: no slice may escape the analysis that allocated it —
+    an escaping slice pins its entire chunk (see docs/performance.md,
+    "scaling"). *)
+
+val alloc : int -> float array * int
+(** [alloc n] returns [(buf, off)] with [n] floats available at
+    [buf.(off) .. buf.(off + n - 1)]. The floats are not cleared —
+    a slice reusing a {!shrink_last}-returned tail can hold stale
+    values, so write before reading. Requests too large for a chunk get
+    a dedicated exact array. *)
+
+val shrink_last : float array -> int -> alloc:int -> used:int -> unit
+(** [shrink_last buf off ~alloc ~used] returns the tail of the most
+    recent allocation to the current chunk ([used <= alloc] floats
+    kept). A no-op when the allocation is not the chunk's latest (or
+    was a dedicated array) — the tail is then merely wasted, never
+    reused. *)

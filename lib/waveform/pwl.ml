@@ -1,14 +1,27 @@
 module F = Tka_util.Float_cmp
 module Interval = Tka_util.Interval
 
-(* [peak] caches [max_value]; NaN means "not yet computed". Breakpoint
-   construction rejects NaN ordinates, so the sentinel is unambiguous.
-   The field is boxed (the record is not a float record), so concurrent
-   domains racing to fill it each store a word-sized pointer to the
-   same deterministic value — a benign race. *)
-type t = { xs : float array; ys : float array; mutable peak : float }
+(* A waveform is a slice of a flat arena buffer: breakpoint [i] lives
+   interleaved at [buf.(off + 2i)] (abscissa) and [buf.(off + 2i + 1)]
+   (ordinate), [len] counting breakpoints. Kernels allocate a
+   worst-case slice from the domain-local {!Arena}, write the result,
+   simplify in place and return the tail — so the merge kernels from
+   PR 5 no longer allocate per-result arrays, and the (x, y) pairs a
+   co-scan touches together sit on the same cache line.
 
-let mk xs ys = { xs; ys; peak = Float.nan }
+   [peak] caches [max_value]; NaN means "not yet computed". Breakpoint
+   construction rejects NaN ordinates, so the sentinel is unambiguous.
+   The field is boxed (the record mixes float and int fields), so
+   concurrent domains racing to fill it each store a word-sized pointer
+   to the same deterministic value — a benign race. *)
+type t = { buf : float array; off : int; len : int; mutable peak : float }
+
+let mk buf off len = { buf; off; len; peak = Float.nan }
+
+(* Breakpoint accessors; bare indexing everywhere else follows the same
+   [off + 2i] / [off + 2i + 1] scheme on raw (buf, off) pairs. *)
+let[@inline] gx t i = t.buf.(t.off + (2 * i))
+let[@inline] gy t i = t.buf.(t.off + (2 * i) + 1)
 
 (* Merge tolerance for abscissae: two breakpoints closer than this are
    considered the same instant. *)
@@ -20,52 +33,51 @@ let collinear x0 y0 x1 y1 x2 y2 =
   let cross = ((x1 -. x0) *. (y2 -. y0)) -. ((x2 -. x0) *. (y1 -. y0)) in
   Float.abs cross <= 1e-12 *. (1. +. Float.abs (x2 -. x0)) *. (1. +. Float.abs y2 +. Float.abs y0)
 
-(* In-place collinear simplification of the first [n] breakpoints:
-   drops every interior point collinear with the last kept point and
-   the next original point, returns the compacted length. The write
-   cursor never passes the read cursor, so no scratch array is
-   needed. *)
-let simplify_into xs ys n =
+(* In-place collinear simplification of the first [n] breakpoints of a
+   slice: drops every interior point collinear with the last kept point
+   and the next original point, returns the compacted length. The write
+   cursor never passes the read cursor, so no scratch is needed. *)
+let simplify_into buf off n =
   if n <= 2 then n
   else begin
+    let x i = buf.(off + (2 * i)) and y i = buf.(off + (2 * i) + 1) in
     let w = ref 1 in
     for r = 1 to n - 2 do
-      if
-        not
-          (collinear xs.(!w - 1) ys.(!w - 1) xs.(r) ys.(r) xs.(r + 1) ys.(r + 1))
+      if not (collinear (x (!w - 1)) (y (!w - 1)) (x r) (y r) (x (r + 1)) (y (r + 1)))
       then begin
-        xs.(!w) <- xs.(r);
-        ys.(!w) <- ys.(r);
+        buf.(off + (2 * !w)) <- x r;
+        buf.(off + (2 * !w) + 1) <- y r;
         incr w
       end
     done;
-    xs.(!w) <- xs.(n - 1);
-    ys.(!w) <- ys.(n - 1);
+    buf.(off + (2 * !w)) <- x (n - 1);
+    buf.(off + (2 * !w) + 1) <- y (n - 1);
     incr w;
     !w
   end
 
-(* Take ownership of work arrays holding [n] valid breakpoints:
-   simplify in place, then trim. *)
-let of_arrays_owned xs ys n =
-  let n' = simplify_into xs ys n in
-  if n' = Array.length xs then mk xs ys
-  else mk (Array.sub xs 0 n') (Array.sub ys 0 n')
+(* Finish a kernel output: [n] valid breakpoints written into a slice
+   allocated for [cap]; simplify in place, hand the tail back to the
+   arena. *)
+let finish buf off ~cap n =
+  let n' = simplify_into buf off n in
+  Arena.shrink_last buf off ~alloc:(2 * cap) ~used:(2 * n');
+  mk buf off n'
 
 let of_points_unchecked pts =
   match pts with
-  | [] -> mk [||] [||]
+  | [] -> mk [||] 0 0
   | _ ->
     let n = List.length pts in
-    let xs = Array.make n 0. and ys = Array.make n 0. in
+    let buf, off = Arena.alloc (2 * n) in
     let i = ref 0 in
     List.iter
       (fun (x, y) ->
-        xs.(!i) <- F.not_nan ~what:"Pwl: breakpoint abscissa" x;
-        ys.(!i) <- F.not_nan ~what:"Pwl: breakpoint ordinate" y;
+        buf.(off + (2 * !i)) <- F.not_nan ~what:"Pwl: breakpoint abscissa" x;
+        buf.(off + (2 * !i) + 1) <- F.not_nan ~what:"Pwl: breakpoint ordinate" y;
         incr i)
       pts;
-    of_arrays_owned xs ys n
+    finish buf off ~cap:n n
 
 let create pts =
   match pts with
@@ -87,81 +99,88 @@ let create pts =
     in
     of_points_unchecked (merge [] sorted)
 
-let constant y = mk [| 0. |] [| F.not_nan ~what:"Pwl.constant" y |]
+(* Constants are the long-lived singletons ([zero] lives for the whole
+   process): a private exact array instead of an arena slice, so they
+   pin no chunk. *)
+let constant y = mk [| 0.; F.not_nan ~what:"Pwl.constant" y |] 0 1
 
 let zero = constant 0.
 
 let breakpoints t =
-  let rec go i acc =
-    if i < 0 then acc else go (i - 1) ((t.xs.(i), t.ys.(i)) :: acc)
-  in
-  go (Array.length t.xs - 1) []
+  let rec go i acc = if i < 0 then acc else go (i - 1) ((gx t i, gy t i) :: acc) in
+  go (t.len - 1) []
 
-let first_x t = t.xs.(0)
-let last_x t = t.xs.(Array.length t.xs - 1)
+let first_x t = gx t 0
+let last_x t = gx t (t.len - 1)
+
 let is_constant t =
-  let y0 = t.ys.(0) in
-  Array.for_all (fun y -> F.approx y y0) t.ys
+  let y0 = gy t 0 in
+  let ok = ref true in
+  for i = 1 to t.len - 1 do
+    if not (F.approx (gy t i) y0) then ok := false
+  done;
+  !ok
 
-(* Index of the last breakpoint with xs.(i) <= x, or -1. *)
+(* Index of the last breakpoint with x_i <= x, or -1. *)
 let seg_index t x =
-  let n = Array.length t.xs in
-  if x < t.xs.(0) then -1
-  else if x >= t.xs.(n - 1) then n - 1
+  let n = t.len in
+  if x < gx t 0 then -1
+  else if x >= gx t (n - 1) then n - 1
   else begin
     let lo = ref 0 and hi = ref (n - 1) in
-    (* invariant: xs.(lo) <= x < xs.(hi) *)
+    (* invariant: x_lo <= x < x_hi *)
     while !hi - !lo > 1 do
       let mid = (!lo + !hi) / 2 in
-      if t.xs.(mid) <= x then lo := mid else hi := mid
+      if gx t mid <= x then lo := mid else hi := mid
     done;
     !lo
   end
 
 let eval t x =
-  let n = Array.length t.xs in
+  let n = t.len in
   let i = seg_index t x in
-  if i < 0 then t.ys.(0)
-  else if i >= n - 1 then t.ys.(n - 1)
+  if i < 0 then gy t 0
+  else if i >= n - 1 then gy t (n - 1)
   else begin
-    let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
-    let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+    let x0 = gx t i and x1 = gx t (i + 1) in
+    let y0 = gy t i and y1 = gy t (i + 1) in
     y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
   end
 
 let max_value t =
   if Float.is_nan t.peak then begin
-    let ys = t.ys in
-    let m = ref ys.(0) in
-    for i = 1 to Array.length ys - 1 do
-      if ys.(i) > !m then m := ys.(i)
+    let m = ref (gy t 0) in
+    for i = 1 to t.len - 1 do
+      let y = gy t i in
+      if y > !m then m := y
     done;
     t.peak <- !m
   end;
   t.peak
 
 let min_value t =
-  let ys = t.ys in
-  let m = ref ys.(0) in
-  for i = 1 to Array.length ys - 1 do
-    if ys.(i) < !m then m := ys.(i)
+  let m = ref (gy t 0) in
+  for i = 1 to t.len - 1 do
+    let y = gy t i in
+    if y < !m then m := y
   done;
   !m
 
 let extremum_on ~better interval t =
   let lo = Interval.lo interval and hi = Interval.hi interval in
   let acc = ref (better (eval t lo) (eval t hi)) in
-  Array.iteri
-    (fun i x -> if x >= lo && x <= hi then acc := better !acc t.ys.(i))
-    t.xs;
+  for i = 0 to t.len - 1 do
+    let x = gx t i in
+    if x >= lo && x <= hi then acc := better !acc (gy t i)
+  done;
   !acc
 
 let max_on interval t = extremum_on ~better:Float.max interval t
 let min_on interval t = extremum_on ~better:Float.min interval t
 
 let support ?(eps = F.default_eps) t =
-  let n = Array.length t.xs in
-  let nonzero i = Float.abs t.ys.(i) > eps in
+  let n = t.len in
+  let nonzero i = Float.abs (gy t i) > eps in
   let first = ref (-1) and last = ref (-1) in
   for i = 0 to n - 1 do
     if nonzero i then begin
@@ -171,12 +190,19 @@ let support ?(eps = F.default_eps) t =
   done;
   if !first < 0 then None
   else begin
-    let lo = if !first > 0 then t.xs.(!first - 1) else t.xs.(0) in
-    let hi = if !last < n - 1 then t.xs.(!last + 1) else t.xs.(n - 1) in
+    let lo = if !first > 0 then gx t (!first - 1) else gx t 0 in
+    let hi = if !last < n - 1 then gx t (!last + 1) else gx t (n - 1) in
     Some (Interval.make lo hi)
   end
 
-let map_y f t = mk (Array.copy t.xs) (Array.map f t.ys)
+let map_y f t =
+  let n = t.len in
+  let buf, off = Arena.alloc (2 * n) in
+  for i = 0 to n - 1 do
+    buf.(off + (2 * i)) <- gx t i;
+    buf.(off + (2 * i) + 1) <- f (gy t i)
+  done;
+  mk buf off n
 
 let scale k t = map_y (fun y -> k *. y) t
 let neg t = map_y (fun y -> -.y) t
@@ -184,55 +210,61 @@ let shift_y d t = map_y (fun y -> y +. d) t
 
 let shift_x d t =
   (* the ordinates are untouched, so the cached peak carries over *)
-  { xs = Array.map (fun x -> x +. d) t.xs; ys = Array.copy t.ys; peak = t.peak }
+  let n = t.len in
+  let buf, off = Arena.alloc (2 * n) in
+  for i = 0 to n - 1 do
+    buf.(off + (2 * i)) <- gx t i +. d;
+    buf.(off + (2 * i) + 1) <- gy t i
+  done;
+  { buf; off; len = n; peak = t.peak }
 
 (* ------------------------------------------------------------------ *)
 (* Linear-merge kernels                                               *)
 (* ------------------------------------------------------------------ *)
-(* Every binary operation below walks the two breakpoint arrays with a
-   pair of cursors in a single pass — no merged-grid allocation and no
-   per-point binary search. Invariants of the co-scan:
+(* Every binary operation below walks the two breakpoint slices with a
+   pair of cursors in a single pass — the output is written straight
+   into one arena slice. Invariants of the co-scan:
      - merged abscissae are visited in non-decreasing order, deduped
        within [x_eps] (the first of a cluster wins, as in the previous
        merged-grid construction);
      - when the scan stands at x, each operand's cursor [i] is the
-       index of its first breakpoint with xs.(i) >= x, so the value at
-       x is ys.(i) on an exact hit and the (i-1, i) segment
+       index of its first breakpoint with x_i >= x, so the value at
+       x is y_i on an exact hit and the (i-1, i) segment
        interpolation otherwise — bit-identical to [eval]. *)
 
-(* Value of (xs, ys) at [x] given cursor [i] = first index with
-   xs.(i) >= x (n when exhausted). Same formula as [eval]. *)
-let value_at xs ys n i x =
-  if i < n && xs.(i) = x then ys.(i)
-  else if i = 0 then ys.(0)
-  else if i >= n then ys.(n - 1)
+(* Value of the slice (buf, off, n) at [x] given cursor [i] = first
+   index with x_i >= x (n when exhausted). Same formula as [eval]. *)
+let value_at buf off n i x =
+  if i < n && buf.(off + (2 * i)) = x then buf.(off + (2 * i) + 1)
+  else if i = 0 then buf.(off + 1)
+  else if i >= n then buf.(off + (2 * (n - 1)) + 1)
   else begin
-    let x0 = xs.(i - 1) and x1 = xs.(i) in
-    let y0 = ys.(i - 1) and y1 = ys.(i) in
+    let x0 = buf.(off + (2 * (i - 1))) and x1 = buf.(off + (2 * i)) in
+    let y0 = buf.(off + (2 * (i - 1)) + 1) and y1 = buf.(off + (2 * i) + 1) in
     y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
   end
 
 (* Two-cursor co-scan of [a] and [b]: calls [f x ya yb] at every merged
    abscissa; [f] returns [false] to stop the scan early. *)
 let co_scan2 a b f =
-  let axs = a.xs and ays = a.ys and bxs = b.xs and bys = b.ys in
-  let na = Array.length axs and nb = Array.length bxs in
+  let ab = a.buf and ao = a.off and na = a.len in
+  let bb = b.buf and bo = b.off and nb = b.len in
   let i = ref 0 and j = ref 0 in
   let last = ref Float.neg_infinity in
   let go = ref true in
   while !go && (!i < na || !j < nb) do
-    let xa = if !i < na then axs.(!i) else Float.infinity
-    and xb = if !j < nb then bxs.(!j) else Float.infinity in
+    let xa = if !i < na then ab.(ao + (2 * !i)) else Float.infinity
+    and xb = if !j < nb then bb.(bo + (2 * !j)) else Float.infinity in
     if xa <= xb then begin
       if xa -. !last > x_eps then begin
-        go := f xa ays.(!i) (value_at bxs bys nb !j xa);
+        go := f xa ab.(ao + (2 * !i) + 1) (value_at bb bo nb !j xa);
         last := xa
       end;
       incr i
     end
     else begin
       if xb -. !last > x_eps then begin
-        go := f xb (value_at axs ays na !i xb) bys.(!j);
+        go := f xb (value_at ab ao na !i xb) bb.(bo + (2 * !j) + 1);
         last := xb
       end;
       incr j
@@ -240,15 +272,15 @@ let co_scan2 a b f =
   done
 
 let combine2 f a b =
-  let cap = Array.length a.xs + Array.length b.xs in
-  let oxs = Array.make cap 0. and oys = Array.make cap 0. in
+  let cap = a.len + b.len in
+  let buf, off = Arena.alloc (2 * cap) in
   let m = ref 0 in
   co_scan2 a b (fun x ya yb ->
-      oxs.(!m) <- x;
-      oys.(!m) <- f ya yb;
+      buf.(off + (2 * !m)) <- x;
+      buf.(off + (2 * !m) + 1) <- f ya yb;
       incr m;
       true);
-  of_arrays_owned oxs oys !m
+  finish buf off ~cap !m
 
 let add a b = combine2 ( +. ) a b
 let sub a b = combine2 ( -. ) a b
@@ -256,8 +288,8 @@ let sub a b = combine2 ( -. ) a b
 (* k-way superposition: one pass over the union of all operand
    breakpoints with an index-array cursor front. Combining r envelopes
    costs O(total breakpoints * r) cursor work and allocates only the
-   output, against the former left fold's O(r^2 * n) re-merges, each
-   allocating an intermediate waveform. The operand count is tiny
+   output slice, against the former left fold's O(r^2 * n) re-merges,
+   each allocating an intermediate waveform. The operand count is tiny
    (<= k ~ 75 aggressors), so a linear min-scan beats a heap. *)
 let sum = function
   | [] -> zero
@@ -266,8 +298,8 @@ let sum = function
     let ops = Array.of_list ws in
     let r = Array.length ops in
     let idx = Array.make r 0 in
-    let cap = Array.fold_left (fun acc o -> acc + Array.length o.xs) 0 ops in
-    let oxs = Array.make cap 0. and oys = Array.make cap 0. in
+    let cap = Array.fold_left (fun acc o -> acc + o.len) 0 ops in
+    let buf, off = Arena.alloc (2 * cap) in
     let m = ref 0 in
     let last = ref Float.neg_infinity in
     let go = ref true in
@@ -276,8 +308,7 @@ let sum = function
       let x = ref Float.infinity in
       for c = 0 to r - 1 do
         let o = ops.(c) in
-        if idx.(c) < Array.length o.xs && o.xs.(idx.(c)) < !x then
-          x := o.xs.(idx.(c))
+        if idx.(c) < o.len && gx o idx.(c) < !x then x := gx o idx.(c)
       done;
       let x = !x in
       if x = Float.infinity then go := false
@@ -286,29 +317,28 @@ let sum = function
           let acc = ref 0. in
           for c = 0 to r - 1 do
             let o = ops.(c) in
-            acc := !acc +. value_at o.xs o.ys (Array.length o.xs) idx.(c) x
+            acc := !acc +. value_at o.buf o.off o.len idx.(c) x
           done;
-          oxs.(!m) <- x;
-          oys.(!m) <- !acc;
+          buf.(off + (2 * !m)) <- x;
+          buf.(off + (2 * !m) + 1) <- !acc;
           incr m;
           last := x
         end;
         for c = 0 to r - 1 do
           let o = ops.(c) in
-          if idx.(c) < Array.length o.xs && o.xs.(idx.(c)) = x then
-            idx.(c) <- idx.(c) + 1
+          if idx.(c) < o.len && gx o idx.(c) = x then idx.(c) <- idx.(c) + 1
         done
       end
     done;
-    of_arrays_owned oxs oys !m
+    finish buf off ~cap !m
 
 (* Pointwise max/min need the crossing abscissae inserted: within one
    cell of the co-scan both functions are linear, so they cross at most
    once. Each merged point plus at most one crossing per cell bounds
    the output by 2 * (na + nb). *)
 let extremum2 pickhi a b =
-  let cap = 2 * (Array.length a.xs + Array.length b.xs) in
-  let oxs = Array.make cap 0. and oys = Array.make cap 0. in
+  let cap = 2 * (a.len + b.len) in
+  let buf, off = Arena.alloc (2 * cap) in
   let m = ref 0 in
   let px = ref 0. and pya = ref 0. and pyb = ref 0. in
   let have_prev = ref false in
@@ -321,21 +351,22 @@ let extremum2 pickhi a b =
             let s = (xc -. !px) /. (x -. !px) in
             let yac = !pya +. ((ya -. !pya) *. s)
             and ybc = !pyb +. ((yb -. !pyb) *. s) in
-            oxs.(!m) <- xc;
-            oys.(!m) <- (if pickhi then Float.max yac ybc else Float.min yac ybc);
+            buf.(off + (2 * !m)) <- xc;
+            buf.(off + (2 * !m) + 1) <-
+              (if pickhi then Float.max yac ybc else Float.min yac ybc);
             incr m
           end
         end
       end;
-      oxs.(!m) <- x;
-      oys.(!m) <- (if pickhi then Float.max ya yb else Float.min ya yb);
+      buf.(off + (2 * !m)) <- x;
+      buf.(off + (2 * !m) + 1) <- (if pickhi then Float.max ya yb else Float.min ya yb);
       incr m;
       px := x;
       pya := ya;
       pyb := yb;
       have_prev := true;
       true);
-  of_arrays_owned oxs oys !m
+  finish buf off ~cap !m
 
 let max2 a b = extremum2 true a b
 let min2 a b = extremum2 false a b
@@ -398,37 +429,41 @@ let dominates_on ?(eps = F.default_eps) interval a b =
 let equal ?(eps = F.default_eps) a b = dominates ~eps a b && dominates ~eps b a
 
 let last_upcrossing t level =
-  let n = Array.length t.xs in
-  if t.ys.(n - 1) < level then None
+  let n = t.len in
+  if gy t (n - 1) < level then None
   else begin
     (* rightmost index strictly below the level *)
-    let rec find i = if i < 0 then None else if t.ys.(i) < level then Some i else find (i - 1) in
+    let rec find i =
+      if i < 0 then None else if gy t i < level then Some i else find (i - 1)
+    in
     match find (n - 1) with
     | None -> None (* never below: no upward crossing *)
     | Some i ->
       (* segment (i, i+1) rises through the level; i < n-1 because the
          last value is >= level. *)
-      let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
-      let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+      let x0 = gx t i and x1 = gx t (i + 1) in
+      let y0 = gy t i and y1 = gy t (i + 1) in
       Some (x0 +. ((x1 -. x0) *. (level -. y0) /. (y1 -. y0)))
   end
 
 let first_upcrossing t level =
-  let n = Array.length t.xs in
-  if t.ys.(0) >= level then None
+  let n = t.len in
+  if gy t 0 >= level then None
   else begin
-    let rec find i = if i >= n then None else if t.ys.(i) >= level then Some i else find (i + 1) in
+    let rec find i =
+      if i >= n then None else if gy t i >= level then Some i else find (i + 1)
+    in
     match find 1 with
     | None -> None
     | Some j ->
-      let x0 = t.xs.(j - 1) and x1 = t.xs.(j) in
-      let y0 = t.ys.(j - 1) and y1 = t.ys.(j) in
+      let x0 = gx t (j - 1) and x1 = gx t j in
+      let y0 = gy t (j - 1) and y1 = gy t j in
       if F.approx y1 y0 then Some x1
       else Some (x0 +. ((x1 -. x0) *. (level -. y0) /. (y1 -. y0)))
   end
 
 let crossings t level =
-  let n = Array.length t.xs in
+  let n = t.len in
   let out = ref [] in
   let push x =
     match !out with
@@ -436,21 +471,21 @@ let crossings t level =
     | _ -> out := x :: !out
   in
   for i = 0 to n - 1 do
-    if F.approx t.ys.(i) level then push t.xs.(i);
+    if F.approx (gy t i) level then push (gx t i);
     if i < n - 1 then begin
-      let d0 = t.ys.(i) -. level and d1 = t.ys.(i + 1) -. level in
+      let d0 = gy t i -. level and d1 = gy t (i + 1) -. level in
       if (d0 > 0. && d1 < 0.) || (d0 < 0. && d1 > 0.) then
-        push (t.xs.(i) +. ((t.xs.(i + 1) -. t.xs.(i)) *. d0 /. (d0 -. d1)))
+        push (gx t i +. ((gx t (i + 1) -. gx t i) *. d0 /. (d0 -. d1)))
     end
   done;
   List.rev !out
 
 let is_unimodal ?(eps = F.default_eps) t =
-  let n = Array.length t.ys in
+  let n = t.len in
   let rec go i seen_down =
     if i >= n - 1 then true
     else begin
-      let dy = t.ys.(i + 1) -. t.ys.(i) in
+      let dy = gy t (i + 1) -. gy t i in
       if dy > eps then (not seen_down) && go (i + 1) false
       else if dy < -.eps then go (i + 1) true
       else go (i + 1) seen_down
@@ -464,14 +499,14 @@ let sliding_max ~window t =
     invalid_arg "Pwl.sliding_max: waveform is not unimodal";
   if window <= x_eps then t
   else begin
-    let n = Array.length t.xs in
+    let n = t.len in
     let peak = max_value t in
     (* first and last abscissae attaining the peak *)
-    let xp_first = ref t.xs.(0) and xp_last = ref t.xs.(0) and found = ref false in
+    let xp_first = ref (gx t 0) and xp_last = ref (gx t 0) and found = ref false in
     for i = 0 to n - 1 do
-      if F.approx t.ys.(i) peak then begin
-        if not !found then xp_first := t.xs.(i);
-        xp_last := t.xs.(i);
+      if F.approx (gy t i) peak then begin
+        if not !found then xp_first := gx t i;
+        xp_last := gx t i;
         found := true
       end
     done;
@@ -487,20 +522,19 @@ let sliding_max ~window t =
   end
 
 let area t =
-  let n = Array.length t.xs in
+  let n = t.len in
   let acc = ref 0. in
   for i = 0 to n - 2 do
-    acc := !acc +. (0.5 *. (t.ys.(i) +. t.ys.(i + 1)) *. (t.xs.(i + 1) -. t.xs.(i)))
+    acc := !acc +. (0.5 *. (gy t i +. gy t (i + 1)) *. (gx t (i + 1) -. gx t i))
   done;
   !acc
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>pwl[";
-  Array.iteri
-    (fun i x ->
-      if i > 0 then Format.fprintf ppf "; ";
-      Format.fprintf ppf "(%g, %g)" x t.ys.(i))
-    t.xs;
+  for i = 0 to t.len - 1 do
+    if i > 0 then Format.fprintf ppf "; ";
+    Format.fprintf ppf "(%g, %g)" (gx t i) (gy t i)
+  done;
   Format.fprintf ppf "]@]"
 
 let to_string t = Format.asprintf "%a" pp t

@@ -174,6 +174,27 @@ let test_engine_jobs_invariant name mode () =
         seq par)
     [ 2; 4 ]
 
+let test_table2x_sharded_invariant () =
+  (* a multi-cone table2x circuit takes the cone-sharded sweep path at
+     jobs > 1 (the Table 2 suite is single-shard, so only this covers
+     Shard.run end-to-end); results must stay bitwise identical *)
+  let spec = Tka_layout.Table2x.spec ~nets:600 ~cones:6 () in
+  let topo = Topo.create (Tka_layout.Table2x.generate spec) in
+  Alcotest.(check bool) "multiple shards" true
+    (Array.length (Topo.cone_shards topo) > 1);
+  let k = 4 in
+  List.iter
+    (fun mode ->
+      let seq = at_jobs 1 (fun () -> engine_repr ~mode ~k topo) in
+      List.iter
+        (fun jobs ->
+          let par = at_jobs jobs (fun () -> engine_repr ~mode ~k topo) in
+          Alcotest.(check string)
+            (Printf.sprintf "t2x sharded jobs=%d == jobs=1" jobs)
+            seq par)
+        [ 2; 4 ])
+    [ Engine.Addition; Engine.Elimination ]
+
 (* ------------------------------------------------------------------ *)
 (* Brute force determinism across jobs                                *)
 (* ------------------------------------------------------------------ *)
@@ -253,6 +274,8 @@ let () =
             (test_engine_jobs_invariant "i1" Engine.Elimination);
           Alcotest.test_case "i2 addition jobs {1,2,4}" `Slow
             (test_engine_jobs_invariant "i2" Engine.Addition);
+          Alcotest.test_case "table2x sharded jobs {1,2,4}" `Quick
+            test_table2x_sharded_invariant;
           Alcotest.test_case "i2 elimination jobs {1,2,4}" `Slow
             (test_engine_jobs_invariant "i2" Engine.Elimination);
           Alcotest.test_case "brute force jobs {1,2,4}" `Quick

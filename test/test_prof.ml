@@ -272,6 +272,38 @@ let test_bench_diff_noise_floor () =
   let r2 = Bd.compare_docs ~min_seconds:0.001 (tiny 0.003) (tiny 0.03) in
   checkb "lowered floor catches it" true (Bd.has_regressions r2)
 
+let test_bench_diff_memory_metrics () =
+  (* memory figures are lower-better in their own unit: a peak-RSS rise
+     in MB regresses, even though 900 "units" would sit far under the
+     words-denominated floor *)
+  let doc rss =
+    J.Obj
+      [
+        ( "table2x",
+          J.List [ J.Obj [ ("nets", J.Int 100_000); ("peak_rss_mb", J.Float rss) ] ] );
+      ]
+  in
+  let r = Bd.compare_docs (doc 600.) (doc 900.) in
+  checkb "rss_mb rise regresses" true
+    (List.exists
+       (fun m -> m.Bd.m_path = "table2x[0].peak_rss_mb")
+       r.Bd.bd_regressions);
+  let r2 = Bd.compare_docs (doc 900.) (doc 600.) in
+  checkb "rss_mb drop improves" true
+    (List.exists
+       (fun m -> m.Bd.m_path = "table2x[0].peak_rss_mb")
+       r2.Bd.bd_improvements);
+  (* sub-8MB deltas are allocator noise regardless of ratio *)
+  let r3 = Bd.compare_docs (doc 2.) (doc 6.) in
+  checkb "tiny rss skipped" false (Bd.has_regressions r3);
+  checki "counted as skipped" 1 r3.Bd.bd_skipped_small;
+  (* _kb and _bytes floors scale with the unit *)
+  let kb v = J.Obj [ ("heap_kb", J.Float v) ] in
+  checkb "kb metric compared" true
+    (Bd.has_regressions (Bd.compare_docs (kb 20_000.) (kb 40_000.)));
+  checkb "sub-floor kb skipped" false
+    (Bd.has_regressions (Bd.compare_docs (kb 2_000.) (kb 7_000.)))
+
 let test_bench_diff_missing_keys () =
   let base =
     J.Obj [ ("old_runtime_s", J.Float 1.0); ("both_runtime_s", J.Float 1.0) ]
@@ -418,6 +450,8 @@ let () =
             test_bench_diff_slowdown;
           Alcotest.test_case "metric directions" `Quick
             test_bench_diff_directions;
+          Alcotest.test_case "memory metrics" `Quick
+            test_bench_diff_memory_metrics;
           Alcotest.test_case "noise floor" `Quick test_bench_diff_noise_floor;
           Alcotest.test_case "missing keys" `Quick
             test_bench_diff_missing_keys;

@@ -349,6 +349,76 @@ let qcheck_tests =
         List.for_all (fun x -> Pwl.eval c x >= lo -. 1e-9) sample_points);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Arena                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Arena = Tka_waveform.Arena
+
+let stamp (buf, off) n v =
+  for j = 0 to n - 1 do
+    buf.(off + j) <- v
+  done
+
+let intact (buf, off) n v =
+  let ok = ref true in
+  for j = 0 to n - 1 do
+    if buf.(off + j) <> v then ok := false
+  done;
+  !ok
+
+let test_arena_disjoint () =
+  (* stamp every slice after allocating all of them: any overlap (also
+     across a chunk rollover) clobbers an earlier stamp *)
+  let slices = List.init 40 (fun i -> (Arena.alloc (137 * (1 + (i mod 5))), 137 * (1 + (i mod 5)), float_of_int i)) in
+  List.iter (fun (s, n, v) -> stamp s n v) slices;
+  List.iter
+    (fun (s, n, v) ->
+      Alcotest.(check bool) "slice intact" true (intact s n v))
+    slices
+
+let test_arena_shrink_reuse () =
+  (* the returned tail is the very next allocation: kernels allocate
+     worst-case, simplify in place, and hand back what they didn't use *)
+  let (b1, o1) = Arena.alloc 100 in
+  Arena.shrink_last b1 o1 ~alloc:100 ~used:40;
+  let (b2, o2) = Arena.alloc 10 in
+  Alcotest.(check bool) "same chunk" true (b2 == b1);
+  Alcotest.(check int) "starts right after the kept prefix" (o1 + 40) o2
+
+let test_arena_shrink_stale () =
+  (* shrinking an allocation that is no longer the latest must not
+     hand its floats to anyone else *)
+  let a = Arena.alloc 50 in
+  let b = Arena.alloc 50 in
+  stamp a 50 1.;
+  stamp b 50 2.;
+  Arena.shrink_last (fst a) (snd a) ~alloc:50 ~used:0;
+  let c = Arena.alloc 60 in
+  stamp c 60 3.;
+  Alcotest.(check bool) "a intact" true (intact a 50 1.);
+  Alcotest.(check bool) "b intact" true (intact b 50 2.)
+
+let test_arena_large_dedicated () =
+  (* a quarter-chunk request bypasses the bump cursor entirely *)
+  let before = Arena.alloc 8 in
+  let (big, bo) = Arena.alloc 16384 in
+  let after = Arena.alloc 8 in
+  Alcotest.(check int) "dedicated array starts at 0" 0 bo;
+  Alcotest.(check int) "exact size" 16384 (Array.length big);
+  Alcotest.(check bool) "cursor undisturbed" true
+    (fst before == fst after && snd after = snd before + 8)
+
+let test_arena_rollover () =
+  (* fill past a chunk boundary: old slices keep their chunk alive and
+     unchanged while new allocations land in a fresh one *)
+  let first = Arena.alloc 1000 in
+  stamp first 1000 7.;
+  for _ = 1 to 80 do
+    ignore (Arena.alloc 1000)
+  done;
+  Alcotest.(check bool) "pre-rollover slice intact" true (intact first 1000 7.)
+
 let () =
   Alcotest.run "tka_pwl"
     [
@@ -406,6 +476,19 @@ let () =
           Alcotest.test_case "rejects bimodal" `Quick test_sliding_max_rejects_bimodal;
           Alcotest.test_case "monotone in window" `Quick
             test_sliding_max_monotone_in_window;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "allocations are disjoint" `Quick
+            test_arena_disjoint;
+          Alcotest.test_case "shrink_last returns the tail" `Quick
+            test_arena_shrink_reuse;
+          Alcotest.test_case "shrink of a stale allocation is a no-op" `Quick
+            test_arena_shrink_stale;
+          Alcotest.test_case "large requests get exact arrays" `Quick
+            test_arena_large_dedicated;
+          Alcotest.test_case "chunk rollover preserves live slices" `Quick
+            test_arena_rollover;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

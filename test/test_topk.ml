@@ -81,6 +81,61 @@ let cs_qcheck =
       (fun (x, s) -> CS.mem x (CS.add x s));
   ]
 
+(* The struct-of-arrays rewrite must be observationally identical to
+   the string-keyed sorted-list implementation it replaced: same
+   canonical hash_key (memo tables keyed on it survive the swap), same
+   ordering, and the same verdicts from every operation the dominance
+   and dedupe machinery relies on. [Ref] is that old implementation,
+   kept list-wise on purpose. *)
+module Ref_cs = struct
+  let of_list l = List.sort_uniq Int.compare l
+  let hash_key l = String.concat "," (List.map string_of_int l)
+  let compare = List.compare Int.compare
+  let subset a b = List.for_all (fun x -> List.mem x b) a
+  let union a b = List.sort_uniq Int.compare (a @ b)
+  let inter a b = List.filter (fun x -> List.mem x b) a
+  let diff a b = List.filter (fun x -> not (List.mem x b)) a
+end
+
+let cs_roundtrip_qcheck =
+  let open QCheck in
+  let arb_ids = list_of_size (Gen.int_range 0 12) (int_bound 24) in
+  let both l = (CS.of_list l, Ref_cs.of_list l) in
+  let sign i = Stdlib.compare i 0 in
+  [
+    Test.make ~name:"to_list round-trips through the reference" ~count:300
+      arb_ids (fun l ->
+        let s, r = both l in
+        CS.to_list s = r);
+    Test.make ~name:"hash_key matches the string-id reference" ~count:300
+      arb_ids (fun l ->
+        let s, r = both l in
+        CS.hash_key s = Ref_cs.hash_key r);
+    Test.make ~name:"compare matches the reference order" ~count:300
+      (pair arb_ids arb_ids) (fun (la, lb) ->
+        let sa, ra = both la and sb, rb = both lb in
+        sign (CS.compare sa sb) = sign (Ref_cs.compare ra rb));
+    Test.make ~name:"subset verdicts agree (dominance precondition)"
+      ~count:300 (pair arb_ids arb_ids) (fun (la, lb) ->
+        let sa, ra = both la and sb, rb = both lb in
+        CS.subset sa sb = Ref_cs.subset ra rb
+        && CS.equal sa sb = (ra = rb)
+        && CS.mem 7 sa = List.mem 7 ra);
+    Test.make ~name:"union/inter/diff round-trip" ~count:300
+      (pair arb_ids arb_ids) (fun (la, lb) ->
+        let sa, ra = both la and sb, rb = both lb in
+        CS.to_list (CS.union sa sb) = Ref_cs.union ra rb
+        && CS.to_list (CS.inter sa sb) = Ref_cs.inter ra rb
+        && CS.to_list (CS.diff sa sb) = Ref_cs.diff ra rb);
+    Test.make ~name:"equal sets hash equal and Tbl finds them" ~count:300
+      arb_ids (fun l ->
+        let s, _ = both l in
+        let s' = CS.of_list (List.rev l) in
+        let tbl = CS.Tbl.create 4 in
+        CS.Tbl.replace tbl s ();
+        CS.hash s = CS.hash s' && CS.Tbl.mem tbl s');
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Dominance                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -710,6 +765,8 @@ let () =
           Alcotest.test_case "predicates" `Quick test_cs_predicates;
         ] );
       ("coupling_set properties", List.map QCheck_alcotest.to_alcotest cs_qcheck);
+      ( "coupling_set vs string-id reference",
+        List.map QCheck_alcotest.to_alcotest cs_roundtrip_qcheck );
       ( "dominance",
         [
           Alcotest.test_case "interval" `Quick test_dominance_interval;

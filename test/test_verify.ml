@@ -188,6 +188,22 @@ let test_oracle_brute_rejects_large_k () =
        false
      with Invalid_argument _ -> true)
 
+let test_oracle_table2x_pinned () =
+  (* regeneration determinism plus a pinned fingerprint: the generator
+     draws from one seeded stream in a fixed order, so this value only
+     moves if the draw order (or the builder) changes — which must be a
+     conscious decision, not an accident *)
+  let spec = Tka_layout.Table2x.spec ~nets:2000 () in
+  (match Oracle.table2x ~expected:"360b9029a9814172" spec with
+  | Oracle.Pass -> ()
+  | Oracle.Skip why -> Alcotest.fail ("unexpected skip: " ^ why)
+  | Oracle.Fail d -> Alcotest.fail ("table2x pin violated: " ^ d));
+  (* a different seed must produce a different circuit *)
+  let other = Tka_layout.Table2x.spec ~nets:2000 ~seed:99 () in
+  Alcotest.(check bool) "seed changes the netlist" true
+    (Oracle.netlist_fingerprint (Tka_layout.Table2x.generate spec)
+    <> Oracle.netlist_fingerprint (Tka_layout.Table2x.generate other))
+
 let test_oracle_incremental_tiny () =
   let rng = Rng.create 41 in
   let nl = Gen.medium_circuit rng in
@@ -278,6 +294,8 @@ let () =
           Alcotest.test_case "brute rejects k>3" `Quick
             test_oracle_brute_rejects_large_k;
           Alcotest.test_case "incremental" `Quick test_oracle_incremental_tiny;
+          Alcotest.test_case "table2x pinned" `Quick
+            test_oracle_table2x_pinned;
         ] );
       ( "driver",
         [

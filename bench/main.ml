@@ -13,6 +13,7 @@
      table2b  top-k addition sweep     (Table 2(b) data semantics)
      figure10 delay vs k series for i1 and i10, both analyses
      parallel sequential vs parallel engine sweep (speedup + determinism)
+     serve    daemon load test: concurrent clients against tka serve
      kernels  bechamel microbenchmarks of the core computational kernels
 
    --jobs N (or TKA_JOBS) sizes the shared domain pool: the table2
@@ -125,7 +126,7 @@ let parse_args () =
     o.sections <-
       [
         "stats"; "table1"; "table2a"; "table2b"; "figure10"; "ablation";
-        "parallel"; "eco"; "kernels";
+        "parallel"; "eco"; "serve"; "kernels";
       ];
   o
 
@@ -612,6 +613,70 @@ let run_eco o =
   json_add "eco" (Tka_incr.Eco.report_json report)
 
 (* ------------------------------------------------------------------ *)
+(* serve: daemon load test                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process tka serve daemon on a temp Unix socket, driven by the
+   Loadgen closed loop: N concurrent client sessions, each loading the
+   same design and issuing a deterministic analyze / what-if / ECO
+   mix. Reports sustained qps, exact p50/p95/p99 latency and the
+   shared victim cache's hit rate as the clients observed it — the
+   `serve` section of BENCH_topk.json. *)
+let run_serve o =
+  let module Server = Tka_serve.Server in
+  let module Client = Tka_serve.Client in
+  let module Loadgen = Tka_serve.Loadgen in
+  let name =
+    if o.quick then List.hd o.circuits
+    else if List.mem "i5" o.circuits then "i5"
+    else List.hd o.circuits
+  in
+  let k = if o.quick then 5 else 10 in
+  let clients = if o.quick then 3 else 4 in
+  let requests = if o.quick then 8 else 25 in
+  section
+    (Printf.sprintf
+       "serve: daemon load test — %s, k=%d, %d clients x %d requests" name k
+       clients requests);
+  let nl, _ = circuit name in
+  let body = Tka_circuit.Netlist_format.print nl in
+  let dir = Filename.temp_file "tka-serve-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "bench.sock" in
+  let srv =
+    Server.create ~default_k:k ~lookup:Tka_cell.Default_lib.find ()
+  in
+  let listener = Server.listen_unix sock in
+  let daemon = Thread.create (fun () -> Server.serve srv ~listeners:[ listener ]) () in
+  let finish () =
+    Server.stop srv;
+    Thread.join daemon;
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  let report =
+    Fun.protect ~finally:finish (fun () ->
+        Loadgen.run
+          ~connect:(fun () -> Client.connect_unix sock)
+          ~netlist:body ~k ~clients ~requests ())
+  in
+  Printf.printf
+    "  %d replies in %.2f s: %.1f qps (%d ok, %d overloaded, %d timeout, %d \
+     errors)\n"
+    report.Loadgen.lg_requests report.Loadgen.lg_elapsed_s
+    report.Loadgen.lg_qps report.Loadgen.lg_ok report.Loadgen.lg_overloaded
+    report.Loadgen.lg_timeout report.Loadgen.lg_errors;
+  Printf.printf "  mix: %d analyze, %d what-if, %d eco\n"
+    report.Loadgen.lg_analyze report.Loadgen.lg_whatif report.Loadgen.lg_eco;
+  Printf.printf "  latency ms: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n"
+    report.Loadgen.lg_p50_ms report.Loadgen.lg_p95_ms report.Loadgen.lg_p99_ms
+    report.Loadgen.lg_max_ms;
+  Printf.printf "  shared victim cache: %d hits / %d misses (%.1f%% hit rate)\n%!"
+    report.Loadgen.lg_cache_hits report.Loadgen.lg_cache_misses
+    (100. *. report.Loadgen.lg_cache_hit_rate);
+  json_add "serve" (Loadgen.to_json report)
+
+(* ------------------------------------------------------------------ *)
 (* Kernels (bechamel)                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -987,6 +1052,7 @@ let () =
           | "ablation" -> run_ablation o
           | "parallel" -> run_parallel o
           | "eco" -> run_eco o
+          | "serve" -> run_serve o
           | "kernels" ->
             run_kernel_rewrite o;
             run_kernels ()

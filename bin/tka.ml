@@ -133,6 +133,16 @@ let emit_json path json =
     Tka_obs.Jsonx.write_file path json
   end
 
+(* dump plain text honouring the same convention *)
+let emit_text path text =
+  if path = "-" then print_string text
+  else begin
+    prepare_out path;
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  end
+
 (* Configure the observability stack, run [f], then dump the requested
    metrics/trace files (also on exceptions). *)
 let with_obs o f =
@@ -317,15 +327,12 @@ let gen_cmd =
           if verilog then (V.print, V.write_file) else (Nf.print, Nf.write_file)
         in
         (match out with
-        | Some path -> write nl path
-        | None -> print_string (render nl));
-        Option.iter
-          (fun path ->
-            let oc = open_out path in
-            output_string oc (Spef.print nl);
-            close_out oc)
-          spef;
-        Option.iter (fun path -> Dot.write_file nl path) dot)
+        | Some path when path <> "-" ->
+          prepare_out path;
+          write nl path
+        | Some _ | None -> print_string (render nl));
+        Option.iter (fun path -> emit_text path (Spef.print nl)) spef;
+        Option.iter (fun path -> emit_text path (Dot.render nl)) dot)
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a benchmark circuit.")
@@ -621,7 +628,7 @@ let sdf_cmd =
           else fun (g : N.gate) -> Tka_sta.Delay_calc.stage_delay nl g.N.gate_id
         in
         match out with
-        | Some p -> Tka_circuit.Sdf_lite.write_file ~delay_of nl p
+        | Some p -> emit_text p (Tka_circuit.Sdf_lite.print ~delay_of nl)
         | None -> print_string (Tka_circuit.Sdf_lite.print ~delay_of nl))
   in
   Cmd.v
@@ -792,17 +799,11 @@ let eco_cmd =
             r.Tka_incr.Eco.eco_analysis_hits;
         Printf.printf "  incremental results identical: %s\n"
           (if r.Tka_incr.Eco.eco_identical then "yes" else "NO");
-        (match json with
-        | None -> ()
-        | Some "-" ->
-          print_string
-            (Tka_obs.Jsonx.to_string_pretty (Tka_incr.Eco.report_json r));
-          print_newline ()
-        | Some path ->
-          Tka_obs.Jsonx.write_file path (Tka_incr.Eco.report_json r));
+        Option.iter (fun path -> emit_json path (Tka_incr.Eco.report_json r)) json;
         Option.iter
           (fun path ->
-            Nf.write_file (Tka_circuit.Topo.netlist fixed.Tka_topk.Elimination.topo) path)
+            emit_text path
+              (Nf.print (Tka_circuit.Topo.netlist fixed.Tka_topk.Elimination.topo)))
           fixed_out;
         if not r.Tka_incr.Eco.eco_identical then exit 1)
   in
@@ -896,6 +897,7 @@ let verify_cmd =
           (match s.Driver.vs_failures with
           | [] -> Printf.printf "no invariant violations found\n"
           | failures ->
+            prepare_out out;
             Repro.save out failures;
             Printf.printf "%d DEFECT(S) FOUND — reproducers written to %s\n"
               (List.length failures) out;
@@ -1064,6 +1066,269 @@ let bench_diff_cmd =
       $ json)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Tka_serve.Server
+module Client = Tka_serve.Client
+module J = Tka_obs.Jsonx
+
+let default_socket = "/tmp/tka-serve.sock"
+
+let socket_arg =
+  Arg.(
+    value & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (default $(b,/tmp/tka-serve.sock)).")
+
+let serve_cmd =
+  let tcp =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:"Also listen on 127.0.0.1:$(docv) (the Unix socket stays on).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Analysis requests executing at once (default: the domain-pool \
+             jobs count).")
+  in
+  let max_queue =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Analysis requests allowed to wait for a slot before new \
+             arrivals get an $(b,overloaded) reply (default 32).")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-s" ] ~docv:"S"
+          ~doc:
+            "Queue-wait deadline: a request still queued after $(docv) \
+             seconds gets a $(b,timeout) reply (default 30).")
+  in
+  let max_designs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-designs" ] ~docv:"N"
+          ~doc:
+            "Shared victim caches kept across sessions; least recently \
+             attached designs are evicted beyond this (default 64).")
+  in
+  let default_k =
+    Arg.(
+      value & opt int 10
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Default set-cardinality bound for sessions that load without one.")
+  in
+  let run obs liberty socket tcp max_inflight max_queue deadline_s max_designs
+      default_k =
+    run_obs obs (fun () ->
+        let lookup = lookup_of_liberty liberty in
+        (* a daemon always keeps its metrics registry live: the
+           [metrics] RPC is its observability surface whether or not a
+           [--metrics-out] dump was requested (span tracing stays
+           opt-in via [--trace-out]: spans accumulate unboundedly in a
+           long-lived process) *)
+        Metrics.set_enabled true;
+        let srv =
+          Server.create ?max_inflight ?max_queue ?deadline_s ?max_designs
+            ~default_k ~lookup ()
+        in
+        (* a client vanishing mid-reply must not kill the daemon *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        let request_stop _ = Server.stop srv in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+        let listeners =
+          Server.listen_unix socket
+          :: (match tcp with Some port -> [ Server.listen_tcp ~port ] | None -> [])
+        in
+        Printf.printf "tka serve: listening on %s%s (pid %d)\n%!" socket
+          (match tcp with
+          | Some port -> Printf.sprintf " and 127.0.0.1:%d" port
+          | None -> "")
+          (Unix.getpid ());
+        Server.serve srv ~listeners;
+        Printf.printf "tka serve: stopped\n%!")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived analysis daemon: NDJSON-RPC over a Unix-domain \
+          (and optionally TCP) socket, concurrent sessions multiplexed onto \
+          the shared domain pool, cross-session victim-cache sharing by \
+          design fingerprint, and bounded admission control.")
+    Term.(
+      const run $ obs_term $ liberty_arg $ socket_arg $ tcp $ max_inflight
+      $ max_queue $ deadline $ max_designs $ default_k)
+
+(* ------------------------------------------------------------------ *)
+(* client                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type client_action =
+  | A_ping
+  | A_info
+  | A_stats
+  | A_metrics
+  | A_shutdown
+  | A_analyze of string option  (* mode: "add" | "elim" *)
+  | A_eco of int  (* fix_k *)
+  | A_whatif of int list  (* couplings to remove *)
+
+let parse_action s =
+  let fail () =
+    failwith
+      (Printf.sprintf
+         "unknown action %S (expected ping, info, stats, metrics, shutdown, \
+          analyze[:add|:elim], eco[:FIXK] or whatif:remove=ID[,ID...])"
+         s)
+  in
+  match String.index_opt s ':' with
+  | None -> (
+    match s with
+    | "ping" -> A_ping
+    | "info" -> A_info
+    | "stats" -> A_stats
+    | "metrics" -> A_metrics
+    | "shutdown" -> A_shutdown
+    | "analyze" -> A_analyze None
+    | "eco" -> A_eco 1
+    | _ -> fail ())
+  | Some i -> (
+    let verb = String.sub s 0 i in
+    let arg = String.sub s (i + 1) (String.length s - i - 1) in
+    match verb with
+    | "analyze" when arg = "add" || arg = "elim" -> A_analyze (Some arg)
+    | "eco" -> (
+      match int_of_string_opt arg with Some n -> A_eco n | None -> fail ())
+    | "whatif" -> (
+      match String.split_on_char '=' arg with
+      | [ "remove"; ids ] ->
+        A_whatif
+          (List.map
+             (fun x ->
+               match int_of_string_opt (String.trim x) with
+               | Some c -> c
+               | None -> fail ())
+             (String.split_on_char ',' ids))
+      | _ -> fail ())
+    | _ -> fail ())
+
+let client_cmd =
+  let tcp =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:"Connect to 127.0.0.1:$(docv) instead of the Unix socket.")
+  in
+  let design =
+    Arg.(
+      value & opt (some file) None
+      & info [ "design" ] ~docv:"NETLIST"
+          ~doc:"Load this netlist into the session before running the actions.")
+  in
+  let k =
+    Arg.(
+      value & opt (some int) None
+      & info [ "k" ] ~docv:"K" ~doc:"Set cardinality bound for $(b,--design).")
+  in
+  let actions =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "Actions to run in order over one connection (one session): \
+             $(b,ping), $(b,info), $(b,stats), $(b,metrics), $(b,shutdown), \
+             $(b,analyze)[:add|:elim], $(b,eco)[:FIXK], \
+             $(b,whatif:remove=ID,ID...).")
+  in
+  let run obs socket tcp design k actions =
+    run_obs obs (fun () ->
+        let actions = List.map parse_action actions in
+        if actions = [] && design = None then
+          failwith "nothing to do: give at least one ACTION (or --design)";
+        let c =
+          match tcp with
+          | Some port -> Client.connect_tcp ~host:"127.0.0.1" ~port
+          | None -> Client.connect_unix socket
+        in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            let call meth params =
+              match Client.call c ~meth ~params () with
+              | Ok result -> result
+              | Error (code, msg) ->
+                failwith
+                  (Printf.sprintf "%s failed (%s): %s" meth
+                     (Tka_serve.Proto.code_to_string code)
+                     msg)
+            in
+            (match design with
+            | None -> ()
+            | Some path ->
+              let body =
+                In_channel.with_open_bin path In_channel.input_all
+              in
+              let params =
+                ("netlist", J.Str body)
+                :: (match k with Some k -> [ ("k", J.Int k) ] | None -> [])
+              in
+              print_endline (J.to_string_pretty (call "load" (J.Obj params))));
+            List.iter
+              (fun action ->
+                let meth, params =
+                  match action with
+                  | A_ping -> ("ping", J.Obj [])
+                  | A_info -> ("info", J.Obj [])
+                  | A_stats -> ("stats", J.Obj [])
+                  | A_metrics -> ("metrics", J.Obj [])
+                  | A_shutdown -> ("shutdown", J.Obj [])
+                  | A_analyze mode ->
+                    ( "analyze",
+                      J.Obj
+                        (match mode with
+                        | Some m -> [ ("mode", J.Str m) ]
+                        | None -> []) )
+                  | A_eco fix_k -> ("eco", J.Obj [ ("fix_k", J.Int fix_k) ])
+                  | A_whatif couplings ->
+                    ( "whatif",
+                      J.Obj
+                        [
+                          ( "edits",
+                            J.List
+                              (List.map
+                                 (fun cid ->
+                                   J.Obj
+                                     [
+                                       ("op", J.Str "remove_coupling");
+                                       ("coupling", J.Int cid);
+                                     ])
+                                 couplings) );
+                        ] )
+                in
+                let result = call meth params in
+                match (action, J.member "body" result) with
+                (* metrics: print the Prometheus exposition itself *)
+                | A_metrics, Some (J.Str body) -> print_string body
+                | _ -> print_endline (J.to_string_pretty result))
+              actions))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running $(b,tka serve) daemon: load a design and run \
+          analyze / what-if / ECO / metrics actions over one session.")
+    Term.(const run $ obs_term $ socket_arg $ tcp $ design $ k $ actions)
+
+(* ------------------------------------------------------------------ *)
 (* liberty                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1082,5 +1347,6 @@ let () =
           [
             gen_cmd; info_cmd; sta_cmd; noise_cmd; topk_cmd; glitch_cmd;
             falseagg_cmd; kvalue_cmd; sensitivity_cmd; compare_cmd; sdf_cmd;
-            eco_cmd; verify_cmd; profile_cmd; bench_diff_cmd; liberty_cmd;
+            eco_cmd; verify_cmd; profile_cmd; bench_diff_cmd; serve_cmd;
+            client_cmd; liberty_cmd;
           ]))

@@ -23,6 +23,13 @@ let create ?(capacity = Tka_topk.Ilist.default_capacity) ?(use_pseudo = true)
     a_cache = Cache.create ();
   }
 
+let with_shared_cache ?(capacity = Tka_topk.Ilist.default_capacity)
+    ?(use_pseudo = true) ?(use_higher_order = true) ~k ~cache () =
+  {
+    a_config = { Engine.k; capacity; use_pseudo; use_higher_order };
+    a_cache = cache;
+  }
+
 let config t = t.a_config
 let cache t = t.a_cache
 

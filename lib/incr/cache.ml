@@ -55,7 +55,9 @@ let store t ~mode ~net ~key cv =
 
 exception Removed
 
-let remap_couplings t phys_map =
+(* [Some e'] with every directed id renumbered, [None] when the entry
+   references a removed physical cap. *)
+let remap_entry phys_map e =
   let directed d =
     match phys_map (d / 2) with
     | Some c' -> (2 * c') + (d land 1)
@@ -74,14 +76,14 @@ let remap_couplings t phys_map =
         List.map (fun (a, s, st) -> (a, summary s, st)) c.Engine.cv_direct;
     }
   in
+  match { e with e_cv = cv e.e_cv } with
+  | e' -> Some e'
+  | exception Removed -> None
+
+let remap_couplings t phys_map =
   Mutex.lock t.mutex;
   let remapped =
-    Hashtbl.fold
-      (fun k e acc ->
-        match { e with e_cv = cv e.e_cv } with
-        | e' -> (k, Some e') :: acc
-        | exception Removed -> (k, None) :: acc)
-      t.tbl []
+    Hashtbl.fold (fun k e acc -> (k, remap_entry phys_map e) :: acc) t.tbl []
   in
   List.iter
     (fun (k, e) ->
@@ -90,6 +92,18 @@ let remap_couplings t phys_map =
       | None -> Hashtbl.remove t.tbl k)
     remapped;
   Mutex.unlock t.mutex
+
+let remapped_copy t phys_map =
+  let t' = create () in
+  Mutex.lock t.mutex;
+  Hashtbl.iter
+    (fun k e ->
+      match remap_entry phys_map e with
+      | Some e' -> Hashtbl.replace t'.tbl k e'
+      | None -> ())
+    t.tbl;
+  Mutex.unlock t.mutex;
+  t'
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint serialisation                                           *)

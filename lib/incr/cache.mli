@@ -73,6 +73,14 @@ val remap_couplings :
     map ([None] = removed); records referencing a removed cap are
     dropped. *)
 
+val remapped_copy :
+  t -> (Tka_circuit.Netlist.coupling_id -> Tka_circuit.Netlist.coupling_id option) -> t
+(** Like {!remap_couplings} but into a {e fresh} cache, leaving the
+    source untouched — the daemon's edit path: the shared cache of the
+    base design stays valid for co-tenants while the copy seeds the
+    edited design's cache. The copy's universe is unset; the caller (or
+    the first {!Analyzer.run} against the edited netlist) records it. *)
+
 val save : t -> string -> unit
 (** Write the checkpoint (atomically: temp file + rename). *)
 

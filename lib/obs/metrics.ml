@@ -244,3 +244,83 @@ let to_json ?(registry = default_registry) () =
     |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 let write_file ?registry path = Jsonx.write_file path (to_json ?registry ())
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prometheus_name s =
+  if s = "" then "_"
+  else begin
+    let ok_head c =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+    in
+    let ok c = ok_head c || (c >= '0' && c <= '9') in
+    let b = Buffer.create (String.length s + 1) in
+    if not (ok_head s.[0]) then Buffer.add_char b '_';
+    String.iter (fun c -> Buffer.add_char b (if ok c then c else '_')) s;
+    Buffer.contents b
+  end
+
+let prometheus_escape_label s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Sample values: integral floats print without a fraction part,
+   non-finite ones use the exposition spellings. *)
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let render_prometheus ?(registry = default_registry) () =
+  let b = Buffer.create 1024 in
+  let items =
+    Hashtbl.fold (fun _ m acc -> m :: acc) registry.items []
+    |> List.map (fun m ->
+           let name =
+             match m with
+             | M_counter c -> c.Counter0.c_name
+             | M_gauge g -> g.Gauge0.g_name
+             | M_histogram h -> h.Histogram0.h_name
+           in
+           (prometheus_name name, m))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | M_counter c ->
+        Printf.bprintf b "# TYPE %s counter\n%s %d\n" name name (Counter0.value c)
+      | M_gauge g ->
+        Printf.bprintf b "# TYPE %s gauge\n%s %s\n" name name
+          (prom_float (Gauge0.value g))
+      | M_histogram h ->
+        Printf.bprintf b "# TYPE %s histogram\n" name;
+        let counts = Histogram0.counts h in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cum := !cum + counts.(i);
+            Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" name
+              (prometheus_escape_label (prom_float bound))
+              !cum)
+          h.Histogram0.h_buckets;
+        Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" name (Histogram0.count h);
+        Printf.bprintf b "%s_sum %s\n" name (prom_float (Histogram0.sum h));
+        Printf.bprintf b "%s_count %d\n" name (Histogram0.count h))
+    items;
+  Buffer.contents b

@@ -103,3 +103,28 @@ val to_json : ?registry:registry -> unit -> Jsonx.t
 
 val write_file : ?registry:registry -> string -> unit
 (** Pretty-printed {!to_json} to [path]. *)
+
+(** {1 Prometheus text exposition}
+
+    The [tka serve] daemon's [metrics] RPC renders the registry in the
+    Prometheus text format (version 0.0.4): one [# TYPE] line per
+    metric, counters and gauges as single samples, histograms as
+    {e cumulative} [_bucket{le="..."}] samples plus [_sum]/[_count].
+    Metric names are sanitised with {!prometheus_name}; label values
+    are escaped with {!prometheus_escape_label}. *)
+
+val prometheus_name : string -> string
+(** Sanitise to the Prometheus metric-name alphabet
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]: every other character becomes ['_']
+    (so ["incr.cache_hits"] renders as [incr_cache_hits]), and a
+    leading digit is prefixed with ['_']. The empty string becomes
+    ["_"]. *)
+
+val prometheus_escape_label : string -> string
+(** Escape a label {e value} per the exposition format: backslash,
+    double quote and newline are backslash-escaped. *)
+
+val render_prometheus : ?registry:registry -> unit -> string
+(** The whole registry, metrics sorted by (sanitised) name. Empty
+    histograms still render (all-zero buckets); non-finite gauge values
+    render as [NaN]/[+Inf]/[-Inf] as the format specifies. *)

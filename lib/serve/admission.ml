@@ -1,0 +1,125 @@
+module Metrics = Tka_obs.Metrics
+
+let c_admitted = Metrics.Counter.make "serve.admitted"
+let c_overloaded = Metrics.Counter.make "serve.overloaded"
+let c_timeouts = Metrics.Counter.make "serve.timeouts"
+let g_inflight = Metrics.Gauge.make "serve.inflight"
+let g_queued = Metrics.Gauge.make "serve.queued"
+let h_wait = Metrics.Histogram.make "serve.queue_wait_s"
+
+type t = {
+  mutex : Mutex.t;
+  max_inflight : int;
+  max_queue : int;
+  deadline_s : float;
+  mutable n_inflight : int;
+  mutable n_queued : int;
+}
+
+let create ?max_inflight ?(max_queue = 32) ?(deadline_s = 30.) () =
+  let max_inflight =
+    match max_inflight with
+    | Some n -> max 1 n
+    | None -> Tka_parallel.Pool.default_jobs ()
+  in
+  {
+    mutex = Mutex.create ();
+    max_inflight;
+    max_queue = max 0 max_queue;
+    deadline_s;
+    n_inflight = 0;
+    n_queued = 0;
+  }
+
+type rejection =
+  | Rejected_overloaded of { queued : int; limit : int }
+  | Rejected_timeout of { waited_s : float }
+
+let rejection_code = function
+  | Rejected_overloaded { queued; limit } ->
+    ( Proto.Overloaded,
+      Printf.sprintf "admission queue full (%d waiting, limit %d)" queued limit )
+  | Rejected_timeout { waited_s } ->
+    ( Proto.Timeout,
+      Printf.sprintf "request queued past its deadline (waited %.3f s)" waited_s )
+
+let inflight t =
+  Mutex.lock t.mutex;
+  let n = t.n_inflight in
+  Mutex.unlock t.mutex;
+  n
+
+let queued t =
+  Mutex.lock t.mutex;
+  let n = t.n_queued in
+  Mutex.unlock t.mutex;
+  n
+
+let gauges t =
+  Metrics.Gauge.set g_inflight (float_of_int t.n_inflight);
+  Metrics.Gauge.set g_queued (float_of_int t.n_queued)
+
+(* Returns [Ok waited_s] once a slot is held. *)
+let acquire t ~deadline_s =
+  let now = Tka_obs.Clock.now_s in
+  let t0 = now () in
+  let deadline = t0 +. deadline_s in
+  Mutex.lock t.mutex;
+  if t.n_inflight < t.max_inflight then begin
+    t.n_inflight <- t.n_inflight + 1;
+    gauges t;
+    Mutex.unlock t.mutex;
+    Ok 0.
+  end
+  else if t.n_queued >= t.max_queue then begin
+    let r = Rejected_overloaded { queued = t.n_queued; limit = t.max_queue } in
+    Mutex.unlock t.mutex;
+    Error r
+  end
+  else begin
+    t.n_queued <- t.n_queued + 1;
+    gauges t;
+    Mutex.unlock t.mutex;
+    let rec wait () =
+      Thread.delay 0.001;
+      Mutex.lock t.mutex;
+      if t.n_inflight < t.max_inflight then begin
+        t.n_queued <- t.n_queued - 1;
+        t.n_inflight <- t.n_inflight + 1;
+        gauges t;
+        Mutex.unlock t.mutex;
+        Ok (now () -. t0)
+      end
+      else if now () > deadline then begin
+        t.n_queued <- t.n_queued - 1;
+        gauges t;
+        Mutex.unlock t.mutex;
+        Error (Rejected_timeout { waited_s = now () -. t0 })
+      end
+      else begin
+        Mutex.unlock t.mutex;
+        wait ()
+      end
+    in
+    wait ()
+  end
+
+let release t =
+  Mutex.lock t.mutex;
+  t.n_inflight <- t.n_inflight - 1;
+  gauges t;
+  Mutex.unlock t.mutex
+
+let run t ?deadline_s f =
+  let deadline_s = Option.value ~default:t.deadline_s deadline_s in
+  match acquire t ~deadline_s with
+  | Error (Rejected_overloaded _ as r) ->
+    Metrics.Counter.incr c_overloaded;
+    Error r
+  | Error (Rejected_timeout _ as r) ->
+    Metrics.Counter.incr c_timeouts;
+    Error r
+  | Ok waited_s ->
+    Metrics.Counter.incr c_admitted;
+    Metrics.Histogram.observe h_wait waited_s;
+    Fun.protect ~finally:(fun () -> release t) (fun () -> Ok (f ()))

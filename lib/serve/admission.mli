@@ -1,0 +1,42 @@
+(** Bounded admission control for the daemon's analysis requests.
+
+    At most [max_inflight] requests execute at once; at most
+    [max_queue] more wait for a slot. A request arriving beyond both
+    bounds is rejected immediately with {!Rejected_overloaded}, and a
+    queued request whose deadline passes before a slot frees is
+    rejected with {!Rejected_timeout} — the two structured error
+    replies that make overload loud instead of latent. Admitted
+    requests always run to completion: the deadline bounds {e queueing},
+    not execution, so an admitted analysis is never abandoned
+    half-written into the shared cache.
+
+    Waiters poll the slot state at millisecond granularity (OCaml's
+    [Condition] has no timed wait); at daemon request rates the poll
+    is noise, and it keeps the implementation free of wake-up
+    subtleties under the mixed thread/domain runtime.
+
+    Reported when {!Tka_obs.Metrics} is enabled: [serve.admitted],
+    [serve.overloaded], [serve.timeouts] (counters), [serve.inflight]
+    and [serve.queued] (gauges), and [serve.queue_wait_s]
+    (histogram). *)
+
+type t
+
+val create : ?max_inflight:int -> ?max_queue:int -> ?deadline_s:float -> unit -> t
+(** Defaults: [max_inflight] = the domain-pool jobs count (analysis
+    requests saturate the pool anyway; admitting more would only
+    queue them inside it), [max_queue] = 32, [deadline_s] = 30. *)
+
+type rejection =
+  | Rejected_overloaded of { queued : int; limit : int }
+  | Rejected_timeout of { waited_s : float }
+
+val rejection_code : rejection -> Proto.error_code * string
+(** The wire error for a rejection. *)
+
+val run : t -> ?deadline_s:float -> (unit -> 'a) -> ('a, rejection) result
+(** Admit (waiting if needed), execute, release — exception-safe.
+    [deadline_s] overrides the queue-wait deadline per request. *)
+
+val inflight : t -> int
+val queued : t -> int

@@ -1,0 +1,72 @@
+module J = Tka_obs.Jsonx
+
+exception Transport of string
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+}
+
+let of_fd fd =
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    next_id = 0;
+  }
+
+let connect_unix path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise (Transport (Printf.sprintf "connect %s: %s" path (Unix.error_message e))));
+  of_fd fd
+
+let connect_tcp ~host ~port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> raise (Transport (Printf.sprintf "unknown host %S" host))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise
+       (Transport
+          (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))));
+  of_fd fd
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let call_envelope t ~meth ~params =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let rq =
+    { Proto.rq_id = J.Int id; rq_method = meth; rq_params = params }
+  in
+  (try Framing.write t.oc (J.to_string (Proto.request_to_json rq))
+   with Sys_error m | Failure m -> raise (Transport m));
+  let payload =
+    match Framing.read t.ic with
+    | Ok p -> p
+    | Error e -> raise (Transport (Framing.error_to_string e))
+    | exception Sys_error m -> raise (Transport m)
+  in
+  let reply =
+    try J.of_string payload
+    with J.Parse_error m -> raise (Transport ("reply is not JSON: " ^ m))
+  in
+  (match J.member "id" reply with
+  | Some (J.Int i) when i = id -> ()
+  | Some J.Null | None ->
+    (* connection-level error reply (e.g. to a frame the server could
+       not attribute); surface it as-is *)
+    ()
+  | _ -> raise (Transport "reply id does not match the request"));
+  reply
+
+let call t ~meth ?(params = J.Obj []) () =
+  Proto.response_result (call_envelope t ~meth ~params)

@@ -1,0 +1,25 @@
+(** Blocking RPC client for a [tka serve] daemon.
+
+    One {!t} is one connection — one daemon session — and is meant to
+    be driven by one thread (the load generator opens a client per
+    worker). Request ids are assigned automatically and checked
+    against the reply; transport-level failures (socket errors, a
+    desynchronised stream) raise {!Transport}, while application
+    errors come back as the typed [Error] of {!call}. *)
+
+type t
+
+exception Transport of string
+
+val connect_unix : string -> t
+val connect_tcp : host:string -> port:int -> t
+val close : t -> unit
+
+val call_envelope : t -> meth:string -> params:Proto.J.t -> Proto.J.t
+(** Send one request, return the raw reply envelope.
+    @raise Transport on socket or framing failure, or an id mismatch. *)
+
+val call :
+  t -> meth:string -> ?params:Proto.J.t -> unit ->
+  (Proto.J.t, Proto.error_code * string) result
+(** {!call_envelope} split through {!Proto.response_result}. *)

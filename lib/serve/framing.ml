@@ -1,0 +1,48 @@
+type error =
+  | Eof
+  | Oversized of { declared : int; limit : int }
+  | Malformed of string
+
+let error_to_string = function
+  | Eof -> "end of stream"
+  | Oversized { declared; limit } ->
+    Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" declared limit
+  | Malformed m -> Printf.sprintf "malformed frame: %s" m
+
+let default_max_len = 64 * 1024 * 1024
+
+let write oc payload =
+  output_string oc (string_of_int (String.length payload));
+  output_char oc '\n';
+  output_string oc payload;
+  output_char oc '\n';
+  flush oc
+
+(* The prefix is read byte by byte (it is tiny) so a desynchronised
+   stream fails on the first non-digit instead of swallowing a line of
+   payload as a "length". *)
+let read ?(max_len = default_max_len) ic =
+  let rec prefix acc ndigits =
+    match input_char ic with
+    | exception End_of_file ->
+      if ndigits = 0 then Error Eof else Error (Malformed "eof inside length prefix")
+    | '\n' ->
+      if ndigits = 0 then Error (Malformed "empty length prefix") else Ok acc
+    | c when c >= '0' && c <= '9' ->
+      if ndigits >= 19 then Error (Malformed "length prefix too long")
+      else prefix ((acc * 10) + (Char.code c - Char.code '0')) (ndigits + 1)
+    | c -> Error (Malformed (Printf.sprintf "byte %C in length prefix" c))
+  in
+  match prefix 0 0 with
+  | Error _ as e -> e
+  | Ok len when len > max_len -> Error (Oversized { declared = len; limit = max_len })
+  | Ok len -> (
+    let buf = Bytes.create len in
+    match really_input ic buf 0 len with
+    | exception End_of_file -> Error (Malformed "truncated payload")
+    | () -> (
+      match input_char ic with
+      | exception End_of_file -> Error (Malformed "missing frame terminator")
+      | '\n' -> Ok (Bytes.unsafe_to_string buf)
+      | c ->
+        Error (Malformed (Printf.sprintf "byte %C where frame terminator expected" c))))

@@ -1,0 +1,35 @@
+(** Length-prefixed NDJSON framing for the [tka serve] wire protocol.
+
+    A frame is an ASCII decimal byte count, a newline, exactly that
+    many payload bytes, and a trailing newline:
+
+    {v 17\n{"method":"ping"}\n v}
+
+    The length prefix makes the payload 8-bit clean — embedded newlines
+    (e.g. a netlist body inside a [load] request) need no escaping —
+    while the trailing newline keeps a captured stream readable and
+    greppable line-by-line, NDJSON style. The reader validates
+    everything it consumes: a non-numeric prefix, a length above
+    [max_len], a short read, or a missing terminator yields a typed
+    {!error}, never an exception — a daemon must answer garbage with a
+    structured error reply, not a crash. *)
+
+type error =
+  | Eof  (** clean end of stream before any prefix byte *)
+  | Oversized of { declared : int; limit : int }
+  | Malformed of string
+      (** non-numeric prefix, truncated payload, or missing trailing
+          newline — the stream is desynchronised and should be closed *)
+
+val error_to_string : error -> string
+
+val default_max_len : int
+(** 64 MiB — far above any request the daemon serves, a backstop
+    against hostile or corrupt prefixes. *)
+
+val write : out_channel -> string -> unit
+(** Write one frame and flush. *)
+
+val read : ?max_len:int -> in_channel -> (string, error) result
+(** Read one frame. [Error Eof] only when the stream ends cleanly
+    {e between} frames; an end-of-file mid-frame is [Malformed]. *)

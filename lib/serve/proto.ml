@@ -1,0 +1,168 @@
+module J = Tka_obs.Jsonx
+
+type error_code =
+  | Bad_request
+  | Parse_failed
+  | No_design
+  | Overloaded
+  | Timeout
+  | Shutting_down
+  | Internal
+
+let code_to_string = function
+  | Bad_request -> "bad_request"
+  | Parse_failed -> "parse_failed"
+  | No_design -> "no_design"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let code_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "parse_failed" -> Some Parse_failed
+  | "no_design" -> Some No_design
+  | "overloaded" -> Some Overloaded
+  | "timeout" -> Some Timeout
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+type request = { rq_id : J.t; rq_method : string; rq_params : J.t }
+
+let request_to_json r =
+  J.Obj
+    ((match r.rq_id with J.Null -> [] | id -> [ ("id", id) ])
+    @ [ ("method", J.Str r.rq_method) ]
+    @ match r.rq_params with J.Obj [] -> [] | p -> [ ("params", p) ])
+
+let request_of_json j =
+  match j with
+  | J.Obj _ -> (
+    match J.member "method" j with
+    | Some (J.Str m) ->
+      Ok
+        {
+          rq_id = Option.value ~default:J.Null (J.member "id" j);
+          rq_method = m;
+          rq_params = Option.value ~default:(J.Obj []) (J.member "params" j);
+        }
+    | Some _ -> Error "\"method\" must be a string"
+    | None -> Error "missing \"method\"")
+  | _ -> Error "request must be a JSON object"
+
+let ok_response ~id result =
+  J.Obj [ ("id", id); ("ok", J.Bool true); ("result", result) ]
+
+let error_response ~id code message =
+  J.Obj
+    [
+      ("id", id);
+      ("ok", J.Bool false);
+      ( "error",
+        J.Obj
+          [ ("code", J.Str (code_to_string code)); ("message", J.Str message) ]
+      );
+    ]
+
+let response_result j =
+  match J.member "ok" j with
+  | Some (J.Bool true) -> (
+    match J.member "result" j with
+    | Some r -> Ok r
+    | None -> Error (Internal, "reply without a result"))
+  | Some (J.Bool false) -> (
+    let err = Option.value ~default:J.Null (J.member "error" j) in
+    let msg =
+      match J.member "message" err with Some (J.Str m) -> m | _ -> "unknown error"
+    in
+    match J.member "code" err with
+    | Some (J.Str c) -> (
+      match code_of_string c with
+      | Some code -> Error (code, msg)
+      | None -> Error (Internal, Printf.sprintf "unknown error code %S: %s" c msg))
+    | _ -> Error (Internal, msg))
+  | _ -> Error (Internal, "reply is not a response envelope")
+
+(* ------------------------------------------------------------------ *)
+(* Parameter accessors                                                *)
+(* ------------------------------------------------------------------ *)
+
+let param_string p name =
+  match J.member name p with
+  | Some (J.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "%S must be a string" name)
+  | None -> Error (Printf.sprintf "missing %S" name)
+
+let param_string_opt p name =
+  match J.member name p with
+  | Some (J.Str s) -> Ok (Some s)
+  | Some J.Null | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "%S must be a string" name)
+
+let param_int_default p name default =
+  match J.member name p with
+  | Some (J.Int i) -> Ok i
+  | Some J.Null | None -> Ok default
+  | Some _ -> Error (Printf.sprintf "%S must be an integer" name)
+
+let param_float_opt p name =
+  match J.member name p with
+  | Some (J.Float f) -> Ok (Some f)
+  | Some (J.Int i) -> Ok (Some (float_of_int i))
+  | Some J.Null | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "%S must be a number" name)
+
+let param_bool_default p name default =
+  match J.member name p with
+  | Some (J.Bool b) -> Ok b
+  | Some J.Null | None -> Ok default
+  | Some _ -> Error (Printf.sprintf "%S must be a boolean" name)
+
+let mode_of_params p =
+  match J.member "mode" p with
+  | Some (J.Str "add") -> Ok Tka_topk.Engine.Addition
+  | Some (J.Str "elim") -> Ok Tka_topk.Engine.Elimination
+  | None | Some J.Null -> Ok Tka_topk.Engine.Elimination
+  | Some _ -> Error "\"mode\" must be \"add\" or \"elim\""
+
+let edits_of_params ~lookup p =
+  let ( let* ) = Result.bind in
+  let edit j =
+    let* op = param_string j "op" in
+    match op with
+    | "remove_coupling" -> (
+      match J.member "coupling" j with
+      | Some (J.Int c) -> Ok (Tka_incr.Edit.Remove_coupling c)
+      | _ -> Error "remove_coupling needs an integer \"coupling\"")
+    | "scale_coupling" -> (
+      match (J.member "coupling" j, J.member "factor" j) with
+      | Some (J.Int c), Some (J.Float f) when f >= 0. && f <= 1. ->
+        Ok (Tka_incr.Edit.Scale_coupling { coupling = c; factor = f })
+      | Some (J.Int c), Some (J.Int 0) ->
+        Ok (Tka_incr.Edit.Scale_coupling { coupling = c; factor = 0. })
+      | Some (J.Int c), Some (J.Int 1) ->
+        Ok (Tka_incr.Edit.Scale_coupling { coupling = c; factor = 1. })
+      | _ ->
+        Error "scale_coupling needs an integer \"coupling\" and a \"factor\" in [0,1]"
+      )
+    | "resize_driver" -> (
+      match (J.member "gate" j, J.member "cell" j) with
+      | Some (J.Int g), Some (J.Str cell_name) -> (
+        match lookup cell_name with
+        | Some cell -> Ok (Tka_incr.Edit.Resize_driver { gate = g; cell })
+        | None -> Error (Printf.sprintf "unknown cell %S" cell_name))
+      | _ -> Error "resize_driver needs an integer \"gate\" and a string \"cell\"")
+    | op -> Error (Printf.sprintf "unknown edit op %S" op)
+  in
+  match J.member "edits" p with
+  | Some (J.List l) ->
+    List.fold_left
+      (fun acc j ->
+        let* acc = acc in
+        let* e = edit j in
+        Ok (e :: acc))
+      (Ok []) l
+    |> Result.map List.rev
+  | Some _ -> Error "\"edits\" must be a list"
+  | None -> Error "missing \"edits\""

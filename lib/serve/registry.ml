@@ -1,0 +1,132 @@
+module Cache = Tka_incr.Cache
+module Fnv = Tka_incr.Fnv
+module Metrics = Tka_obs.Metrics
+module J = Tka_obs.Jsonx
+
+let g_designs = Metrics.Gauge.make "serve.designs"
+let c_attaches = Metrics.Counter.make "serve.cache_attaches"
+let c_seeded = Metrics.Counter.make "serve.cache_seeded"
+
+type entry = { e_cache : Cache.t; mutable e_stamp : int }
+
+type t = {
+  mutex : Mutex.t;
+  tbl : (Fnv.t, entry) Hashtbl.t;
+  max_designs : int;
+  mutable clock : int;  (* attach order, for LRU eviction *)
+  mutable attaches : int;
+  mutable seeded : int;
+  mutable evicted : int;
+}
+
+let create ?(max_designs = 64) () =
+  {
+    mutex = Mutex.create ();
+    tbl = Hashtbl.create 16;
+    max_designs = max 1 max_designs;
+    clock = 0;
+    attaches = 0;
+    seeded = 0;
+    evicted = 0;
+  }
+
+let fingerprint nl = Fnv.string Fnv.basis (Tka_circuit.Netlist_format.print nl)
+
+let evict_locked t =
+  while Hashtbl.length t.tbl > t.max_designs do
+    let victim =
+      Hashtbl.fold
+        (fun fp e acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.e_stamp -> acc
+          | _ -> Some (fp, e.e_stamp))
+        t.tbl None
+    in
+    match victim with
+    | Some (fp, _) ->
+      Hashtbl.remove t.tbl fp;
+      t.evicted <- t.evicted + 1
+    | None -> ()
+  done
+
+let attach_seeded t ~fp ~seed =
+  Mutex.lock t.mutex;
+  let cache =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        t.attaches <- t.attaches + 1;
+        t.clock <- t.clock + 1;
+        match Hashtbl.find_opt t.tbl fp with
+        | Some e ->
+          e.e_stamp <- t.clock;
+          e.e_cache
+        | None ->
+          let cache = seed () in
+          t.seeded <- t.seeded + 1;
+          Hashtbl.replace t.tbl fp { e_cache = cache; e_stamp = t.clock };
+          evict_locked t;
+          Metrics.Counter.incr c_seeded;
+          cache)
+  in
+  Metrics.Counter.incr c_attaches;
+  Metrics.Gauge.set g_designs (float_of_int (Hashtbl.length t.tbl));
+  cache
+
+let attach t ~fp =
+  (* an empty first attach is not a "seed" in the stats' sense *)
+  Mutex.lock t.mutex;
+  let cache =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        t.attaches <- t.attaches + 1;
+        t.clock <- t.clock + 1;
+        match Hashtbl.find_opt t.tbl fp with
+        | Some e ->
+          e.e_stamp <- t.clock;
+          e.e_cache
+        | None ->
+          let cache = Cache.create () in
+          Hashtbl.replace t.tbl fp { e_cache = cache; e_stamp = t.clock };
+          evict_locked t;
+          cache)
+  in
+  Metrics.Counter.incr c_attaches;
+  Metrics.Gauge.set g_designs (float_of_int (Hashtbl.length t.tbl));
+  cache
+
+type stats = {
+  rg_designs : int;
+  rg_entries : int;
+  rg_attaches : int;
+  rg_seeded : int;
+  rg_evicted : int;
+}
+
+let stats t =
+  Mutex.lock t.mutex;
+  let caches = Hashtbl.fold (fun _ e acc -> e.e_cache :: acc) t.tbl [] in
+  let s =
+    {
+      rg_designs = Hashtbl.length t.tbl;
+      rg_entries = 0;
+      rg_attaches = t.attaches;
+      rg_seeded = t.seeded;
+      rg_evicted = t.evicted;
+    }
+  in
+  Mutex.unlock t.mutex;
+  (* Cache.size takes each cache's own lock; do it outside ours *)
+  { s with rg_entries = List.fold_left (fun n c -> n + Cache.size c) 0 caches }
+
+let stats_json t =
+  let s = stats t in
+  J.Obj
+    [
+      ("designs", J.Int s.rg_designs);
+      ("entries", J.Int s.rg_entries);
+      ("attaches", J.Int s.rg_attaches);
+      ("seeded", J.Int s.rg_seeded);
+      ("evicted", J.Int s.rg_evicted);
+    ]

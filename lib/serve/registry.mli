@@ -1,0 +1,52 @@
+(** Cross-session victim-cache registry: one {!Tka_incr.Cache} per
+    design fingerprint, shared by every session analyzing that design.
+
+    The fingerprint is an FNV-64 hash of the design's {e canonical
+    netlist rendering} ({!Tka_circuit.Netlist_format.print}), so two
+    tenants loading byte-equivalent designs — the ECO/what-if access
+    pattern the daemon exists for — attach to the same cache and the
+    second one hits warm on its first victim. Distinct designs whose
+    coupling tables happen to collide are still safe: every cache
+    entry is fingerprint-key-guarded, and the analyzer's
+    coupling-universe guard flushes a genuinely mismatched cache
+    rather than consult it.
+
+    The daemon's edit path ([whatif]/[eco]) calls {!attach_seeded}
+    with a {!Tka_incr.Cache.remapped_copy} of the base design's cache:
+    the edited design's cache is born warm for every victim outside
+    the edit's dirty closure, while the base cache stays untouched for
+    co-tenants. The seed thunk runs only on first attach (under the
+    registry lock, so two racing sessions cannot double-seed).
+
+    Reported when {!Tka_obs.Metrics} is enabled: [serve.designs]
+    (gauge), [serve.cache_attaches] and [serve.cache_seeded]. *)
+
+type t
+
+val create : ?max_designs:int -> unit -> t
+(** [max_designs] (default 64) bounds the registry: attaching a new
+    fingerprint beyond the bound evicts the least-recently-attached
+    design's cache — the daemon is long-lived and tenants come and
+    go. *)
+
+val fingerprint : Tka_circuit.Netlist.t -> Tka_incr.Fnv.t
+(** The canonical-rendering hash used as the registry key. *)
+
+val attach : t -> fp:Tka_incr.Fnv.t -> Tka_incr.Cache.t
+(** The design's shared cache, created empty on first attach. *)
+
+val attach_seeded :
+  t -> fp:Tka_incr.Fnv.t -> seed:(unit -> Tka_incr.Cache.t) -> Tka_incr.Cache.t
+(** Like {!attach}, but a first attach installs [seed ()] instead of an
+    empty cache. *)
+
+type stats = {
+  rg_designs : int;  (** fingerprints currently cached *)
+  rg_entries : int;  (** victim records across all caches *)
+  rg_attaches : int;  (** lifetime attach calls *)
+  rg_seeded : int;  (** caches born from a remapped seed *)
+  rg_evicted : int;  (** caches dropped by the [max_designs] bound *)
+}
+
+val stats : t -> stats
+val stats_json : t -> Tka_obs.Jsonx.t

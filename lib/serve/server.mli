@@ -1,0 +1,64 @@
+(** The [tka serve] daemon core: listeners, connection threads,
+    dispatch, graceful stop.
+
+    One {!t} multiplexes any number of client connections onto the
+    process-wide {!Tka_parallel.Pool}. Each accepted connection gets a
+    dedicated systhread driving a {!Session}; analysis methods
+    ([analyze], [whatif], [eco], and [ping] with a [delay_s] — the
+    load-testing probe) pass through {!Admission} first, so overload
+    surfaces as structured [overloaded]/[timeout] replies instead of
+    an unbounded queue. Cheap methods ([load], [info], [ping],
+    [metrics], [stats], [shutdown], [batch] envelopes) bypass
+    admission.
+
+    The accept loop polls a stop flag every 50 ms, so {!stop} — which
+    is async-signal-safe and is what the CLI's SIGTERM/SIGINT handler
+    calls — returns the loop within that bound; {!serve} then closes
+    its listeners (unlinking a Unix socket path) and returns normally,
+    letting the CLI run its observability dumps and exit 0.
+
+    Wire-level garbage is answered, not crashed on: an unparseable
+    frame gets a [bad_request] reply and the connection is closed (the
+    stream is desynchronised); an unparseable JSON payload or invalid
+    envelope gets a [bad_request] reply and the connection continues
+    (framing kept the payload boundary intact). *)
+
+type t
+
+val create :
+  ?max_inflight:int ->
+  ?max_queue:int ->
+  ?deadline_s:float ->
+  ?max_designs:int ->
+  ?default_k:int ->
+  lookup:(string -> Tka_cell.Cell.t option) ->
+  unit ->
+  t
+(** Admission bounds as in {!Admission.create}; [max_designs] as in
+    {!Registry.create}; [default_k] (default 10) is the [k] a [load]
+    without one gets. *)
+
+val registry : t -> Registry.t
+
+val listen_unix : string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket path (an existing socket
+    file is unlinked first, the parent directory is created). *)
+
+val listen_tcp : port:int -> Unix.file_descr
+(** Bind and listen on 127.0.0.1:[port]. *)
+
+val serve : t -> listeners:Unix.file_descr list -> unit
+(** Accept until {!stop}; closes the listeners before returning.
+    Connection threads may still be draining when it returns — replies
+    already admitted complete, idle connections die with the process. *)
+
+val stop : t -> unit
+(** Request shutdown. Safe from a signal handler and from RPC
+    dispatch ([shutdown] calls it after replying). *)
+
+val stopping : t -> bool
+
+val handle_one : t -> Session.t -> string -> string
+(** Dispatch one raw request payload for an established session and
+    return the raw reply payload — the full RPC surface minus the
+    socket, exercised directly by the in-process tests. *)

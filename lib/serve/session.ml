@@ -1,0 +1,283 @@
+module J = Tka_obs.Jsonx
+module Clock = Tka_obs.Clock
+module N = Tka_circuit.Netlist
+module Nf = Tka_circuit.Netlist_format
+module Topo = Tka_circuit.Topo
+module Analyzer = Tka_incr.Analyzer
+module Cache = Tka_incr.Cache
+module Dirty = Tka_incr.Dirty
+module Edit = Tka_incr.Edit
+module Engine = Tka_topk.Engine
+module Elimination = Tka_topk.Elimination
+module CS = Tka_topk.Coupling_set
+
+let ( let* ) = Result.bind
+
+type design = {
+  d_name : string;
+  d_nl : N.t;
+  d_topo : Topo.t;
+  d_fp : Tka_incr.Fnv.t;
+  d_analyzer : Analyzer.t;
+  d_k : int;
+}
+
+type t = {
+  registry : Registry.t;
+  lookup : string -> Tka_cell.Cell.t option;
+  default_k : int;
+  mutable design : design option;
+}
+
+let create ~registry ~lookup ~default_k = { registry; lookup; default_k; design = None }
+let loaded t = Option.is_some t.design
+
+let require t =
+  match t.design with
+  | Some d -> Ok d
+  | None -> Error (Proto.No_design, "no design loaded in this session")
+
+let bad r = Result.map_error (fun m -> (Proto.Bad_request, m)) r
+let hex_fp fp = Printf.sprintf "%016Lx" fp
+
+let design_info d =
+  [
+    ("design", J.Str d.d_name);
+    ("nets", J.Int (N.num_nets d.d_nl));
+    ("gates", J.Int (N.num_gates d.d_nl));
+    ("couplings", J.Int (N.num_couplings d.d_nl));
+    ("k", J.Int d.d_k);
+    ("fingerprint", J.Str (hex_fp d.d_fp));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* load / info                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let load t params =
+  let* body = bad (Proto.param_string params "netlist") in
+  let* k = bad (Proto.param_int_default params "k" t.default_k) in
+  if k < 1 then Error (Proto.Bad_request, "\"k\" must be >= 1")
+  else
+    match Nf.parse ~lookup:t.lookup body with
+    | exception Nf.Parse_error { line; message } ->
+      Error
+        ( Proto.Parse_failed,
+          Printf.sprintf "netlist parse error at line %d: %s" line message )
+    | nl ->
+      let* name_opt = bad (Proto.param_string_opt params "name") in
+      let name = Option.value ~default:(N.name nl) name_opt in
+      let fp = Registry.fingerprint nl in
+      let cache = Registry.attach t.registry ~fp in
+      let d =
+        {
+          d_name = name;
+          d_nl = nl;
+          d_topo = Topo.create nl;
+          d_fp = fp;
+          d_analyzer = Analyzer.with_shared_cache ~k ~cache ();
+          d_k = k;
+        }
+      in
+      t.design <- Some d;
+      Ok (J.Obj (design_info d))
+
+let info t =
+  let* d = require t in
+  Ok (J.Obj (design_info d))
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let per_k_json res =
+  let entries = ref [] in
+  for i = res.Engine.res_config.Engine.k downto 1 do
+    match res.Engine.res_per_k.(i) with
+    | None -> ()
+    | Some ch ->
+      entries :=
+        J.Obj
+          [
+            ("k", J.Int i);
+            ("objective_ns", J.Float ch.Engine.ch_objective);
+            ("estimated_delay_ns", J.Float (Engine.estimated_delay res i));
+            ("sink", J.Int ch.Engine.ch_sink);
+            ( "set",
+              J.List (List.map (fun c -> J.Int c) (CS.to_list ch.Engine.ch_set))
+            );
+          ]
+        :: !entries
+  done;
+  J.List !entries
+
+(* [elapsed_s] is the only wall-clock-dependent field in an analysis
+   result; clients comparing runs for bit-identity strip it (and the
+   cache counters, which depend on who warmed the shared cache first). *)
+let analysis_fields d ~mode elim (st : Analyzer.run_stats) elapsed =
+  let res =
+    match mode with
+    | Engine.Elimination -> elim.Elimination.result
+    | Engine.Addition -> elim.Elimination.dual
+  in
+  [
+    ("design", J.Str d.d_name);
+    ("mode", J.Str (match mode with Engine.Elimination -> "elim" | _ -> "add"));
+    ("k", J.Int d.d_k);
+    ("noiseless_delay_ns", J.Float res.Engine.res_noiseless_delay);
+    ("all_aggressor_delay_ns", J.Float res.Engine.res_noisy_delay);
+    ("per_k", per_k_json res);
+    ("cache_hits", J.Int st.Analyzer.rs_hits);
+    ("cache_misses", J.Int st.Analyzer.rs_misses);
+    ("elapsed_s", J.Float elapsed);
+  ]
+
+let analyze t params =
+  let* d = require t in
+  let* mode = bad (Proto.mode_of_params params) in
+  let t0 = Clock.now_s () in
+  let elim, st = Analyzer.run d.d_analyzer d.d_topo in
+  Ok (J.Obj (analysis_fields d ~mode elim st (Clock.now_s () -. t0)))
+
+(* ------------------------------------------------------------------ *)
+(* whatif / eco                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let validate_edits d edits =
+  let nc = N.num_couplings d.d_nl and ng = N.num_gates d.d_nl in
+  List.fold_left
+    (fun acc e ->
+      let* () = acc in
+      match e with
+      | Edit.Remove_coupling c | Edit.Scale_coupling { coupling = c; _ } ->
+        if c < 0 || c >= nc then
+          Error
+            ( Proto.Bad_request,
+              Printf.sprintf "coupling %d out of range (design has %d)" c nc )
+        else Ok ()
+      | Edit.Resize_driver { gate = g; _ } ->
+        if g < 0 || g >= ng then
+          Error
+            ( Proto.Bad_request,
+              Printf.sprintf "gate %d out of range (design has %d)" g ng )
+        else Ok ())
+    (Ok ()) edits
+
+(* Build the edited design as a *new* registry tenant: the base cache
+   must stay valid for co-tenants, so instead of [Analyzer.apply]'s
+   in-place remap the edited fingerprint's cache is seeded (first
+   arrival only) with a remapped copy of the base cache. *)
+let edited_design t d edits =
+  let nl', phys_map = Edit.apply d.d_nl edits in
+  let dirty = Dirty.count (Dirty.closure d.d_topo (Edit.touched_nets d.d_nl edits)) in
+  let fp' = Registry.fingerprint nl' in
+  let cache' =
+    Registry.attach_seeded t.registry ~fp:fp' ~seed:(fun () ->
+        Cache.remapped_copy (Analyzer.cache d.d_analyzer) phys_map)
+  in
+  let d' =
+    {
+      d with
+      d_nl = nl';
+      d_topo = Topo.create nl';
+      d_fp = fp';
+      d_analyzer = Analyzer.with_shared_cache ~k:d.d_k ~cache:cache' ();
+    }
+  in
+  (d', dirty)
+
+let whatif t params =
+  let* d = require t in
+  let* edits = bad (Proto.edits_of_params ~lookup:t.lookup params) in
+  let* () = validate_edits d edits in
+  let* mode = bad (Proto.mode_of_params params) in
+  let t0 = Clock.now_s () in
+  let d', dirty = edited_design t d edits in
+  let elim, st = Analyzer.run d'.d_analyzer d'.d_topo in
+  Ok
+    (J.Obj
+       (("edits", J.Int (List.length edits))
+       :: ("dirty_nets", J.Int dirty)
+       :: ("fingerprint", J.Str (hex_fp d'.d_fp))
+       :: analysis_fields { d' with d_name = d.d_name } ~mode elim st
+            (Clock.now_s () -. t0)))
+
+let eco t params =
+  let* d = require t in
+  let* fix_k = bad (Proto.param_int_default params "fix_k" 1) in
+  if fix_k < 1 || fix_k > d.d_k then
+    Error
+      ( Proto.Bad_request,
+        Printf.sprintf "\"fix_k\" must be in [1, %d] (the session's k)" d.d_k )
+  else
+    let t0 = Clock.now_s () in
+    let elim, st = Analyzer.run d.d_analyzer d.d_topo in
+    let set =
+      match Elimination.set elim fix_k with
+      | Some s -> Some s
+      | None -> Elimination.dual_set elim fix_k
+    in
+    let delay_noisy = elim.Elimination.result.Engine.res_noisy_delay in
+    let base =
+      [
+        ("design", J.Str d.d_name);
+        ("fix_k", J.Int fix_k);
+        ("delay_noisy_ns", J.Float delay_noisy);
+        ("analysis_hits", J.Int st.Analyzer.rs_hits);
+        ("analysis_misses", J.Int st.Analyzer.rs_misses);
+      ]
+    in
+    match set with
+    | None ->
+      (* nothing to fix: no edit, the session's design is unchanged *)
+      Ok
+        (J.Obj
+           (base
+           @ [
+               ("set", J.List []);
+               ("edits", J.Int 0);
+               ("dirty_nets", J.Int 0);
+               ("delay_fixed_ns", J.Float delay_noisy);
+               ("cache_hits", J.Int 0);
+               ("cache_misses", J.Int 0);
+               ("fingerprint", J.Str (hex_fp d.d_fp));
+               ("elapsed_s", J.Float (Clock.now_s () -. t0));
+             ]))
+    | Some set ->
+      let edits =
+        CS.to_list set
+        |> List.map (fun dc -> dc / 2)
+        |> List.sort_uniq Int.compare
+        |> List.map (fun c -> Edit.Remove_coupling c)
+      in
+      let d', dirty = edited_design t d edits in
+      let elim', st' = Analyzer.run d'.d_analyzer d'.d_topo in
+      t.design <- Some d';
+      Ok
+        (J.Obj
+           (base
+           @ [
+               ("set", J.List (List.map (fun c -> J.Int c) (CS.to_list set)));
+               ("edits", J.Int (List.length edits));
+               ("dirty_nets", J.Int dirty);
+               ( "delay_fixed_ns",
+                 J.Float elim'.Elimination.result.Engine.res_noisy_delay );
+               ("cache_hits", J.Int st'.Analyzer.rs_hits);
+               ("cache_misses", J.Int st'.Analyzer.rs_misses);
+               ("couplings", J.Int (N.num_couplings d'.d_nl));
+               ("fingerprint", J.Str (hex_fp d'.d_fp));
+               ("elapsed_s", J.Float (Clock.now_s () -. t0));
+             ]))
+
+(* ------------------------------------------------------------------ *)
+(* dispatch                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let handle t ~meth ~params =
+  match meth with
+  | "load" -> load t params
+  | "info" -> info t
+  | "analyze" -> analyze t params
+  | "whatif" -> whatif t params
+  | "eco" -> eco t params
+  | m -> Error (Proto.Bad_request, Printf.sprintf "unknown method %S" m)

@@ -1,0 +1,42 @@
+(** One tenant's conversation with the daemon: a loaded design and the
+    session-scoped RPC methods over it.
+
+    A session owns no victim cache — it attaches to the {!Registry}
+    cache for its design's fingerprint through
+    {!Tka_incr.Analyzer.with_shared_cache}, so every result it
+    enumerates is immediately reusable by co-tenants (and vice versa).
+    All results are {e bit-identical} to the equivalent one-shot CLI
+    run at any jobs count: the session only composes the analyzer and
+    the engine, both of which carry that contract.
+
+    Methods (see [docs/serving.md] for the wire reference):
+
+    - [load]: parse a netlist body, attach the shared cache;
+    - [info]: size statistics of the loaded design;
+    - [analyze]: run both dual enumerations through the cache and
+      report the requested mode's per-cardinality sets and delays;
+    - [whatif]: apply an edit script to a {e copy}, analyze it against
+      a cache seeded from the base design's
+      ({!Tka_incr.Cache.remapped_copy}), leave the session unchanged;
+    - [eco]: pick the top elimination set, commit its removal edits,
+      re-analyze incrementally — the session's design advances.
+
+    Concurrency: one session is driven by one connection thread, but
+    many sessions run concurrently; everything shared (registry,
+    caches, metrics, the domain pool) is lock- or atomic-guarded. *)
+
+type t
+
+val create :
+  registry:Registry.t ->
+  lookup:(string -> Tka_cell.Cell.t option) ->
+  default_k:int ->
+  t
+
+val loaded : t -> bool
+
+val handle :
+  t -> meth:string -> params:Proto.J.t -> (Proto.J.t, Proto.error_code * string) result
+(** Dispatch a session method. [Error (Bad_request, _)] on an unknown
+    method — the server owns the connection-level methods ([ping],
+    [metrics], [stats], [batch], [shutdown]). *)

@@ -419,6 +419,79 @@ let test_histogram_percentiles () =
   | Some hist -> checkb "empty percentiles are null" true (J.member "p50" hist = Some J.Null)
   | None -> Alcotest.fail "empty histogram missing from export"
 
+let test_prometheus_names () =
+  checks "dots become underscores" "incr_cache_hits"
+    (Metrics.prometheus_name "incr.cache_hits");
+  checks "valid names pass through" "serve_requests:rate"
+    (Metrics.prometheus_name "serve_requests:rate");
+  checks "leading digit gets a prefix" "_9lives" (Metrics.prometheus_name "9lives");
+  checks "arbitrary punctuation collapses" "a_b_c"
+    (Metrics.prometheus_name "a-b c");
+  checks "empty name survives" "_" (Metrics.prometheus_name "");
+  checks "backslash escaped" {|a\\b|} (Metrics.prometheus_escape_label {|a\b|});
+  checks "quote escaped" {|say \"hi\"|}
+    (Metrics.prometheus_escape_label {|say "hi"|});
+  checks "newline escaped" {|one\ntwo|} (Metrics.prometheus_escape_label "one\ntwo");
+  checks "all three at once" {|\\\"\n|}
+    (Metrics.prometheus_escape_label "\\\"\n")
+
+let test_prometheus_render () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.Counter.make ~registry:r "serve.requests" in
+  let g = Metrics.Gauge.make ~registry:r "pool.load" in
+  let h = Metrics.Histogram.make ~registry:r ~buckets:[| 0.1; 1.0 |] "rpc.lat_s" in
+  Metrics.with_enabled true (fun () ->
+      Metrics.Counter.add c 3;
+      Metrics.Gauge.set g (-2.5);
+      List.iter (Metrics.Histogram.observe h) [ 0.05; 0.5; 5.0 ]);
+  let expected =
+    String.concat "\n"
+      [
+        (* sorted by sanitised name: pool_load < rpc_lat_s < serve_requests *)
+        "# TYPE pool_load gauge";
+        "pool_load -2.5";
+        "# TYPE rpc_lat_s histogram";
+        (* bucket counts are cumulative; +Inf equals the total count *)
+        "rpc_lat_s_bucket{le=\"0.1\"} 1";
+        "rpc_lat_s_bucket{le=\"1\"} 2";
+        "rpc_lat_s_bucket{le=\"+Inf\"} 3";
+        "rpc_lat_s_sum 5.55";
+        "rpc_lat_s_count 3";
+        "# TYPE serve_requests counter";
+        "serve_requests 3";
+        "";
+      ]
+  in
+  checks "full exposition text" expected (Metrics.render_prometheus ~registry:r ())
+
+let test_prometheus_values () =
+  let r = Metrics.create_registry () in
+  let g = Metrics.Gauge.make ~registry:r "g" in
+  let render () = Metrics.render_prometheus ~registry:r () in
+  let set v = Metrics.with_enabled true (fun () -> Metrics.Gauge.set g v) in
+  set 42.0;
+  checks "integral floats have no fraction" "# TYPE g gauge\ng 42\n" (render ());
+  set Float.infinity;
+  checks "+inf spelled per the format" "# TYPE g gauge\ng +Inf\n" (render ());
+  set Float.neg_infinity;
+  checks "-inf spelled per the format" "# TYPE g gauge\ng -Inf\n" (render ());
+  set Float.nan;
+  checks "nan spelled per the format" "# TYPE g gauge\ng NaN\n" (render ());
+  (* an awkward double must render with enough digits to read back *)
+  set 0.1;
+  (match String.index_opt (render ()) '\n' with
+  | Some _ ->
+    let line = List.nth (String.split_on_char '\n' (render ())) 1 in
+    let v = Scanf.sscanf line "g %f" Fun.id in
+    checkb "value round-trips through the text form" true (v = 0.1)
+  | None -> Alcotest.fail "no rendered line");
+  (* an empty histogram still renders, with all-zero buckets *)
+  let r2 = Metrics.create_registry () in
+  let _h = Metrics.Histogram.make ~registry:r2 ~buckets:[| 1.0 |] "h" in
+  checks "empty histogram renders zeros"
+    "# TYPE h histogram\nh_bucket{le=\"1\"} 0\nh_bucket{le=\"+Inf\"} 0\nh_sum 0\nh_count 0\n"
+    (Metrics.render_prometheus ~registry:r2 ())
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -610,6 +683,9 @@ let () =
           Alcotest.test_case "json export" `Quick test_metrics_json;
           Alcotest.test_case "no-op mode allocates nothing" `Quick
             test_metrics_noop_no_alloc;
+          Alcotest.test_case "prometheus names" `Quick test_prometheus_names;
+          Alcotest.test_case "prometheus render" `Quick test_prometheus_render;
+          Alcotest.test_case "prometheus values" `Quick test_prometheus_values;
           Alcotest.test_case "histogram percentiles" `Quick
             test_histogram_percentiles;
         ] );

@@ -1,0 +1,668 @@
+(* Tests for the tka serve daemon layer (Tka_serve): the framing must
+   round-trip arbitrary bytes, wire garbage must come back as
+   structured errors rather than crashes, concurrent sessions must
+   produce results bit-identical to a one-shot run at any jobs count,
+   admission control must reject (not queue unboundedly) under
+   pressure, and a second tenant on the same design must hit the
+   shared victim cache warm. *)
+
+module N = Tka_circuit.Netlist
+module Nf = Tka_circuit.Netlist_format
+module Topo = Tka_circuit.Topo
+module B = Tka_layout.Benchmarks
+module Pool = Tka_parallel.Pool
+module J = Tka_obs.Jsonx
+module Metrics = Tka_obs.Metrics
+module Analyzer = Tka_incr.Analyzer
+module Framing = Tka_serve.Framing
+module Proto = Tka_serve.Proto
+module Registry = Tka_serve.Registry
+module Admission = Tka_serve.Admission
+module Session = Tka_serve.Session
+module Server = Tka_serve.Server
+module Client = Tka_serve.Client
+
+let lookup = Tka_cell.Default_lib.find
+let tiny_body = Nf.print (B.tiny ())
+
+let at_jobs jobs f =
+  let before = Pool.default_jobs () in
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs before) f
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed raw bytes to the frame reader via a temp file. *)
+let with_reader content f =
+  let path = Filename.temp_file "tka_serve_frame" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> output_string oc content);
+      In_channel.with_open_bin path f)
+
+let frame_of s = Printf.sprintf "%d\n%s\n" (String.length s) s
+
+let test_framing_roundtrip () =
+  List.iter
+    (fun payload ->
+      with_reader (frame_of payload) (fun ic ->
+          match Framing.read ic with
+          | Ok got ->
+            Alcotest.(check string) "payload survives framing" payload got
+          | Error e -> Alcotest.failf "framing error: %s" (Framing.error_to_string e)))
+    [
+      "";
+      "{}";
+      "{\"method\":\"ping\"}";
+      "line one\nline two\n\nline four";
+      "nul \000 byte and high \xff\xfe bytes";
+      String.make 100_000 'x';
+    ]
+
+let test_framing_stream () =
+  (* several frames back-to-back on one stream, then a clean Eof *)
+  let payloads = [ "a"; ""; "with\nnewline"; "{\"k\":1}" ] in
+  with_reader
+    (String.concat "" (List.map frame_of payloads))
+    (fun ic ->
+      List.iter
+        (fun expected ->
+          match Framing.read ic with
+          | Ok got -> Alcotest.(check string) "frame in order" expected got
+          | Error e ->
+            Alcotest.failf "framing error: %s" (Framing.error_to_string e))
+        payloads;
+      match Framing.read ic with
+      | Error Framing.Eof -> ()
+      | Ok s -> Alcotest.failf "phantom frame %S after stream end" s
+      | Error e ->
+        Alcotest.failf "expected Eof, got %s" (Framing.error_to_string e))
+
+let test_framing_garbage () =
+  let expect name content check =
+    with_reader content (fun ic ->
+        match Framing.read ic with
+        | Ok s -> Alcotest.failf "%s: accepted as %S" name s
+        | Error e ->
+          Alcotest.(check bool)
+            (name ^ " rejected as expected")
+            true (check e))
+  in
+  expect "non-numeric prefix" "garbage\n{}\n" (function
+    | Framing.Malformed _ -> true
+    | _ -> false);
+  expect "negative length" "-4\nabcd\n" (function
+    | Framing.Malformed _ -> true
+    | _ -> false);
+  expect "truncated payload" "10\nabc" (function
+    | Framing.Malformed _ -> true
+    | _ -> false);
+  expect "missing terminator" "3\nabcX" (function
+    | Framing.Malformed _ -> true
+    | _ -> false);
+  expect "eof mid-prefix" "12" (function
+    | Framing.Malformed _ -> true
+    | _ -> false);
+  with_reader "" (fun ic ->
+      match Framing.read ic with
+      | Error Framing.Eof -> ()
+      | _ -> Alcotest.fail "empty stream must be a clean Eof");
+  with_reader "1000\nxxxx\n" (fun ic ->
+      match Framing.read ~max_len:16 ic with
+      | Error (Framing.Oversized { declared = 1000; limit = 16 }) -> ()
+      | Error e ->
+        Alcotest.failf "expected Oversized, got %s" (Framing.error_to_string e)
+      | Ok _ -> Alcotest.fail "oversized frame accepted")
+
+(* qcheck: an arbitrary byte string — embedded newlines, NULs, high
+   bytes — survives write-then-read bit-exactly, including when
+   several frames share a stream. *)
+let prop_framing_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"framing round-trips arbitrary bytes"
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      let path = Filename.temp_file "tka_serve_qc" ".bin" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Out_channel.with_open_bin path (fun oc ->
+              Framing.write oc a;
+              Framing.write oc b);
+          In_channel.with_open_bin path (fun ic ->
+              Framing.read ic = Ok a
+              && Framing.read ic = Ok b
+              && Framing.read ic = Error Framing.Eof)))
+
+(* ------------------------------------------------------------------ *)
+(* Proto                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_proto_codes () =
+  List.iter
+    (fun c ->
+      match Proto.code_of_string (Proto.code_to_string c) with
+      | Some c' ->
+        Alcotest.(check bool) "code round-trips" true (c = c')
+      | None -> Alcotest.failf "code %s did not round-trip" (Proto.code_to_string c))
+    [
+      Proto.Bad_request;
+      Proto.Parse_failed;
+      Proto.No_design;
+      Proto.Overloaded;
+      Proto.Timeout;
+      Proto.Shutting_down;
+      Proto.Internal;
+    ];
+  Alcotest.(check bool)
+    "unknown code string rejected" true
+    (Proto.code_of_string "nope" = None);
+  (match Proto.request_of_json (J.List []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-object request accepted");
+  match Proto.request_of_json (J.Obj [ ("id", J.Int 1) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "request without method accepted"
+
+(* ------------------------------------------------------------------ *)
+(* In-process RPC helpers                                             *)
+(* ------------------------------------------------------------------ *)
+
+let make_server ?max_inflight ?max_queue ?deadline_s () =
+  Server.create ?max_inflight ?max_queue ?deadline_s ~default_k:4 ~lookup ()
+
+let session srv = Session.create ~registry:(Server.registry srv) ~lookup ~default_k:4
+
+let rpc srv sess meth params =
+  let payload =
+    J.to_string
+      (J.Obj [ ("id", J.Int 1); ("method", J.Str meth); ("params", params) ])
+  in
+  J.of_string (Server.handle_one srv sess payload)
+
+let result_exn name reply =
+  match Proto.response_result reply with
+  | Ok r -> r
+  | Error (code, msg) ->
+    Alcotest.failf "%s failed (%s): %s" name (Proto.code_to_string code) msg
+
+let error_code name reply =
+  match Proto.response_result reply with
+  | Error (code, _) -> code
+  | Ok _ -> Alcotest.failf "%s unexpectedly succeeded" name
+
+let int_member name j =
+  match J.member name j with
+  | Some (J.Int i) -> i
+  | _ -> Alcotest.failf "missing int field %S in %s" name (J.to_string j)
+
+let float_member name j =
+  match J.member name j with
+  | Some (J.Float f) -> f
+  | Some (J.Int i) -> float_of_int i
+  | _ -> Alcotest.failf "missing float field %S in %s" name (J.to_string j)
+
+let load_tiny ?(k = 4) srv sess =
+  ignore
+    (result_exn "load"
+       (rpc srv sess "load"
+          (J.Obj [ ("netlist", J.Str tiny_body); ("k", J.Int k) ])))
+
+(* The wall clock and the shared-cache hit split depend on who ran
+   first, not on what was computed; strip them before comparing runs
+   for bit-identity. *)
+let strip_volatile = function
+  | J.Obj kvs ->
+    J.Obj
+      (List.filter
+         (fun (k, _) ->
+           not (List.mem k [ "elapsed_s"; "cache_hits"; "cache_misses" ]))
+         kvs)
+  | j -> j
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch errors are structured, never crashes                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_dispatch_errors () =
+  let srv = make_server () in
+  let sess = session srv in
+  (* raw garbage payload: not JSON at all *)
+  let reply = J.of_string (Server.handle_one srv sess "not json at all {") in
+  Alcotest.(check string)
+    "non-JSON payload -> bad_request" "bad_request"
+    (Proto.code_to_string (error_code "garbage" reply));
+  (* valid JSON, invalid envelope *)
+  let reply = J.of_string (Server.handle_one srv sess "[1,2,3]") in
+  Alcotest.(check string)
+    "non-envelope payload -> bad_request" "bad_request"
+    (Proto.code_to_string (error_code "array" reply));
+  Alcotest.(check string)
+    "unknown method -> bad_request" "bad_request"
+    (Proto.code_to_string
+       (error_code "unknown" (rpc srv sess "frobnicate" (J.Obj []))));
+  Alcotest.(check string)
+    "analyze before load -> no_design" "no_design"
+    (Proto.code_to_string
+       (error_code "analyze" (rpc srv sess "analyze" (J.Obj []))));
+  Alcotest.(check string)
+    "bad netlist -> parse_failed" "parse_failed"
+    (Proto.code_to_string
+       (error_code "load"
+          (rpc srv sess "load" (J.Obj [ ("netlist", J.Str "not a netlist") ]))));
+  load_tiny srv sess;
+  Alcotest.(check string)
+    "out-of-range edit -> bad_request" "bad_request"
+    (Proto.code_to_string
+       (error_code "whatif"
+          (rpc srv sess "whatif"
+             (J.Obj
+                [
+                  ( "edits",
+                    J.List
+                      [
+                        J.Obj
+                          [
+                            ("op", J.Str "remove_coupling");
+                            ("coupling", J.Int 99_999);
+                          ];
+                      ] );
+                ]))));
+  (* the id is echoed even on errors *)
+  let payload =
+    J.to_string (J.Obj [ ("id", J.Str "abc"); ("method", J.Str "nope") ])
+  in
+  let reply = J.of_string (Server.handle_one srv sess payload) in
+  Alcotest.(check bool)
+    "error reply echoes the request id" true
+    (J.member "id" reply = Some (J.Str "abc"))
+
+let test_batch () =
+  let srv = make_server () in
+  let sess = session srv in
+  let sub meth = J.Obj [ ("id", J.Int 9); ("method", J.Str meth) ] in
+  let result =
+    result_exn "batch"
+      (rpc srv sess "batch"
+         (J.Obj [ ("requests", J.List [ sub "ping"; sub "frobnicate" ]) ]))
+  in
+  (match J.member "replies" result with
+  | Some (J.List [ first; second ]) ->
+    Alcotest.(check bool)
+      "first sub-reply ok" true
+      (J.member "ok" first = Some (J.Bool true));
+    Alcotest.(check string)
+      "second sub-reply bad_request" "bad_request"
+      (Proto.code_to_string (error_code "sub" second))
+  | _ -> Alcotest.failf "unexpected batch result %s" (J.to_string result));
+  (* nesting is rejected per sub-request: the outer envelope is still
+     ok, the inner reply carries the error *)
+  let nested =
+    result_exn "nested batch"
+      (rpc srv sess "batch" (J.Obj [ ("requests", J.List [ sub "batch" ]) ]))
+  in
+  match J.member "replies" nested with
+  | Some (J.List [ inner ]) ->
+    Alcotest.(check string)
+      "nested batch sub-reply rejected" "bad_request"
+      (Proto.code_to_string (error_code "nested" inner))
+  | _ -> Alcotest.failf "unexpected nested batch result %s" (J.to_string nested)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: daemon sessions vs one-shot, jobs 1 vs 4              *)
+(* ------------------------------------------------------------------ *)
+
+let test_determinism_across_jobs () =
+  (* one-shot reference: a private analyzer, no daemon *)
+  let reference =
+    at_jobs 1 (fun () ->
+        let nl = B.tiny () in
+        let elim, _ = Analyzer.run (Analyzer.create ~k:4 ()) (Topo.create nl) in
+        elim.Tka_topk.Elimination.result.Tka_topk.Engine.res_noisy_delay)
+  in
+  let analyze_stripped srv sess =
+    strip_volatile (result_exn "analyze" (rpc srv sess "analyze" (J.Obj [])))
+  in
+  let baseline =
+    at_jobs 1 (fun () ->
+        let srv = make_server () in
+        let sess = session srv in
+        load_tiny srv sess;
+        analyze_stripped srv sess)
+  in
+  Alcotest.(check bool)
+    "daemon all-aggressor delay bit-equals one-shot" true
+    (float_member "all_aggressor_delay_ns" baseline = reference);
+  (* four concurrent sessions on a 4-way pool, one shared server *)
+  at_jobs 4 (fun () ->
+      let srv = make_server () in
+      let results = Array.make 4 J.Null in
+      let threads =
+        Array.init 4 (fun i ->
+            Thread.create
+              (fun i ->
+                let sess = session srv in
+                load_tiny srv sess;
+                results.(i) <- analyze_stripped srv sess)
+              i)
+      in
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          Alcotest.(check string)
+            (Printf.sprintf "session %d matches jobs-1 baseline" i)
+            (J.to_string baseline) (J.to_string r))
+        results)
+
+(* ------------------------------------------------------------------ *)
+(* Shared victim cache across sessions                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_cache_cross_session () =
+  let srv = make_server () in
+  let s1 = session srv in
+  load_tiny srv s1;
+  let r1 = result_exn "analyze s1" (rpc srv s1 "analyze" (J.Obj [])) in
+  Alcotest.(check bool)
+    "first tenant populates the cache" true
+    (int_member "cache_misses" r1 > 0);
+  (* a second session loading the same body lands on the same
+     fingerprint, so its first analysis is all hits *)
+  let s2 = session srv in
+  load_tiny srv s2;
+  let r2 = result_exn "analyze s2" (rpc srv s2 "analyze" (J.Obj [])) in
+  Alcotest.(check int) "second tenant misses nothing" 0 (int_member "cache_misses" r2);
+  Alcotest.(check int)
+    "second tenant hits every victim"
+    (int_member "cache_misses" r1 + int_member "cache_hits" r1)
+    (int_member "cache_hits" r2);
+  Alcotest.(check string)
+    "identical results either way"
+    (J.to_string (strip_volatile r1))
+    (J.to_string (strip_volatile r2));
+  let stats = Registry.stats_json (Server.registry srv) in
+  Alcotest.(check int) "one design in the registry" 1 (int_member "designs" stats);
+  Alcotest.(check bool)
+    "both sessions attached" true
+    (int_member "attaches" stats >= 2)
+
+let test_whatif_does_not_advance () =
+  let srv = make_server () in
+  let sess = session srv in
+  load_tiny srv sess;
+  let before =
+    strip_volatile (result_exn "analyze" (rpc srv sess "analyze" (J.Obj [])))
+  in
+  let whatif =
+    result_exn "whatif"
+      (rpc srv sess "whatif"
+         (J.Obj
+            [
+              ( "edits",
+                J.List
+                  [
+                    J.Obj
+                      [
+                        ("op", J.Str "scale_coupling");
+                        ("coupling", J.Int 0);
+                        ("factor", J.Float 0.5);
+                      ];
+                  ] );
+            ]))
+  in
+  Alcotest.(check bool)
+    "whatif reports dirty nets" true
+    (int_member "dirty_nets" whatif > 0);
+  let after =
+    strip_volatile (result_exn "analyze" (rpc srv sess "analyze" (J.Obj [])))
+  in
+  Alcotest.(check string)
+    "session design unchanged by whatif" (J.to_string before)
+    (J.to_string after)
+
+(* [tiny] has no beneficial elimination set, so eco's advancing path
+   needs a real benchmark; i1 is the smallest of the paper's suite. *)
+let test_eco_advances () =
+  let srv = make_server () in
+  let sess = session srv in
+  let body = Nf.print (Option.get (B.by_name "i1")) in
+  ignore
+    (result_exn "load i1"
+       (rpc srv sess "load" (J.Obj [ ("netlist", J.Str body); ("k", J.Int 4) ])));
+  let eco =
+    result_exn "eco" (rpc srv sess "eco" (J.Obj [ ("fix_k", J.Int 1) ]))
+  in
+  let noisy = float_member "delay_noisy_ns" eco in
+  let fixed = float_member "delay_fixed_ns" eco in
+  Alcotest.(check bool) "eco removes at least one coupling" true
+    (int_member "edits" eco > 0
+    &&
+    match J.member "set" eco with
+    | Some (J.List (_ :: _)) -> true
+    | _ -> false);
+  Alcotest.(check bool) "fix does not worsen the delay" true (fixed <= noisy);
+  (* the session advanced: a fresh analyze sees the fixed design *)
+  let after = result_exn "analyze" (rpc srv sess "analyze" (J.Obj [])) in
+  Alcotest.(check bool)
+    "post-eco analysis matches the committed design" true
+    (float_member "all_aggressor_delay_ns" after = fixed)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A slow ping holds the single admission slot; with a zero-length
+   queue the second request must come back overloaded, deterministically. *)
+let test_admission_overload () =
+  let srv = make_server ~max_inflight:1 ~max_queue:0 () in
+  let sess = session srv in
+  let slow =
+    Thread.create
+      (fun () -> rpc srv (session srv) "ping" (J.Obj [ ("delay_s", J.Float 0.3) ]))
+      ()
+  in
+  Thread.delay 0.1;
+  let reply = rpc srv sess "ping" (J.Obj [ ("delay_s", J.Float 0.0) ]) in
+  Alcotest.(check string)
+    "second request rejected" "overloaded"
+    (Proto.code_to_string (error_code "ping" reply));
+  ignore (result_exn "slow ping" (Thread.join slow; rpc srv sess "ping" (J.Obj [])))
+
+let test_admission_timeout () =
+  let srv = make_server ~max_inflight:1 ~max_queue:4 ~deadline_s:0.05 () in
+  let slow =
+    Thread.create
+      (fun () -> rpc srv (session srv) "ping" (J.Obj [ ("delay_s", J.Float 0.4) ]))
+      ()
+  in
+  Thread.delay 0.1;
+  (* fits in the queue, but the 50 ms deadline expires while the slow
+     ping still holds the slot *)
+  let reply = rpc srv (session srv) "ping" (J.Obj [ ("delay_s", J.Float 0.0) ]) in
+  Alcotest.(check string)
+    "queued past deadline -> timeout" "timeout"
+    (Proto.code_to_string (error_code "ping" reply));
+  Thread.join slow
+
+let test_admission_unit () =
+  let adm = Admission.create ~max_inflight:2 ~max_queue:0 () in
+  Alcotest.(check int) "idle: nothing inflight" 0 (Admission.inflight adm);
+  (match Admission.run adm (fun () -> 41 + 1) with
+  | Ok 42 -> ()
+  | _ -> Alcotest.fail "admitted work must run");
+  Alcotest.(check int) "slot released" 0 (Admission.inflight adm);
+  (* exceptions release the slot too *)
+  (try ignore (Admission.run adm (fun () -> failwith "boom")) with Failure _ -> ());
+  Alcotest.(check int) "slot released after raise" 0 (Admission.inflight adm)
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown and metrics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_shutdown () =
+  let srv = make_server () in
+  let sess = session srv in
+  load_tiny srv sess;
+  ignore (result_exn "shutdown" (rpc srv sess "shutdown" (J.Obj [])));
+  Alcotest.(check bool) "server is stopping" true (Server.stopping srv);
+  Alcotest.(check string)
+    "analysis after shutdown -> shutting_down" "shutting_down"
+    (Proto.code_to_string
+       (error_code "analyze" (rpc srv sess "analyze" (J.Obj []))))
+
+let test_metrics_rpc () =
+  Metrics.with_enabled true (fun () ->
+      let srv = make_server () in
+      let sess = session srv in
+      let result = result_exn "metrics" (rpc srv sess "metrics" (J.Obj [])) in
+      (match J.member "format" result with
+      | Some (J.Str "prometheus") -> ()
+      | _ -> Alcotest.fail "metrics result must declare the prometheus format");
+      let body =
+        match J.member "body" result with
+        | Some (J.Str b) -> b
+        | _ -> Alcotest.fail "metrics result must carry a text body"
+      in
+      let contains sub =
+        let n = String.length sub and m = String.length body in
+        let rec go i = i + n <= m && (String.sub body i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        "exposes the request counter" true
+        (contains "# TYPE serve_requests counter");
+      let stats = result_exn "stats" (rpc srv sess "stats" (J.Obj [])) in
+      Alcotest.(check bool)
+        "stats counts this connection's requests" true
+        (int_member "requests" stats >= 2))
+
+(* ------------------------------------------------------------------ *)
+(* Full socket round-trip                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_daemon f =
+  let dir = Filename.temp_file "tka_serve_sock" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "tka.sock" in
+  let srv = make_server () in
+  let listener = Server.listen_unix sock in
+  let thread = Thread.create (fun () -> Server.serve srv ~listeners:[ listener ]) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Thread.join thread;
+      (try Sys.remove sock with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f srv sock)
+
+let test_socket_roundtrip () =
+  with_daemon (fun _srv sock ->
+      let c = Client.connect_unix sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (match Client.call c ~meth:"ping" () with
+          | Ok _ -> ()
+          | Error (_, m) -> Alcotest.failf "ping over socket failed: %s" m);
+          (match
+             Client.call c ~meth:"load"
+               ~params:(J.Obj [ ("netlist", J.Str tiny_body); ("k", J.Int 4) ])
+               ()
+           with
+          | Ok r ->
+            Alcotest.(check bool)
+              "load over socket sees couplings" true
+              (int_member "couplings" r > 0)
+          | Error (_, m) -> Alcotest.failf "load over socket failed: %s" m);
+          match Client.call c ~meth:"analyze" () with
+          | Ok r ->
+            Alcotest.(check bool)
+              "analyze over socket returns per_k" true
+              (match J.member "per_k" r with
+              | Some (J.List (_ :: _)) -> true
+              | _ -> false)
+          | Error (_, m) -> Alcotest.failf "analyze over socket failed: %s" m))
+
+let test_socket_garbage () =
+  with_daemon (fun _srv sock ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* not a frame at all: the daemon must answer with a
+             structured bad_request and close, not crash *)
+          output_string oc "this is not a frame\n";
+          flush oc;
+          (match Framing.read ic with
+          | Ok payload ->
+            let reply = J.of_string payload in
+            Alcotest.(check string)
+              "garbage answered with bad_request" "bad_request"
+              (Proto.code_to_string (error_code "garbage" reply))
+          | Error e ->
+            Alcotest.failf "no structured reply to garbage: %s"
+              (Framing.error_to_string e));
+          match Framing.read ic with
+          | Error Framing.Eof -> ()
+          | Ok _ -> Alcotest.fail "connection must close after a framing error"
+          | Error _ -> () (* reset also acceptable: the peer is gone *)));
+  (* the daemon survived: a fresh well-formed connection still works *)
+  with_daemon (fun _srv sock ->
+      let c = Client.connect_unix sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match Client.call c ~meth:"ping" () with
+          | Ok _ -> ()
+          | Error (_, m) -> Alcotest.failf "ping after garbage failed: %s" m))
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "tka_serve"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "round-trip" `Quick test_framing_roundtrip;
+          Alcotest.test_case "stream" `Quick test_framing_stream;
+          Alcotest.test_case "garbage" `Quick test_framing_garbage;
+        ] );
+      qsuite "framing-qcheck" [ prop_framing_roundtrip ];
+      ("proto", [ Alcotest.test_case "codes" `Quick test_proto_codes ]);
+      ( "dispatch",
+        [
+          Alcotest.test_case "errors" `Quick test_dispatch_errors;
+          Alcotest.test_case "batch" `Quick test_batch;
+          Alcotest.test_case "shutdown" `Quick test_shutdown;
+          Alcotest.test_case "metrics" `Quick test_metrics_rpc;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "determinism across jobs" `Quick
+            test_determinism_across_jobs;
+          Alcotest.test_case "warm cache cross-session" `Quick
+            test_warm_cache_cross_session;
+          Alcotest.test_case "whatif does not advance" `Quick
+            test_whatif_does_not_advance;
+          Alcotest.test_case "eco advances" `Quick test_eco_advances;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "unit" `Quick test_admission_unit;
+          Alcotest.test_case "overload" `Quick test_admission_overload;
+          Alcotest.test_case "timeout" `Quick test_admission_timeout;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "round-trip" `Quick test_socket_roundtrip;
+          Alcotest.test_case "garbage" `Quick test_socket_garbage;
+        ] );
+    ]

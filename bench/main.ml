@@ -126,7 +126,7 @@ let parse_args () =
     o.sections <-
       [
         "stats"; "table1"; "table2a"; "table2b"; "figure10"; "ablation";
-        "parallel"; "eco"; "serve"; "kernels";
+        "parallel"; "eco"; "repair"; "serve"; "kernels";
       ];
   o
 
@@ -613,6 +613,52 @@ let run_eco o =
   json_add "eco" (Tka_incr.Eco.report_json report)
 
 (* ------------------------------------------------------------------ *)
+(* repair: autonomous ECO loop                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The Tka_incr.Repair driver on the largest circuit of the run:
+   recover a fraction of the total delay noise under a small edit
+   budget, journal every trial, and verify the final incremental state
+   against a scratch re-analysis (hard failure when not bit-identical).
+   The headline artifact is the delay-recovered-per-edit curve in the
+   `repair` section of BENCH_topk.json. *)
+let run_repair o =
+  let module Repair = Tka_incr.Repair in
+  let name =
+    if o.quick then List.hd o.circuits
+    else List.nth o.circuits (List.length o.circuits - 1)
+  in
+  let k = if o.quick then 5 else 10 in
+  let budget = if o.quick then 4 else 8 in
+  let recover = 0.25 in
+  section
+    (Printf.sprintf
+       "Autonomous ECO repair: %s, recover %.0f%% of delay noise, budget %d \
+        edits (k=%d)"
+       name (100. *. recover) budget k);
+  let nl, _ = circuit name in
+  let report, _, _ = Repair.run ~k ~fix_k:1 ~budget ~recover nl in
+  Printf.printf "  target: %.4f ns (noisy %.4f, noiseless %.4f)\n"
+    report.Repair.rp_target_delay report.Repair.rp_initial_delay
+    report.Repair.rp_noiseless_delay;
+  Printf.printf
+    "  loop: %d iterations, %d edits applied, %d candidates rejected -> %s\n"
+    report.Repair.rp_iterations report.Repair.rp_edits_applied
+    report.Repair.rp_rejected
+    (Repair.outcome_name report.Repair.rp_outcome);
+  Printf.printf "  delay recovered per edit:\n";
+  List.iter
+    (fun (edits, delay) ->
+      Printf.printf "    %2d edit(s): %.4f ns (%+.1f ps)\n" edits delay
+        (1000. *. (delay -. report.Repair.rp_initial_delay)))
+    report.Repair.rp_curve;
+  Printf.printf "  final state identical to scratch: %s\n%!"
+    (if report.Repair.rp_identical then "yes"
+     else "NO (incremental correctness violation!)");
+  if not report.Repair.rp_identical then exit 1;
+  json_add "repair" (Repair.report_json report)
+
+(* ------------------------------------------------------------------ *)
 (* serve: daemon load test                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1052,6 +1098,7 @@ let () =
           | "ablation" -> run_ablation o
           | "parallel" -> run_parallel o
           | "eco" -> run_eco o
+          | "repair" -> run_repair o
           | "serve" -> run_serve o
           | "kernels" ->
             run_kernel_rewrite o;

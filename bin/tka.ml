@@ -799,13 +799,18 @@ let eco_cmd =
             r.Tka_incr.Eco.eco_analysis_hits;
         Printf.printf "  incremental results identical: %s\n"
           (if r.Tka_incr.Eco.eco_identical then "yes" else "NO");
+        Printf.printf "  fix rule: %s\n"
+          (Tka_incr.Eco.rule_name r.Tka_incr.Eco.eco_rule);
         Option.iter (fun path -> emit_json path (Tka_incr.Eco.report_json r)) json;
         Option.iter
           (fun path ->
             emit_text path
               (Nf.print (Tka_circuit.Topo.netlist fixed.Tka_topk.Elimination.topo)))
           fixed_out;
-        if not r.Tka_incr.Eco.eco_identical then exit 1)
+        if not r.Tka_incr.Eco.eco_identical then exit 1;
+        (* a None/None outcome used to be indistinguishable from an
+           empty fix — make "no fix set exists" a hard failure *)
+        if r.Tka_incr.Eco.eco_rule = Tka_incr.Eco.Rule_none then exit 2)
   in
   Cmd.v
     (Cmd.info "eco"
@@ -816,6 +821,143 @@ let eco_cmd =
     Term.(
       const run $ obs_term $ liberty_arg $ k $ fix_k $ checkpoint $ json
       $ fixed_out $ netlist_pos)
+
+(* ------------------------------------------------------------------ *)
+(* repair                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let repair_cmd =
+  let module Repair = Tka_incr.Repair in
+  let k =
+    Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Set cardinality bound.")
+  in
+  let fix_k =
+    Arg.(
+      value & opt int 1
+      & info [ "fix-k" ] ~docv:"N"
+          ~doc:"Cardinality of the elimination set each candidate edit targets.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 10
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Maximum individual edits to apply across the whole loop.")
+  in
+  let target_ns =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "target-ns" ] ~docv:"NS"
+          ~doc:
+            "Absolute circuit-delay target in ns; the loop stops once the \
+             all-aggressor delay is at or below it. Overrides $(b,--recover).")
+  in
+  let recover =
+    Arg.(
+      value & opt float 0.5
+      & info [ "recover" ] ~docv:"FRAC"
+          ~doc:
+            "Fraction of the total delay noise to recover (in [0,1]) when no \
+             $(b,--target-ns) is given: target = initial - FRAC * (initial - \
+             noiseless).")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:
+            "Run the full loop and report, but write neither the journal nor \
+             the checkpoint file.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write the repair journal (NDJSON, one accepted/rejected trial \
+             per line) here, incrementally as the loop runs.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Result-cache checkpoint (NDJSON): loaded when it exists (warm \
+             start), re-saved after the initial analysis and after every \
+             accepted edit, so an interrupted repair resumes warm.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON ($(b,-) for stdout).")
+  in
+  let fixed_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the repaired netlist here (tka text format).")
+  in
+  let run obs liberty k fix_k budget target_ns recover dry_run journal
+      checkpoint json fixed_out path =
+    run_obs obs (fun () ->
+        if k < 1 then failwith "-k must be >= 1";
+        if fix_k < 1 || fix_k > k then failwith "--fix-k must be in [1, k]";
+        if budget < 0 then failwith "--budget must be >= 0";
+        if not (recover >= 0. && recover <= 1.) then
+          failwith "--recover must be in [0, 1]";
+        let nl = load ~liberty path in
+        let report, repaired, _elim =
+          Repair.run ~k ~fix_k ~budget ?target_delay:target_ns ~recover
+            ~dry_run ?journal ?checkpoint nl
+        in
+        let r = report in
+        Printf.printf "circuit %s: repair loop, k=%d fix_k=%d budget=%d%s\n"
+          r.Repair.rp_circuit k fix_k budget
+          (if dry_run then " (dry run)" else "");
+        Printf.printf "  target %.4f ns (noiseless %.4f, initial %.4f)\n"
+          r.Repair.rp_target_delay r.Repair.rp_noiseless_delay
+          r.Repair.rp_initial_delay;
+        List.iter
+          (fun e ->
+            Printf.printf "  iter %d %-10s %-8s %2d edit(s)  %.4f -> %.4f ns\n"
+              e.Repair.en_iter
+              (Repair.move_name e.Repair.en_move)
+              (if e.Repair.en_accepted then "ACCEPT" else "reject")
+              (List.length e.Repair.en_edits)
+              e.Repair.en_delay_before e.Repair.en_delay_after)
+          r.Repair.rp_journal;
+        Printf.printf
+          "  outcome %s: %d edit(s) in %d iteration(s), %d rejected\n"
+          (Repair.outcome_name r.Repair.rp_outcome)
+          r.Repair.rp_edits_applied r.Repair.rp_iterations r.Repair.rp_rejected;
+        Printf.printf "  delay %.4f -> %.4f ns (%.1f ps recovered)\n"
+          r.Repair.rp_initial_delay r.Repair.rp_final_delay
+          ((r.Repair.rp_initial_delay -. r.Repair.rp_final_delay) *. 1000.);
+        Printf.printf "  final state identical to scratch re-analysis: %s\n"
+          (if r.Repair.rp_identical then "yes" else "NO");
+        Option.iter (fun p -> emit_json p (Repair.report_json r)) json;
+        Option.iter (fun p -> emit_text p (Nf.print repaired)) fixed_out;
+        if not r.Repair.rp_identical then exit 1;
+        if r.Repair.rp_outcome <> Repair.Target_met then exit 4)
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Autonomous ECO repair: iterate top-k elimination, synthesize \
+          shielding/spacing/driver-strengthening candidate edits, apply the \
+          best through the incremental analyzer (rolling back candidates \
+          that regress the delay), until a delay target is met or the edit \
+          budget is exhausted. Exits 0 only when the target is met and the \
+          final state is bit-identical to a scratch re-analysis.")
+    Term.(
+      const run $ obs_term $ liberty_arg $ k $ fix_k $ budget $ target_ns
+      $ recover $ dry_run $ journal $ checkpoint $ json $ fixed_out
+      $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                             *)
@@ -1180,6 +1322,7 @@ type client_action =
   | A_shutdown
   | A_analyze of string option  (* mode: "add" | "elim" *)
   | A_eco of int  (* fix_k *)
+  | A_repair of int  (* edit budget *)
   | A_whatif of int list  (* couplings to remove *)
 
 let parse_action s =
@@ -1187,7 +1330,8 @@ let parse_action s =
     failwith
       (Printf.sprintf
          "unknown action %S (expected ping, info, stats, metrics, shutdown, \
-          analyze[:add|:elim], eco[:FIXK] or whatif:remove=ID[,ID...])"
+          analyze[:add|:elim], eco[:FIXK], repair[:BUDGET] or \
+          whatif:remove=ID[,ID...])"
          s)
   in
   match String.index_opt s ':' with
@@ -1200,6 +1344,7 @@ let parse_action s =
     | "shutdown" -> A_shutdown
     | "analyze" -> A_analyze None
     | "eco" -> A_eco 1
+    | "repair" -> A_repair 10
     | _ -> fail ())
   | Some i -> (
     let verb = String.sub s 0 i in
@@ -1208,6 +1353,8 @@ let parse_action s =
     | "analyze" when arg = "add" || arg = "elim" -> A_analyze (Some arg)
     | "eco" -> (
       match int_of_string_opt arg with Some n -> A_eco n | None -> fail ())
+    | "repair" -> (
+      match int_of_string_opt arg with Some n -> A_repair n | None -> fail ())
     | "whatif" -> (
       match String.split_on_char '=' arg with
       | [ "remove"; ids ] ->
@@ -1298,6 +1445,8 @@ let client_cmd =
                         | Some m -> [ ("mode", J.Str m) ]
                         | None -> []) )
                   | A_eco fix_k -> ("eco", J.Obj [ ("fix_k", J.Int fix_k) ])
+                  | A_repair budget ->
+                    ("repair", J.Obj [ ("budget", J.Int budget) ])
                   | A_whatif couplings ->
                     ( "whatif",
                       J.Obj
@@ -1347,6 +1496,7 @@ let () =
           [
             gen_cmd; info_cmd; sta_cmd; noise_cmd; topk_cmd; glitch_cmd;
             falseagg_cmd; kvalue_cmd; sensitivity_cmd; compare_cmd; sdf_cmd;
-            eco_cmd; verify_cmd; profile_cmd; bench_diff_cmd; serve_cmd;
+            eco_cmd; repair_cmd; verify_cmd; profile_cmd; bench_diff_cmd;
+            serve_cmd;
             client_cmd; liberty_cmd;
           ]))

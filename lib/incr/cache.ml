@@ -255,8 +255,14 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
+      (* the documented failure mode is [Failure], whatever is wrong
+         with the file — a non-JSON line must not leak [Parse_error] *)
+      let parse line =
+        try J.of_string line
+        with J.Parse_error m -> fail "Cache.load: %s: %s" path m
+      in
       let header =
-        try J.of_string (input_line ic)
+        try parse (input_line ic)
         with End_of_file -> fail "Cache.load: %s is empty" path
       in
       (match
@@ -274,7 +280,7 @@ let load path =
          while true do
            let line = input_line ic in
            if String.trim line <> "" then begin
-             let k, e = entry_of_json (J.of_string line) in
+             let k, e = entry_of_json (parse line) in
              Hashtbl.replace t.tbl k e
            end
          done

@@ -9,10 +9,18 @@ module Log = Tka_obs.Log
 
 let log_src = Log.Src.create "eco" ~doc:"incremental ECO loop"
 
+type rule = Rule_elim | Rule_dual | Rule_none
+
+let rule_name = function
+  | Rule_elim -> "elim"
+  | Rule_dual -> "dual"
+  | Rule_none -> "none"
+
 type report = {
   eco_circuit : string;
   eco_k : int;
   eco_fix_k : int;
+  eco_rule : rule;
   eco_set : CS.t option;
   eco_edits : Edit.t list;
   eco_delay_noisy : float;
@@ -100,9 +108,24 @@ let run ?(k = 10) ?(fix_k = 1) ?checkpoint nl =
   (match checkpoint with
   | Some path -> Analyzer.save_checkpoint az path
   | None -> ());
-  let set = Elimination.set elim0 fix_k in
-  let set =
-    match set with Some _ -> set | None -> Elimination.dual_set elim0 fix_k
+  (* Prefer the elimination-side set; fall back to the dual (addition)
+     engine's, and *say which rule won* — a silent fallback made a
+     dual-only fix indistinguishable from an elimination one, and a
+     None/None outcome indistinguishable from an empty fix. *)
+  let set, rule =
+    match Elimination.set elim0 fix_k with
+    | Some _ as s -> (s, Rule_elim)
+    | None -> (
+      match Elimination.dual_set elim0 fix_k with
+      | Some _ as s ->
+        Log.info log_src (fun m ->
+            m ~fields:[ Log.int "fix_k" fix_k ]
+              "elimination rule produced no k=%d set; using the dual rule" fix_k);
+        (s, Rule_dual)
+      | None ->
+        Log.warn log_src (fun m ->
+            m ~fields:[ Log.int "fix_k" fix_k ] "no fix set exists at k=%d" fix_k);
+        (None, Rule_none))
   in
   (* 2. mitigate: shield (remove) the reported couplings *)
   let edits = match set with Some s -> removal_edits s | None -> [] in
@@ -128,6 +151,7 @@ let run ?(k = 10) ?(fix_k = 1) ?checkpoint nl =
       eco_circuit = N.name nl;
       eco_k = k;
       eco_fix_k = fix_k;
+      eco_rule = rule;
       eco_set = set;
       eco_edits = edits;
       eco_delay_noisy = Elimination.all_aggressor_delay elim0;
@@ -152,6 +176,7 @@ let report_json r =
       ("circuit", J.Str r.eco_circuit);
       ("k", J.Int r.eco_k);
       ("fix_k", J.Int r.eco_fix_k);
+      ("rule", J.Str (rule_name r.eco_rule));
       ( "set",
         match r.eco_set with
         | None -> J.Null

@@ -10,10 +10,20 @@
     [tka eco] subcommand serialise it as the [eco] section of
     [BENCH_topk.json]. *)
 
+type rule = Rule_elim | Rule_dual | Rule_none
+(** Which engine produced the applied fix set: the elimination rule,
+    the dual (addition) rule after the elimination side had no set of
+    the requested cardinality, or neither (no fix exists). *)
+
+val rule_name : rule -> string
+(** ["elim"], ["dual"] or ["none"] — the [rule] field of the JSON
+    report. *)
+
 type report = {
   eco_circuit : string;
   eco_k : int;
   eco_fix_k : int;
+  eco_rule : rule;  (** which rule produced [eco_set] *)
   eco_set : Tka_topk.Coupling_set.t option;
       (** the applied elimination set ([None] if the design has no
           candidates — then no edit is applied and the "re-analysis"

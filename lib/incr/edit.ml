@@ -4,6 +4,27 @@ type t =
   | Remove_coupling of N.coupling_id
   | Scale_coupling of { coupling : N.coupling_id; factor : float }
   | Resize_driver of { gate : N.gate_id; cell : Tka_cell.Cell.t }
+  | Strengthen_driver of { gate : N.gate_id; factor : float }
+
+(* A strengthened gate is the same cell with [factor]-times wider
+   transistors: output resistances shrink by [1/factor], input pin
+   capacitances grow by [factor] (the upstream stage sees a heavier
+   load), intrinsic terms unchanged. *)
+let strengthen_cell ~factor (cell : Tka_cell.Cell.t) =
+  let open Tka_cell in
+  Cell.make
+    ~name:(Printf.sprintf "%s@x%g" cell.Cell.name factor)
+    ~inputs:
+      (List.map
+         (fun p ->
+           Cell.input_pin ~name:p.Cell.pin_name
+             ~capacitance:(factor *. p.Cell.capacitance))
+         cell.Cell.inputs)
+    ~output:(Cell.output_pin ~name:cell.Cell.output.Cell.pin_name)
+    ~logic:cell.Cell.logic ~intrinsic_delay:cell.Cell.intrinsic_delay
+    ~drive_resistance:(cell.Cell.drive_resistance /. factor)
+    ~intrinsic_slew:cell.Cell.intrinsic_slew
+    ~slew_resistance:(cell.Cell.slew_resistance /. factor)
 
 let validate nl = function
   | Remove_coupling c ->
@@ -17,6 +38,11 @@ let validate nl = function
   | Resize_driver { gate; _ } ->
     if gate < 0 || gate >= N.num_gates nl then
       invalid_arg "Edit.apply: gate id out of range"
+  | Strengthen_driver { gate; factor } ->
+    if gate < 0 || gate >= N.num_gates nl then
+      invalid_arg "Edit.apply: gate id out of range";
+    if not (Float.is_finite factor && factor > 0.) then
+      invalid_arg "Edit.apply: strengthen factor must be finite and positive"
 
 let apply nl edits =
   List.iter (validate nl) edits;
@@ -25,12 +51,18 @@ let apply nl edits =
   let factor = Array.make nc 1. in
   let removed = Array.make nc false in
   let cells : (N.gate_id, Tka_cell.Cell.t) Hashtbl.t = Hashtbl.create 4 in
+  let strengthen : (N.gate_id, float) Hashtbl.t = Hashtbl.create 4 in
   List.iter
     (function
       | Remove_coupling c -> removed.(c) <- true
       | Scale_coupling { coupling = c; factor = f } ->
         factor.(c) <- factor.(c) *. f
-      | Resize_driver { gate; cell } -> Hashtbl.replace cells gate cell)
+      | Resize_driver { gate; cell } -> Hashtbl.replace cells gate cell
+      | Strengthen_driver { gate; factor = f } ->
+        let f0 =
+          match Hashtbl.find_opt strengthen gate with Some f0 -> f0 | None -> 1.
+        in
+        Hashtbl.replace strengthen gate (f0 *. f))
     edits;
   let final_cap (c : N.coupling) =
     if removed.(c.N.coupling_id) then 0.
@@ -40,13 +72,20 @@ let apply nl edits =
     Tka_circuit.Transform.map
       ~name:(N.name nl ^ "_eco")
       ?cell_of:
-        (if Hashtbl.length cells = 0 then None
+        (if Hashtbl.length cells = 0 && Hashtbl.length strengthen = 0 then None
          else
            Some
              (fun (g : N.gate) ->
-               match Hashtbl.find_opt cells g.N.gate_id with
-               | Some c -> c
-               | None -> g.N.cell))
+               (* a resize replaces the base cell; strengthen factors
+                  compose multiplicatively on top of the final base *)
+               let base =
+                 match Hashtbl.find_opt cells g.N.gate_id with
+                 | Some c -> c
+                 | None -> g.N.cell
+               in
+               match Hashtbl.find_opt strengthen g.N.gate_id with
+               | Some f -> strengthen_cell ~factor:f base
+               | None -> base))
       ~keep_coupling:(fun c -> final_cap c > 0.)
       ~coupling_cap_of:final_cap nl
   in
@@ -81,7 +120,7 @@ let touched_nets nl edits =
         let cp = N.coupling nl c in
         add cp.N.net_a;
         add cp.N.net_b
-      | Resize_driver { gate; _ } ->
+      | Resize_driver { gate; _ } | Strengthen_driver { gate; _ } ->
         let g = N.gate nl gate in
         add g.N.fanout;
         (* the new cell's input pin caps change the fanin nets' loads *)
@@ -89,9 +128,70 @@ let touched_nets nl edits =
     edits;
   List.rev !out
 
+module J = Tka_obs.Jsonx
+
+let to_json = function
+  | Remove_coupling c ->
+    J.Obj [ ("op", J.Str "remove_coupling"); ("coupling", J.Int c) ]
+  | Scale_coupling { coupling; factor } ->
+    J.Obj
+      [
+        ("op", J.Str "scale_coupling");
+        ("coupling", J.Int coupling);
+        ("factor", J.Float factor);
+      ]
+  | Resize_driver { gate; cell } ->
+    J.Obj
+      [
+        ("op", J.Str "resize_driver");
+        ("gate", J.Int gate);
+        ("cell", J.Str cell.Tka_cell.Cell.name);
+      ]
+  | Strengthen_driver { gate; factor } ->
+    J.Obj
+      [
+        ("op", J.Str "strengthen_driver");
+        ("gate", J.Int gate);
+        ("factor", J.Float factor);
+      ]
+
+let of_json ~lookup j =
+  let int key = match J.member key j with Some (J.Int i) -> Some i | _ -> None in
+  let num key =
+    match J.member key j with
+    | Some (J.Float f) -> Some f
+    | Some (J.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let str key = match J.member key j with Some (J.Str s) -> Some s | _ -> None in
+  match str "op" with
+  | Some "remove_coupling" -> (
+    match int "coupling" with
+    | Some c -> Ok (Remove_coupling c)
+    | None -> Error "remove_coupling needs an integer \"coupling\"")
+  | Some "scale_coupling" -> (
+    match (int "coupling", num "factor") with
+    | Some c, Some f -> Ok (Scale_coupling { coupling = c; factor = f })
+    | _ -> Error "scale_coupling needs \"coupling\" and \"factor\"")
+  | Some "resize_driver" -> (
+    match (int "gate", str "cell") with
+    | Some g, Some name -> (
+      match lookup name with
+      | Some cell -> Ok (Resize_driver { gate = g; cell })
+      | None -> Error (Printf.sprintf "unknown cell %S" name))
+    | _ -> Error "resize_driver needs \"gate\" and \"cell\"")
+  | Some "strengthen_driver" -> (
+    match (int "gate", num "factor") with
+    | Some g, Some f -> Ok (Strengthen_driver { gate = g; factor = f })
+    | _ -> Error "strengthen_driver needs \"gate\" and \"factor\"")
+  | Some op -> Error (Printf.sprintf "unknown edit op %S" op)
+  | None -> Error "edit needs a string \"op\""
+
 let pp ppf = function
   | Remove_coupling c -> Format.fprintf ppf "remove-coupling %d" c
   | Scale_coupling { coupling; factor } ->
     Format.fprintf ppf "scale-coupling %d by %g" coupling factor
   | Resize_driver { gate; cell } ->
     Format.fprintf ppf "resize-driver %d to %s" gate cell.Tka_cell.Cell.name
+  | Strengthen_driver { gate; factor } ->
+    Format.fprintf ppf "strengthen-driver %d by %g" gate factor

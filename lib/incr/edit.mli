@@ -8,7 +8,13 @@
     - {!Scale_coupling}: increased spacing — the cap shrinks by a
       factor in [0, 1] (a factor of 0 removes it);
     - {!Resize_driver}: swap a gate's cell for a stronger (or weaker)
-      variant with the same pin names.
+      variant with the same pin names;
+    - {!Strengthen_driver}: widen the gate's transistors in place by a
+      factor — output resistances shrink by [1/factor], input pin
+      capacitances grow by [factor] (the upstream stage pays for the
+      bigger gate), intrinsic terms unchanged. The repair loop's
+      "buffer/resize the victim driver" move without needing a named
+      replacement cell.
 
     Applying a script produces a new netlist with {e identical} net and
     gate ids (Transform.map preserves structure), but coupling ids are
@@ -26,6 +32,10 @@ type t =
       gate : Tka_circuit.Netlist.gate_id;
       cell : Tka_cell.Cell.t;
     }
+  | Strengthen_driver of {
+      gate : Tka_circuit.Netlist.gate_id;
+      factor : float;  (** finite and > 0; > 1 strengthens *)
+    }
 
 val apply :
   Tka_circuit.Netlist.t ->
@@ -35,7 +45,8 @@ val apply :
 (** [apply nl edits] rebuilds [nl] with the whole script applied in one
     {!Tka_circuit.Transform.map} pass (edits compose: scaling twice
     multiplies, a removal wins over any scaling, the last resize of a
-    gate wins). Returns the new netlist and the old→new coupling-id
+    gate wins, strengthen factors multiply and apply on top of the
+    final resized cell). Returns the new netlist and the old→new coupling-id
     map ([None] for couplings that were removed or scaled to zero).
     Net and gate ids are unchanged by construction.
 
@@ -47,5 +58,19 @@ val touched_nets : Tka_circuit.Netlist.t -> t list -> Tka_circuit.Netlist.net_id
     (deduplicated): both sides of an edited coupling; for a driver
     resize, the gate's output net and its input nets (whose loads see
     the new pin capacitances). Seeds for {!Dirty.closure}. *)
+
+val to_json : t -> Tka_obs.Jsonx.t
+(** One edit as a JSON object — the wire/journal format shared with
+    the serve protocol and the repair journal:
+    [{"op":"remove_coupling","coupling":N}],
+    [{"op":"scale_coupling","coupling":N,"factor":F}],
+    [{"op":"resize_driver","gate":N,"cell":"name"}],
+    [{"op":"strengthen_driver","gate":N,"factor":F}]. Floats
+    round-trip bit-exactly through {!Tka_obs.Jsonx}. *)
+
+val of_json :
+  lookup:(string -> Tka_cell.Cell.t option) -> Tka_obs.Jsonx.t -> (t, string) result
+(** Inverse of {!to_json}; [lookup] resolves a [resize_driver] cell
+    name (e.g. {!Tka_cell.Default_lib.find}). *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,548 @@
+module N = Tka_circuit.Netlist
+module Topo = Tka_circuit.Topo
+module Engine = Tka_topk.Engine
+module Elimination = Tka_topk.Elimination
+module CS = Tka_topk.Coupling_set
+module Analysis = Tka_sta.Analysis
+module CP = Tka_sta.Critical_path
+module Iterate = Tka_noise.Iterate
+module J = Tka_obs.Jsonx
+module Log = Tka_obs.Log
+
+let log_src = Log.Src.create "repair" ~doc:"autonomous ECO repair loop"
+
+type move = Shield | Space | Strengthen
+
+let move_name = function
+  | Shield -> "shield"
+  | Space -> "space"
+  | Strengthen -> "strengthen"
+
+let move_of_name = function
+  | "shield" -> Ok Shield
+  | "space" -> Ok Space
+  | "strengthen" -> Ok Strengthen
+  | m -> Error (Printf.sprintf "unknown repair move %S" m)
+
+type entry = {
+  en_iter : int;
+  en_move : move;
+  en_edits : Edit.t list;
+  en_accepted : bool;
+  en_delay_before : float;
+  en_delay_after : float;
+  en_tns_before : float;
+  en_tns_after : float;
+  en_dirty_nets : int;
+  en_cache_hits : int;
+  en_cache_misses : int;
+}
+
+type outcome = Target_met | Budget_exhausted | Converged | No_candidates
+
+let outcome_name = function
+  | Target_met -> "target_met"
+  | Budget_exhausted -> "budget_exhausted"
+  | Converged -> "converged"
+  | No_candidates -> "no_candidates"
+
+type report = {
+  rp_circuit : string;
+  rp_k : int;
+  rp_fix_k : int;
+  rp_budget : int;
+  rp_dry_run : bool;
+  rp_target_delay : float;
+  rp_noiseless_delay : float;
+  rp_initial_delay : float;
+  rp_final_delay : float;
+  rp_iterations : int;
+  rp_edits_applied : int;
+  rp_rejected : int;
+  rp_outcome : outcome;
+  rp_journal : entry list;
+  rp_curve : (int * float) list;
+  rp_identical : bool;
+  rp_t_total_s : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* journal serialisation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let entry_json e =
+  J.Obj
+    [
+      ("iter", J.Int e.en_iter);
+      ("move", J.Str (move_name e.en_move));
+      ("accepted", J.Bool e.en_accepted);
+      ("edits", J.List (List.map Edit.to_json e.en_edits));
+      ("delay_before_ns", J.Float e.en_delay_before);
+      ("delay_after_ns", J.Float e.en_delay_after);
+      ("tns_before_ns", J.Float e.en_tns_before);
+      ("tns_after_ns", J.Float e.en_tns_after);
+      ("dirty_nets", J.Int e.en_dirty_nets);
+      ("cache_hits", J.Int e.en_cache_hits);
+      ("cache_misses", J.Int e.en_cache_misses);
+    ]
+
+let entry_of_json ~lookup j =
+  let ( let* ) = Result.bind in
+  let int key =
+    match J.member key j with
+    | Some (J.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "journal entry: missing int field %S" key)
+  in
+  let num key =
+    match J.member key j with
+    | Some (J.Float f) -> Ok f
+    | Some (J.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "journal entry: missing number field %S" key)
+  in
+  let* en_iter = int "iter" in
+  let* en_move =
+    match J.member "move" j with
+    | Some (J.Str m) -> move_of_name m
+    | _ -> Error "journal entry: missing string field \"move\""
+  in
+  let* en_accepted =
+    match J.member "accepted" j with
+    | Some (J.Bool b) -> Ok b
+    | _ -> Error "journal entry: missing bool field \"accepted\""
+  in
+  let* en_edits =
+    match J.member "edits" j with
+    | Some (J.List items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* e = Edit.of_json ~lookup item in
+          Ok (e :: acc))
+        (Ok []) items
+      |> Result.map List.rev
+    | _ -> Error "journal entry: missing list field \"edits\""
+  in
+  let* en_delay_before = num "delay_before_ns" in
+  let* en_delay_after = num "delay_after_ns" in
+  let* en_tns_before = num "tns_before_ns" in
+  let* en_tns_after = num "tns_after_ns" in
+  let* en_dirty_nets = int "dirty_nets" in
+  let* en_cache_hits = int "cache_hits" in
+  let* en_cache_misses = int "cache_misses" in
+  Ok
+    {
+      en_iter;
+      en_move;
+      en_edits;
+      en_accepted;
+      en_delay_before;
+      en_delay_after;
+      en_tns_before;
+      en_tns_after;
+      en_dirty_nets;
+      en_cache_hits;
+      en_cache_misses;
+    }
+
+let journal_header ~circuit ~k ~fix_k =
+  J.Obj
+    [
+      ("format", J.Str "tka-repair-journal");
+      ("version", J.Int 1);
+      ("circuit", J.Str circuit);
+      ("k", J.Int k);
+      ("fix_k", J.Int fix_k);
+    ]
+
+let save_journal path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (J.to_string
+           (journal_header ~circuit:r.rp_circuit ~k:r.rp_k ~fix_k:r.rp_fix_k)
+        ^ "\n");
+      List.iter
+        (fun e -> output_string oc (J.to_string (entry_json e) ^ "\n"))
+        r.rp_journal)
+
+let load_journal ~lookup path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let ( let* ) = Result.bind in
+  let lines =
+    String.split_on_char '\n' src
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  match lines with
+  | [] -> Error (Printf.sprintf "%s: empty journal" path)
+  | (lineno, header) :: entries ->
+    let* hj =
+      try Ok (J.of_string header)
+      with J.Parse_error m -> Error (Printf.sprintf "%s:%d: %s" path lineno m)
+    in
+    let* () =
+      match J.member "format" hj with
+      | Some (J.Str "tka-repair-journal") -> Ok ()
+      | _ -> Error (Printf.sprintf "%s:%d: not a tka-repair-journal" path lineno)
+    in
+    List.fold_left
+      (fun acc (lineno, line) ->
+        let* acc = acc in
+        let* j =
+          try Ok (J.of_string line)
+          with J.Parse_error m ->
+            Error (Printf.sprintf "%s:%d: %s" path lineno m)
+        in
+        let* e =
+          Result.map_error
+            (Printf.sprintf "%s:%d: %s" path lineno)
+            (entry_of_json ~lookup j)
+        in
+        Ok (e :: acc))
+      (Ok []) entries
+    |> Result.map List.rev
+
+let replay nl entries =
+  List.fold_left
+    (fun nl e -> if e.en_accepted then fst (Edit.apply nl e.en_edits) else nl)
+    nl entries
+
+(* ------------------------------------------------------------------ *)
+(* candidate synthesis                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Total negative slack against the delay target: the loop's
+   acceptance objective. The circuit delay (max over outputs) is a
+   plateau — with two outputs tied at the max, fixing one does not
+   move it and the loop would stall; the TNS sum credits every
+   improved endpoint, which is why repair_timing-style optimizers
+   drive it. Target met ⇔ TNS = 0 ⇔ circuit delay ≤ target. *)
+let tns an ~target =
+  List.fold_left
+    (fun acc (_, a) -> acc +. Float.max 0. (a -. target))
+    0.
+    (Analysis.output_arrivals an)
+
+let spacing_factor = 0.5
+let strengthen_factor = 1.5
+
+(* Candidate edit scripts for one iteration, aimed at the violating
+   endpoints (outputs whose noisy arrival exceeds the target), worst
+   first:
+
+   - shield / space: the top fix_k elimination set retained for a
+     violating sink (elimination side first, dual as fallback — the
+     same preference order as [Eco.run]);
+   - strengthen: the driver of the noisiest net on the worst violating
+     endpoint's critical path. *)
+let candidates nl (fx : Iterate.t) elim ~fix_k ~target =
+  let an = fx.Iterate.analysis in
+  let violating =
+    Analysis.output_arrivals an
+    |> List.filter (fun (_, a) -> a > target)
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  in
+  match violating with
+  | [] -> []
+  | (worst_po, _) :: _ ->
+    let choice_for po =
+      let scan (res : Engine.result) =
+        if fix_k >= Array.length res.Engine.res_top then None
+        else
+          List.find_opt
+            (fun ch -> ch.Engine.ch_sink = po)
+            res.Engine.res_top.(fix_k)
+      in
+      match scan elim.Elimination.result with
+      | Some _ as c -> c
+      | None -> scan elim.Elimination.dual
+    in
+    let shield_space =
+      match List.find_map (fun (po, _) -> choice_for po) violating with
+      | None -> []
+      | Some ch ->
+        let caps =
+          CS.to_list ch.Engine.ch_set
+          |> List.map (fun d -> d / 2)
+          |> List.sort_uniq Int.compare
+        in
+        [
+          (Shield, List.map (fun c -> Edit.Remove_coupling c) caps);
+          ( Space,
+            List.map
+              (fun c ->
+                Edit.Scale_coupling { coupling = c; factor = spacing_factor })
+              caps );
+        ]
+    in
+    let strengthen =
+      CP.to_output an worst_po
+      |> List.filter_map (fun (st : CP.step) ->
+             let n = st.CP.step_net in
+             match N.driver_gate nl n with
+             | Some g -> Some (g.N.gate_id, Iterate.net_noise fx n)
+             | None -> None)
+      |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+      |> function
+      | (gate, _) :: _ ->
+        [
+          ( Strengthen,
+            [ Edit.Strengthen_driver { gate; factor = strengthen_factor } ] );
+        ]
+      | [] -> []
+    in
+    List.filter (fun (_, es) -> es <> []) (shield_space @ strengthen)
+
+(* ------------------------------------------------------------------ *)
+(* the loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(k = 10) ?(fix_k = 1) ?(budget = 10) ?target_delay ?(recover = 0.5)
+    ?(dry_run = false) ?(verify = true) ?journal ?checkpoint nl =
+  if fix_k < 1 || fix_k > k then invalid_arg "Repair.run: fix_k outside [1, k]";
+  if budget < 0 then invalid_arg "Repair.run: negative budget";
+  if not (recover >= 0. && recover <= 1.) then
+    invalid_arg "Repair.run: recover outside [0, 1]";
+  let wall = Tka_obs.Clock.now_s in
+  let t_start = wall () in
+  let az = ref (Analyzer.create ~k ()) in
+  (match checkpoint with
+  | Some path when Sys.file_exists path -> (
+    (* a malformed or old-format checkpoint is a cold start, not an
+       error — the cache only ever accelerates *)
+    match Analyzer.load_checkpoint !az path with
+    | () ->
+      Log.info log_src (fun m ->
+          m
+            ~fields:
+              [
+                Log.str "path" path;
+                Log.int "entries" (Cache.size (Analyzer.cache !az));
+              ]
+            "warm-starting from checkpoint %s" path)
+    | exception Failure msg ->
+      Log.warn log_src (fun m ->
+          m ~fields:[ Log.str "path" path ] "ignoring stale checkpoint: %s" msg))
+  | _ -> ());
+  let save_ckpt () =
+    if not dry_run then
+      match checkpoint with
+      | Some path -> Analyzer.save_checkpoint !az path
+      | None -> ()
+  in
+  let nl_cur = ref nl in
+  let topo0 = Topo.create nl in
+  (* the loop computes each state's fixpoint itself (and hands it to
+     [Analyzer.run]) because candidate targeting needs the per-output
+     noisy arrivals and per-net noise — [Iterate.run] is exactly what
+     the analyzer would have run internally, so results are unchanged *)
+  let fx0 = Iterate.run topo0 in
+  let elim0, _ = Analyzer.run ~fixpoint:fx0 !az topo0 in
+  let elim_cur = ref elim0 in
+  let fx_cur = ref fx0 in
+  save_ckpt ();
+  let noiseless = Elimination.noiseless_delay elim0 in
+  let initial = Elimination.all_aggressor_delay elim0 in
+  let target =
+    match target_delay with
+    | Some t -> t
+    | None -> initial -. (recover *. (initial -. noiseless))
+  in
+  let jout =
+    match journal with
+    | Some path when not dry_run ->
+      let oc = open_out path in
+      output_string oc
+        (J.to_string (journal_header ~circuit:(N.name nl) ~k ~fix_k) ^ "\n");
+      flush oc;
+      Some oc
+    | _ -> None
+  in
+  let journal_rev = ref [] in
+  let rejected = ref 0 in
+  let emit e =
+    journal_rev := e :: !journal_rev;
+    if not e.en_accepted then incr rejected;
+    match jout with
+    | Some oc ->
+      output_string oc (J.to_string (entry_json e) ^ "\n");
+      flush oc
+    | None -> ()
+  in
+  let delay () = Iterate.circuit_delay !fx_cur in
+  let tns_cur () = tns !fx_cur.Iterate.analysis ~target in
+  let curve = ref [ (0, initial) ] in
+  let applied = ref 0 in
+  let iter = ref 0 in
+  let outcome = ref (if tns_cur () <= 0. then Some Target_met else None) in
+  (* Trial a candidate on a *snapshot*: the live analyzer's cache is
+     copied (identity remap), the edit is applied to the copy, and the
+     edited design re-analyzed through it. Rejecting the candidate is
+     then a no-op — the pre-edit analyzer was never touched, which is
+     what makes rollback bit-exact. *)
+  let cfg = Analyzer.config !az in
+  let trial edits =
+    let cache = Cache.remapped_copy (Analyzer.cache !az) Option.some in
+    let az' =
+      Analyzer.with_shared_cache ~capacity:cfg.Engine.capacity
+        ~use_pseudo:cfg.Engine.use_pseudo
+        ~use_higher_order:cfg.Engine.use_higher_order ~k:cfg.Engine.k ~cache ()
+    in
+    let nl', dirty = Analyzer.apply az' !nl_cur edits in
+    let topo' = Topo.create nl' in
+    let fx' = Iterate.run topo' in
+    let elim', st = Analyzer.run ~fixpoint:fx' az' topo' in
+    (az', nl', fx', elim', dirty, st)
+  in
+  while !outcome = None do
+    incr iter;
+    let cands = candidates !nl_cur !fx_cur !elim_cur ~fix_k ~target in
+    if cands = [] then outcome := Some No_candidates
+    else begin
+      let fitting =
+        List.filter (fun (_, es) -> List.length es <= budget - !applied) cands
+      in
+      if fitting = [] then outcome := Some Budget_exhausted
+      else begin
+        let before = delay () in
+        let tns_before = tns_cur () in
+        let trials =
+          List.map
+            (fun (mv, es) ->
+              let az', nl', fx', elim', dirty, st = trial es in
+              let tns_after = tns fx'.Iterate.analysis ~target in
+              (mv, es, az', nl', fx', elim', dirty, st, tns_after))
+            fitting
+        in
+        (* lowest resulting TNS wins; first in move order on a tie *)
+        let best =
+          List.fold_left
+            (fun acc t ->
+              let _, _, _, _, _, _, _, _, after = t in
+              match acc with
+              | Some (_, _, _, _, _, _, _, _, best_after)
+                when best_after <= after ->
+                acc
+              | _ -> Some t)
+            None trials
+        in
+        let best_after =
+          match best with
+          | Some (_, _, _, _, _, _, _, _, a) -> a
+          | None -> infinity
+        in
+        let improves = best_after < tns_before in
+        List.iter
+          (fun ((mv, es, az', nl', fx', elim', dirty, st, tns_after) as t) ->
+            let accepted =
+              improves && match best with Some b -> b == t | None -> false
+            in
+            emit
+              {
+                en_iter = !iter;
+                en_move = mv;
+                en_edits = es;
+                en_accepted = accepted;
+                en_delay_before = before;
+                en_delay_after = Iterate.circuit_delay fx';
+                en_tns_before = tns_before;
+                en_tns_after = tns_after;
+                en_dirty_nets = dirty;
+                en_cache_hits = st.Analyzer.rs_hits;
+                en_cache_misses = st.Analyzer.rs_misses;
+              };
+            if accepted then begin
+              az := az';
+              nl_cur := nl';
+              fx_cur := fx';
+              elim_cur := elim';
+              applied := !applied + List.length es;
+              curve := (!applied, Iterate.circuit_delay fx') :: !curve;
+              save_ckpt ();
+              Log.info log_src (fun m ->
+                  m
+                    ~fields:
+                      [
+                        Log.int "iter" !iter;
+                        Log.str "move" (move_name mv);
+                        Log.int "edits" (List.length es);
+                      ]
+                    "accepted %s: TNS %.6f -> %.6f ns" (move_name mv)
+                    tns_before tns_after)
+            end)
+          trials;
+        if not improves then outcome := Some Converged
+        else if tns_cur () <= 0. then outcome := Some Target_met
+        else if !applied >= budget then outcome := Some Budget_exhausted
+      end
+    end
+  done;
+  (match jout with Some oc -> close_out oc | None -> ());
+  let identical =
+    if not verify then true
+    else
+      let scratch =
+        Elimination.compute ~capacity:cfg.Engine.capacity
+          ~use_pseudo:cfg.Engine.use_pseudo
+          ~use_higher_order:cfg.Engine.use_higher_order ~k:cfg.Engine.k
+          (Topo.create !nl_cur)
+      in
+      Eco.elim_identical scratch !elim_cur
+  in
+  let report =
+    {
+      rp_circuit = N.name nl;
+      rp_k = k;
+      rp_fix_k = fix_k;
+      rp_budget = budget;
+      rp_dry_run = dry_run;
+      rp_target_delay = target;
+      rp_noiseless_delay = noiseless;
+      rp_initial_delay = initial;
+      rp_final_delay = delay ();
+      rp_iterations = !iter;
+      rp_edits_applied = !applied;
+      rp_rejected = !rejected;
+      rp_outcome = Option.value ~default:Converged !outcome;
+      rp_journal = List.rev !journal_rev;
+      rp_curve = List.rev !curve;
+      rp_identical = identical;
+      rp_t_total_s = wall () -. t_start;
+    }
+  in
+  (report, !nl_cur, !elim_cur)
+
+let report_json r =
+  J.Obj
+    [
+      ("circuit", J.Str r.rp_circuit);
+      ("k", J.Int r.rp_k);
+      ("fix_k", J.Int r.rp_fix_k);
+      ("budget", J.Int r.rp_budget);
+      ("dry_run", J.Bool r.rp_dry_run);
+      ("target_delay_ns", J.Float r.rp_target_delay);
+      ("noiseless_delay_ns", J.Float r.rp_noiseless_delay);
+      ("initial_delay_ns", J.Float r.rp_initial_delay);
+      ("final_delay_ns", J.Float r.rp_final_delay);
+      ( "delay_recovered_ps",
+        J.Float ((r.rp_initial_delay -. r.rp_final_delay) *. 1000.) );
+      ("iterations", J.Int r.rp_iterations);
+      ("edits_applied", J.Int r.rp_edits_applied);
+      ("rejected", J.Int r.rp_rejected);
+      ("outcome", J.Str (outcome_name r.rp_outcome));
+      ("target_met", J.Bool (r.rp_outcome = Target_met));
+      ( "curve",
+        J.List
+          (List.map
+             (fun (n, d) ->
+               J.Obj [ ("edits", J.Int n); ("delay_ns", J.Float d) ])
+             r.rp_curve) );
+      ("journal", J.List (List.map entry_json r.rp_journal));
+      ("identical", J.Bool r.rp_identical);
+      ("t_total_s", J.Float r.rp_t_total_s);
+    ]

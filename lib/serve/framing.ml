@@ -11,19 +11,29 @@ let error_to_string = function
 
 let default_max_len = 64 * 1024 * 1024
 
+(* One output_string for the whole frame, then a retried flush: flush
+   resumes from whatever the interrupted write already drained, so
+   reissuing it cannot duplicate bytes (retrying a partially-buffered
+   output_string could). *)
 let write oc payload =
-  output_string oc (string_of_int (String.length payload));
-  output_char oc '\n';
-  output_string oc payload;
-  output_char oc '\n';
-  flush oc
+  let frame =
+    let b = Buffer.create (String.length payload + 24) in
+    Buffer.add_string b (string_of_int (String.length payload));
+    Buffer.add_char b '\n';
+    Buffer.add_string b payload;
+    Buffer.add_char b '\n';
+    Buffer.contents b
+  in
+  output_string oc frame;
+  Retry.eintr (fun () -> flush oc)
 
 (* The prefix is read byte by byte (it is tiny) so a desynchronised
    stream fails on the first non-digit instead of swallowing a line of
-   payload as a "length". *)
+   payload as a "length". Every blocking read retries EINTR: a signal
+   mid-frame must not surface as a spurious Malformed error. *)
 let read ?(max_len = default_max_len) ic =
   let rec prefix acc ndigits =
-    match input_char ic with
+    match Retry.eintr (fun () -> input_char ic) with
     | exception End_of_file ->
       if ndigits = 0 then Error Eof else Error (Malformed "eof inside length prefix")
     | '\n' ->
@@ -38,10 +48,20 @@ let read ?(max_len = default_max_len) ic =
   | Ok len when len > max_len -> Error (Oversized { declared = len; limit = max_len })
   | Ok len -> (
     let buf = Bytes.create len in
-    match really_input ic buf 0 len with
+    (* [really_input] restarted after an interrupted chunk would lose
+       the bytes earlier chunks already consumed — loop over [input]
+       and retry EINTR one read at a time instead *)
+    let rec really_read pos remaining =
+      if remaining = 0 then ()
+      else
+        let n = Retry.eintr (fun () -> input ic buf pos remaining) in
+        if n = 0 then raise End_of_file;
+        really_read (pos + n) (remaining - n)
+    in
+    match really_read 0 len with
     | exception End_of_file -> Error (Malformed "truncated payload")
     | () -> (
-      match input_char ic with
+      match Retry.eintr (fun () -> input_char ic) with
       | exception End_of_file -> Error (Malformed "missing frame terminator")
       | '\n' -> Ok (Bytes.unsafe_to_string buf)
       | c ->

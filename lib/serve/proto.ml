@@ -153,6 +153,19 @@ let edits_of_params ~lookup p =
         | Some cell -> Ok (Tka_incr.Edit.Resize_driver { gate = g; cell })
         | None -> Error (Printf.sprintf "unknown cell %S" cell_name))
       | _ -> Error "resize_driver needs an integer \"gate\" and a string \"cell\"")
+    | "strengthen_driver" -> (
+      let factor =
+        match J.member "factor" j with
+        | Some (J.Float f) -> Some f
+        | Some (J.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      match (J.member "gate" j, factor) with
+      | Some (J.Int g), Some f when Float.is_finite f && f > 0. ->
+        Ok (Tka_incr.Edit.Strengthen_driver { gate = g; factor = f })
+      | _ ->
+        Error
+          "strengthen_driver needs an integer \"gate\" and a positive \"factor\"")
     | op -> Error (Printf.sprintf "unknown edit op %S" op)
   in
   match J.member "edits" p with

@@ -69,6 +69,7 @@ val edits_of_params :
   (Tka_incr.Edit.t list, string) result
 (** ["edits"]: a list of
     [{"op":"remove_coupling","coupling":3}],
-    [{"op":"scale_coupling","coupling":3,"factor":0.5}] or
-    [{"op":"resize_driver","gate":2,"cell":"NAND2_X2"}] objects.
+    [{"op":"scale_coupling","coupling":3,"factor":0.5}],
+    [{"op":"resize_driver","gate":2,"cell":"NAND2_X2"}] or
+    [{"op":"strengthen_driver","gate":2,"factor":1.5}] objects.
     Range checks against the target netlist are the session's job. *)

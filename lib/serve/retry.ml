@@ -1,0 +1,13 @@
+(* Buffered channels report an interrupted read/write as
+   [Sys_error (strerror EINTR)] — there is no errno left to inspect,
+   so the message is matched. glibc and musl both say "Interrupted
+   system call". *)
+let is_eintr = function
+  | Unix.Unix_error (Unix.EINTR, _, _) -> true
+  | Sys_error m ->
+    let suffix = "Interrupted system call" in
+    let lm = String.length m and ls = String.length suffix in
+    lm >= ls && String.sub m (lm - ls) ls = suffix
+  | _ -> false
+
+let rec eintr f = try f () with e when is_eintr e -> eintr f

@@ -1,0 +1,20 @@
+(** Interrupted-syscall retry.
+
+    A signal delivered while a thread blocks in [read]/[write]/
+    [select]/[accept] makes the call fail with [EINTR] — surfaced by
+    the [Unix] module as [Unix_error (EINTR, _, _)] and by buffered
+    channel I/O as [Sys_error "Interrupted system call"]. Neither is
+    an error of the connection: the call must simply be reissued.
+    Without this, a stray [SIGCHLD]/[SIGWINCH]/profiling signal could
+    drop a healthy connection or surface a spurious protocol error
+    (the bug this module fixes in the accept loop and the framing
+    reader). *)
+
+val eintr : (unit -> 'a) -> 'a
+(** [eintr f] runs [f], reissuing it as long as it fails with an
+    interrupted-syscall error. Every other exception passes through
+    untouched. *)
+
+val is_eintr : exn -> bool
+(** True for [Unix.Unix_error (EINTR, _, _)] and for the [Sys_error]
+    buffered-channel equivalent. *)

@@ -121,7 +121,7 @@ let rec dispatch t session ~in_batch (rq : Proto.request) =
         in
         Proto.ok_response ~id (J.Obj [ ("replies", J.List replies) ])
       | _ -> err Proto.Bad_request "\"requests\" must be a list")
-  | ("analyze" | "whatif" | "eco") as meth ->
+  | ("analyze" | "whatif" | "eco" | "repair") as meth ->
     guard_stop (fun () ->
         admitted t ~id ~params (fun () ->
             session_reply ~id (Session.handle session ~meth ~params)))
@@ -151,6 +151,19 @@ let handle_one t session payload = J.to_string (handle_payload t session payload
 (* Connections                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* A peer that closes (or resets) after sending its request makes the
+   reply write fail with EPIPE — as a [Unix_error] from an unbuffered
+   write or a [Sys_error] from the buffered flush. With SIGPIPE ignored
+   (see {!serve}) that failure reaches us as an exception scoped to this
+   one connection; returning [false] closes it and nothing else. *)
+let write_reply oc payload =
+  try
+    Framing.write oc payload;
+    true
+  with
+  | Sys_error _ -> false
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> false
+
 let connection_loop t fd =
   Metrics.Counter.incr c_connections;
   let ic = Unix.in_channel_of_descr fd in
@@ -163,13 +176,12 @@ let connection_loop t fd =
     | Error Framing.Eof -> ()
     | Error e ->
       (* the stream is desynchronised: answer once, then close *)
-      Framing.write oc
-        (J.to_string
-           (Proto.error_response ~id:J.Null Proto.Bad_request
-              (Framing.error_to_string e)))
-    | Ok payload ->
-      Framing.write oc (handle_one t session payload);
-      loop ()
+      ignore
+        (write_reply oc
+           (J.to_string
+              (Proto.error_response ~id:J.Null Proto.Bad_request
+                 (Framing.error_to_string e))))
+    | Ok payload -> if write_reply oc (handle_one t session payload) then loop ()
   in
   (try loop () with _ -> () (* peer reset mid-frame; nothing to answer *));
   try Unix.close fd with Unix.Unix_error _ -> ()
@@ -211,18 +223,24 @@ let close_listener fd =
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let serve t ~listeners =
+  (* Library-level, not just in the CLI wrapper: embedded servers
+     (tests, bench) must also survive a client that disconnects while
+     a reply is in flight. With default disposition the EPIPE write
+     raises SIGPIPE first and kills the whole process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> () (* platform without SIGPIPE *));
   let rec loop () =
     if stopping t then ()
     else begin
-      (match Unix.select listeners [] [] 0.05 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | ready, _, _ ->
-        List.iter
-          (fun lfd ->
-            match Unix.accept ~cloexec:true lfd with
-            | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
-            | fd, _ -> ignore (Thread.create (connection_loop t) fd))
-          ready);
+      let ready, _, _ =
+        Retry.eintr (fun () -> Unix.select listeners [] [] 0.05)
+      in
+      List.iter
+        (fun lfd ->
+          match Retry.eintr (fun () -> Unix.accept ~cloexec:true lfd) with
+          | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+          | fd, _ -> ignore (Thread.create (connection_loop t) fd))
+        ready;
       loop ()
     end
   in

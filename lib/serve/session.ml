@@ -7,6 +7,8 @@ module Analyzer = Tka_incr.Analyzer
 module Cache = Tka_incr.Cache
 module Dirty = Tka_incr.Dirty
 module Edit = Tka_incr.Edit
+module Eco = Tka_incr.Eco
+module Repair = Tka_incr.Repair
 module Engine = Tka_topk.Engine
 module Elimination = Tka_topk.Elimination
 module CS = Tka_topk.Coupling_set
@@ -155,7 +157,8 @@ let validate_edits d edits =
             ( Proto.Bad_request,
               Printf.sprintf "coupling %d out of range (design has %d)" c nc )
         else Ok ()
-      | Edit.Resize_driver { gate = g; _ } ->
+      | Edit.Resize_driver { gate = g; _ }
+      | Edit.Strengthen_driver { gate = g; _ } ->
         if g < 0 || g >= ng then
           Error
             ( Proto.Bad_request,
@@ -212,16 +215,23 @@ let eco t params =
   else
     let t0 = Clock.now_s () in
     let elim, st = Analyzer.run d.d_analyzer d.d_topo in
-    let set =
+    (* surface which rule produced the set — a dual_set fallback used
+       to be silent here, so clients could not tell an elimination fix
+       from an addition-mode one (or from no fix at all) *)
+    let rule, set =
       match Elimination.set elim fix_k with
-      | Some s -> Some s
-      | None -> Elimination.dual_set elim fix_k
+      | Some s -> (Eco.Rule_elim, Some s)
+      | None -> (
+        match Elimination.dual_set elim fix_k with
+        | Some s -> (Eco.Rule_dual, Some s)
+        | None -> (Eco.Rule_none, None))
     in
     let delay_noisy = elim.Elimination.result.Engine.res_noisy_delay in
     let base =
       [
         ("design", J.Str d.d_name);
         ("fix_k", J.Int fix_k);
+        ("rule", J.Str (Eco.rule_name rule));
         ("delay_noisy_ns", J.Float delay_noisy);
         ("analysis_hits", J.Int st.Analyzer.rs_hits);
         ("analysis_misses", J.Int st.Analyzer.rs_misses);
@@ -270,6 +280,77 @@ let eco t params =
              ]))
 
 (* ------------------------------------------------------------------ *)
+(* repair                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The repair loop runs on the session's netlist with its own private
+   analyzer state (trial snapshots must not evict co-tenants from the
+   shared cache). On success the repaired netlist is committed as a new
+   registry tenant, exactly like an [eco] commit — unless [dry_run].
+   [verify] defaults to false here: the RPC caller usually wants the
+   loop, not the scratch re-analysis; pass [{"verify":true}] to gate on
+   bit-identity like the CLI does. *)
+let repair t params =
+  let* d = require t in
+  let* fix_k = bad (Proto.param_int_default params "fix_k" 1) in
+  let* budget = bad (Proto.param_int_default params "budget" 10) in
+  let* target_ns = bad (Proto.param_float_opt params "target_ns") in
+  let* recover_opt = bad (Proto.param_float_opt params "recover") in
+  let* dry_run = bad (Proto.param_bool_default params "dry_run" false) in
+  let* verify = bad (Proto.param_bool_default params "verify" false) in
+  if fix_k < 1 || fix_k > d.d_k then
+    Error
+      ( Proto.Bad_request,
+        Printf.sprintf "\"fix_k\" must be in [1, %d] (the session's k)" d.d_k )
+  else if budget < 0 then Error (Proto.Bad_request, "\"budget\" must be >= 0")
+  else
+    let recover = Option.value ~default:0.5 recover_opt in
+    if not (Float.is_finite recover && recover >= 0. && recover <= 1.) then
+      Error (Proto.Bad_request, "\"recover\" must be in [0, 1]")
+    else
+      match
+        (* no [journal]/[checkpoint] paths: an RPC never writes files;
+           [dry_run] here only controls whether the result is committed *)
+        Repair.run ~k:d.d_k ~fix_k ~budget ?target_delay:target_ns ~recover
+          ~dry_run ~verify d.d_nl
+      with
+      | exception Invalid_argument m -> Error (Proto.Bad_request, m)
+      | report, nl', _elim ->
+        let committed =
+          (not dry_run) && report.Repair.rp_edits_applied > 0
+        in
+        let d' =
+          if not committed then d
+          else begin
+            let fp' = Registry.fingerprint nl' in
+            let cache' = Registry.attach t.registry ~fp:fp' in
+            let d' =
+              {
+                d with
+                d_nl = nl';
+                d_topo = Topo.create nl';
+                d_fp = fp';
+                d_analyzer = Analyzer.with_shared_cache ~k:d.d_k ~cache:cache' ();
+              }
+            in
+            t.design <- Some d';
+            d'
+          end
+        in
+        let fields =
+          match Repair.report_json report with
+          | J.Obj f -> f
+          | j -> [ ("repair", j) ]
+        in
+        Ok
+          (J.Obj
+             (fields
+             @ [
+                 ("committed", J.Bool committed);
+                 ("fingerprint", J.Str (hex_fp d'.d_fp));
+               ]))
+
+(* ------------------------------------------------------------------ *)
 (* dispatch                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -280,4 +361,5 @@ let handle t ~meth ~params =
   | "analyze" -> analyze t params
   | "whatif" -> whatif t params
   | "eco" -> eco t params
+  | "repair" -> repair t params
   | m -> Error (Proto.Bad_request, Printf.sprintf "unknown method %S" m)

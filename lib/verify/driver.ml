@@ -157,6 +157,24 @@ let trial_incr cx rng trial =
     record cx ~trial ~invariant:"incr" ~detail ~k ~netlist:(Nf.print nl) ~edits
       ()
 
+let trial_repair cx rng trial =
+  cx.cx_oracle <- cx.cx_oracle + 1;
+  let nl = Gen.medium_circuit rng in
+  let k = Rng.int_in rng 2 4 in
+  let budget = Rng.int_in rng 1 3 in
+  let check nl = Oracle.repair ~budget ~k nl in
+  match check nl with
+  | Oracle.Pass -> ()
+  | Oracle.Skip _ -> cx.cx_skipped <- cx.cx_skipped + 1
+  | Oracle.Fail detail ->
+    let nl =
+      if cx.cx_minimize then
+        minimize_couplings ~fails:(fun nl -> fail_detail (check nl) <> None) nl
+      else nl
+    in
+    let detail = Option.value ~default:detail (fail_detail (check nl)) in
+    record cx ~trial ~invariant:"repair" ~detail ~k ~netlist:(Nf.print nl) ()
+
 let trial_fuzz cx rng trial =
   cx.cx_fuzz <- cx.cx_fuzz + 1;
   let fmt = Rng.pick_list rng Fuzz.all in
@@ -198,15 +216,16 @@ let run ?(seed = 1) ?(trials = 500) ?(budget_s = infinity) ?(minimize = true)
   let trial = ref 0 in
   while !trial < trials && wall () -. t0 < budget_s do
     let rng = Rng.split master in
-    (* two fuzz slots per six trials: the fuzzer is orders of magnitude
-       cheaper than an oracle trial, so it still dominates in count
-       when a budget is set *)
+    (* two fuzz slots per seven trials: the fuzzer is orders of
+       magnitude cheaper than an oracle trial, so it still dominates in
+       count when a budget is set *)
     let family, body =
-      match !trial mod 6 with
+      match !trial mod 7 with
       | 0 -> ("brute", trial_brute)
       | 1 -> ("duality", trial_duality)
       | 2 -> ("jobs", trial_jobs)
       | 3 -> ("incr", trial_incr)
+      | 4 -> ("repair", trial_repair)
       | _ -> ("fuzz", trial_fuzz)
     in
     Trace.with_span ~cat:"verify"

@@ -39,13 +39,19 @@ let random_edit rng nl =
     | [] -> None
     | cells -> Some (Edit.Resize_driver { gate = g; cell = Rng.pick_list rng cells })
   in
-  match if nc = 0 then 2 else Rng.int rng 3 with
+  let strengthen () =
+    let g = Rng.int rng (N.num_gates nl) in
+    (* factor in [0.5, 2.5): exercises both widening and shrinking *)
+    Some (Edit.Strengthen_driver { gate = g; factor = 0.5 +. Rng.float rng 2.0 })
+  in
+  match if nc = 0 then 2 + Rng.int rng 2 else Rng.int rng 4 with
   | 0 -> Some (Edit.Remove_coupling (Rng.int rng nc))
   | 1 ->
     Some
       (Edit.Scale_coupling
          { coupling = Rng.int rng nc; factor = Rng.float rng 1.0 })
-  | _ -> resize ()
+  | 2 -> resize ()
+  | _ -> strengthen ()
 
 let edits rng nl =
   if N.num_gates nl = 0 then []

@@ -150,6 +150,60 @@ let table2x ?expected spec =
            "table2x: %s (seed %d) fingerprint drifted: expected %s, got %s"
            spec.Tka_layout.Table2x.tx_name spec.Tka_layout.Table2x.tx_seed e a)
 
+(* The repair loop makes three claims worth falsifying: its final
+   incremental state matches a scratch re-analysis (rp_identical), its
+   journal replays to the exact final netlist, and the journal survives
+   a JSON round-trip without losing that property. The loop only emits
+   remove/scale/strengthen edits, so the round-trip needs no cell
+   lookup. *)
+let repair ?(budget = 3) ~k nl =
+  let module Repair = Tka_incr.Repair in
+  if N.num_couplings nl = 0 then Skip "no couplings"
+  else begin
+    let report, nl_final, elim_final = Repair.run ~k ~fix_k:1 ~budget nl in
+    let journal = report.Repair.rp_journal in
+    if not report.Repair.rp_identical then
+      Fail
+        (Printf.sprintf
+           "repair: final incremental state differs bitwise from a scratch \
+            re-analysis after %d applied edit(s)"
+           report.Repair.rp_edits_applied)
+    else if
+      netlist_fingerprint (Repair.replay nl journal)
+      <> netlist_fingerprint nl_final
+    then Fail "repair: replaying the journal does not reproduce the final netlist"
+    else begin
+      let round_tripped =
+        List.map
+          (fun e ->
+            match
+              Repair.entry_of_json ~lookup:(fun _ -> None)
+                (Repair.entry_json e)
+            with
+            | Ok e -> e
+            | Error m -> failwith m)
+          journal
+      in
+      match round_tripped with
+      | exception Failure m ->
+        Fail
+          (Printf.sprintf "repair: journal entry does not survive a JSON round-trip: %s" m)
+      | entries ->
+        let replayed = Repair.replay nl entries in
+        if netlist_fingerprint replayed <> netlist_fingerprint nl_final then
+          Fail
+            "repair: replaying the JSON round-tripped journal does not \
+             reproduce the final netlist"
+        else
+          let scratch = Elimination.compute ~k (Topo.create replayed) in
+          if Eco.elim_identical scratch elim_final then Pass
+          else
+            Fail
+              "repair: scratch analysis of the replayed netlist differs \
+               bitwise from the loop's final state"
+    end
+  end
+
 let incremental ~k nl edits =
   match edits with
   | [] -> Skip "empty edit script"

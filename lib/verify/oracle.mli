@@ -60,3 +60,12 @@ val incremental :
     incrementally, and compare bitwise against a from-scratch
     {!Tka_topk.Elimination.compute} of the edited design. [Skip] on an
     empty script. *)
+
+val repair : ?budget:int -> k:int -> Tka_circuit.Netlist.t -> verdict
+(** Drive {!Tka_incr.Repair.run} (default [budget] 3, [fix_k] 1) and
+    check its three contracts: the accepted repair state is
+    bit-identical to a scratch re-analysis; replaying the journal —
+    both as returned and after a JSON round-trip of every entry —
+    reproduces the final netlist exactly ({!netlist_fingerprint}); and
+    a scratch analysis of the replayed netlist is bit-identical to the
+    loop's final state. [Skip] on a design without couplings. *)

@@ -2,7 +2,11 @@ module J = Tka_obs.Jsonx
 module Edit = Tka_incr.Edit
 module Lib = Tka_cell.Default_lib
 
-type edit_spec = Remove of int | Scale of int * float | Resize of int * string
+type edit_spec =
+  | Remove of int
+  | Scale of int * float
+  | Resize of int * string
+  | Strengthen of int * float
 
 type t = {
   rp_invariant : string;
@@ -20,12 +24,14 @@ let spec_of_edit = function
   | Edit.Remove_coupling c -> Remove c
   | Edit.Scale_coupling { coupling; factor } -> Scale (coupling, factor)
   | Edit.Resize_driver { gate; cell } -> Resize (gate, cell.Tka_cell.Cell.name)
+  | Edit.Strengthen_driver { gate; factor } -> Strengthen (gate, factor)
 
 let edit_of_spec = function
   | Remove c -> Some (Edit.Remove_coupling c)
   | Scale (coupling, factor) -> Some (Edit.Scale_coupling { coupling; factor })
   | Resize (gate, cellname) ->
     Option.map (fun cell -> Edit.Resize_driver { gate; cell }) (Lib.find cellname)
+  | Strengthen (gate, factor) -> Some (Edit.Strengthen_driver { gate; factor })
 
 let json_of_spec = function
   | Remove c -> J.Obj [ ("op", J.Str "remove"); ("coupling", J.Int c) ]
@@ -33,6 +39,8 @@ let json_of_spec = function
     J.Obj [ ("op", J.Str "scale"); ("coupling", J.Int c); ("factor", J.Float f) ]
   | Resize (g, cell) ->
     J.Obj [ ("op", J.Str "resize"); ("gate", J.Int g); ("cell", J.Str cell) ]
+  | Strengthen (g, f) ->
+    J.Obj [ ("op", J.Str "strengthen"); ("gate", J.Int g); ("factor", J.Float f) ]
 
 let spec_of_json j =
   let int key = match J.member key j with Some (J.Int i) -> Some i | _ -> None in
@@ -47,6 +55,7 @@ let spec_of_json j =
   | Some "remove", Some c, _, _, _ -> Ok (Remove c)
   | Some "scale", Some c, Some f, _, _ -> Ok (Scale (c, f))
   | Some "resize", _, _, Some g, Some cell -> Ok (Resize (g, cell))
+  | Some "strengthen", _, Some f, Some g, _ -> Ok (Strengthen (g, f))
   | _ -> Error "malformed edit spec"
 
 let opt f = function None -> J.Null | Some x -> f x

@@ -12,6 +12,7 @@ type edit_spec =
   | Remove of int  (** coupling id *)
   | Scale of int * float  (** coupling id, factor in [0, 1] *)
   | Resize of int * string  (** gate id, cell name in the default library *)
+  | Strengthen of int * float  (** gate id, in-place widening factor > 0 *)
 
 type t = {
   rp_invariant : string;

@@ -19,6 +19,8 @@ module Fingerprint = Tka_incr.Fingerprint
 module Cache = Tka_incr.Cache
 module Analyzer = Tka_incr.Analyzer
 module Eco = Tka_incr.Eco
+module Repair = Tka_incr.Repair
+module Nf = Tka_circuit.Netlist_format
 
 let at_jobs jobs f =
   let before = Pool.default_jobs () in
@@ -146,6 +148,58 @@ let test_edit_resize_touches () =
         (Printf.sprintf "fanin net %d touched" u)
         true (List.mem u touched))
     g.N.fanin
+
+let test_edit_strengthen () =
+  let nl = B.tiny () in
+  let g = N.gate nl 0 in
+  let factor = 1.5 in
+  let nl', _ = Edit.apply nl [ Edit.Strengthen_driver { gate = 0; factor } ] in
+  let cell0 = g.N.cell and cell' = (N.gate nl' 0).N.cell in
+  Alcotest.(check (float 1e-12))
+    "drive resistance divided by the factor"
+    (cell0.Cell.drive_resistance /. factor)
+    cell'.Cell.drive_resistance;
+  List.iter2
+    (fun p p' ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "input cap of %s scaled up" p.Cell.pin_name)
+        (factor *. p.Cell.capacitance)
+        p'.Cell.capacitance)
+    cell0.Cell.inputs cell'.Cell.inputs;
+  (* same footprint as a resize: the load seen by fanin drivers moves *)
+  let touched =
+    Edit.touched_nets nl [ Edit.Strengthen_driver { gate = 0; factor } ]
+  in
+  Alcotest.(check bool) "output net touched" true (List.mem g.N.fanout touched);
+  List.iter
+    (fun (_, u) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fanin net %d touched" u)
+        true (List.mem u touched))
+    g.N.fanin;
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "factor %g rejected" bad)
+        true
+        (try
+           ignore
+             (Edit.apply nl [ Edit.Strengthen_driver { gate = 0; factor = bad } ]);
+           false
+         with Invalid_argument _ -> true))
+    [ 0.; -1.; Float.nan; Float.infinity ];
+  (* the wire format round-trips every edit kind; strengthen needs no
+     cell lookup (the factor is the whole payload) *)
+  List.iter
+    (fun e ->
+      match Edit.of_json ~lookup:(fun _ -> None) (Edit.to_json e) with
+      | Ok e' -> Alcotest.(check bool) "edit JSON round-trip" true (e = e')
+      | Error m -> Alcotest.failf "edit did not round-trip: %s" m)
+    [
+      Edit.Remove_coupling 3;
+      Edit.Scale_coupling { coupling = 1; factor = 0.25 };
+      Edit.Strengthen_driver { gate = 0; factor = 1.5 };
+    ]
 
 let test_dirty_closure () =
   let nl = B.c17 () in
@@ -291,6 +345,97 @@ let test_eco_loop () =
     (r.Eco.eco_delay_fixed <= r.Eco.eco_delay_noisy +. 1e-9)
 
 (* ------------------------------------------------------------------ *)
+(* Repair loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Netlists are compared through their canonical text: two netlists
+   that print identically are the same design bit for bit. *)
+let same_netlist a b = String.equal (Nf.print a) (Nf.print b)
+
+let in_temp name f =
+  let path = Filename.temp_file "tka_repair" name in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_repair_loop () =
+  let nl = B.c17 () in
+  let report, nl', _elim = Repair.run ~k:4 ~fix_k:1 ~budget:3 ~recover:0.5 nl in
+  Alcotest.(check bool)
+    "final state identical to scratch" true report.Repair.rp_identical;
+  Alcotest.(check bool)
+    "repair does not worsen the delay" true
+    (report.Repair.rp_final_delay <= report.Repair.rp_initial_delay +. 1e-9);
+  (match report.Repair.rp_curve with
+  | (0, d0) :: _ ->
+    Alcotest.(check (float 0.)) "curve starts at the initial delay"
+      report.Repair.rp_initial_delay d0
+  | _ -> Alcotest.fail "curve must start at (0, initial delay)");
+  Alcotest.(check int)
+    "rejected count matches the journal"
+    (List.length
+       (List.filter (fun e -> not e.Repair.en_accepted) report.Repair.rp_journal))
+    report.Repair.rp_rejected;
+  Alcotest.(check bool)
+    "journal replays to the final netlist" true
+    (same_netlist nl' (Repair.replay nl report.Repair.rp_journal))
+
+let test_repair_journal_roundtrip () =
+  in_temp ".ndjson" (fun path ->
+      let nl = B.c17 () in
+      let report, nl', _ =
+        Repair.run ~k:4 ~fix_k:1 ~budget:3 ~journal:path nl
+      in
+      match Repair.load_journal ~lookup:(fun _ -> None) path with
+      | Error m -> Alcotest.failf "journal did not load back: %s" m
+      | Ok entries ->
+        Alcotest.(check int)
+          "all trials journaled on disk"
+          (List.length report.Repair.rp_journal)
+          (List.length entries);
+        Alcotest.(check bool)
+          "loaded journal replays to the final netlist" true
+          (same_netlist nl' (Repair.replay nl entries)))
+
+let test_repair_dry_run () =
+  in_temp ".ndjson" (fun journal ->
+      in_temp ".ckpt" (fun ckpt ->
+          (* a pre-existing checkpoint must come through byte-identical:
+             dry-run promises no file writes, even of equivalent content *)
+          let stale = "not a checkpoint at all\n" in
+          Out_channel.with_open_bin ckpt (fun oc -> output_string oc stale);
+          let report, _, _ =
+            Repair.run ~k:4 ~fix_k:1 ~budget:2 ~dry_run:true ~journal
+              ~checkpoint:ckpt (B.c17 ())
+          in
+          Alcotest.(check bool) "report says dry run" true report.Repair.rp_dry_run;
+          Alcotest.(check bool)
+            "no journal file written" false (Sys.file_exists journal);
+          Alcotest.(check string)
+            "checkpoint untouched" stale
+            (In_channel.with_open_bin ckpt In_channel.input_all)))
+
+let test_repair_no_mutation () =
+  let nl = B.c17 () in
+  let before = Nf.print nl in
+  (* target already met: the loop must exit immediately, apply nothing
+     and hand back the design unchanged *)
+  let report, nl', _ =
+    Repair.run ~k:4 ~fix_k:1 ~budget:3 ~target_delay:1e9 nl
+  in
+  Alcotest.(check bool)
+    "already-met target -> Target_met" true
+    (report.Repair.rp_outcome = Repair.Target_met);
+  Alcotest.(check int) "no edits applied" 0 report.Repair.rp_edits_applied;
+  Alcotest.(check bool) "netlist unchanged" true (same_netlist nl nl');
+  Alcotest.(check string) "input netlist not mutated" before (Nf.print nl);
+  (* budget 0: every candidate is over budget, nothing may change *)
+  let report0, nl0, _ = Repair.run ~k:4 ~fix_k:1 ~budget:0 nl in
+  Alcotest.(check int) "budget 0 applies nothing" 0 report0.Repair.rp_edits_applied;
+  Alcotest.(check bool) "budget 0 leaves the netlist" true (same_netlist nl nl0)
+
+(* ------------------------------------------------------------------ *)
 (* qcheck: random edit sequences, applied incrementally, at jobs 1/4  *)
 (* ------------------------------------------------------------------ *)
 
@@ -362,6 +507,7 @@ let () =
           Alcotest.test_case "edits compose" `Quick test_edit_compose;
           Alcotest.test_case "resize touches fanin" `Quick
             test_edit_resize_touches;
+          Alcotest.test_case "strengthen driver" `Quick test_edit_strengthen;
           Alcotest.test_case "dirty closure" `Quick test_dirty_closure;
         ] );
       ( "cache",
@@ -377,6 +523,15 @@ let () =
           Alcotest.test_case "checkpoint rejects garbage" `Quick
             test_checkpoint_rejects_garbage;
           Alcotest.test_case "eco loop" `Quick test_eco_loop;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "loop invariants" `Quick test_repair_loop;
+          Alcotest.test_case "journal round-trip" `Quick
+            test_repair_journal_roundtrip;
+          Alcotest.test_case "dry run writes nothing" `Quick test_repair_dry_run;
+          Alcotest.test_case "no mutation without budget or need" `Quick
+            test_repair_no_mutation;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest test_random_edit_sequences ] );

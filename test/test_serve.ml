@@ -117,6 +117,40 @@ let test_framing_garbage () =
         Alcotest.failf "expected Oversized, got %s" (Framing.error_to_string e)
       | Ok _ -> Alcotest.fail "oversized frame accepted")
 
+(* A callee that fails with EINTR a few times before succeeding: the
+   retry helper must reissue it transparently, for both the Unix and
+   the buffered-channel spelling of the error, and must not swallow
+   anything else. *)
+let test_retry_eintr () =
+  let module Retry = Tka_serve.Retry in
+  let flaky exn n =
+    let left = ref n in
+    fun () ->
+      if !left > 0 then begin
+        decr left;
+        raise exn
+      end
+      else 42
+  in
+  Alcotest.(check int)
+    "retries Unix EINTR" 42
+    (Retry.eintr (flaky (Unix.Unix_error (Unix.EINTR, "read", "")) 3));
+  Alcotest.(check int)
+    "retries the Sys_error spelling" 42
+    (Retry.eintr (flaky (Sys_error "my.sock: Interrupted system call") 3));
+  Alcotest.(check bool)
+    "other Unix errors pass through" true
+    (try
+       ignore (Retry.eintr (flaky (Unix.Unix_error (Unix.EPIPE, "write", "")) 1));
+       false
+     with Unix.Unix_error (Unix.EPIPE, _, _) -> true);
+  Alcotest.(check bool)
+    "other Sys_errors pass through" true
+    (try
+       ignore (Retry.eintr (flaky (Sys_error "Broken pipe") 1));
+       false
+     with Sys_error _ -> true)
+
 (* qcheck: an arbitrary byte string — embedded newlines, NULs, high
    bytes — survives write-then-read bit-exactly, including when
    several frames share a stream. *)
@@ -449,6 +483,82 @@ let test_eco_advances () =
     "post-eco analysis matches the committed design" true
     (float_member "all_aggressor_delay_ns" after = fixed)
 
+(* The eco reply names the rule that produced its fix set — a silent
+   dual_set fallback is indistinguishable from an elimination fix
+   otherwise. *)
+let test_eco_rule_surfaced () =
+  let srv = make_server () in
+  let sess = session srv in
+  let body = Nf.print (Option.get (B.by_name "i1")) in
+  ignore
+    (result_exn "load i1"
+       (rpc srv sess "load" (J.Obj [ ("netlist", J.Str body); ("k", J.Int 4) ])));
+  let eco =
+    result_exn "eco" (rpc srv sess "eco" (J.Obj [ ("fix_k", J.Int 1) ]))
+  in
+  match J.member "rule" eco with
+  | Some (J.Str rule) ->
+    Alcotest.(check bool)
+      "rule is a known name" true
+      (List.mem rule [ "elim"; "dual"; "none" ]);
+    if int_member "edits" eco > 0 then
+      Alcotest.(check bool) "an applied fix names its rule" true (rule <> "none")
+  | _ -> Alcotest.fail "eco reply must carry the chosen rule"
+
+let test_repair_rpc () =
+  let srv = make_server () in
+  let sess = session srv in
+  let body = Nf.print (Option.get (B.by_name "i1")) in
+  ignore
+    (result_exn "load i1"
+       (rpc srv sess "load" (J.Obj [ ("netlist", J.Str body); ("k", J.Int 4) ])));
+  let info () = result_exn "info" (rpc srv sess "info" (J.Obj [])) in
+  let before = info () in
+  (* dry run: full loop, nothing committed *)
+  let dry =
+    result_exn "repair dry_run"
+      (rpc srv sess "repair"
+         (J.Obj
+            [
+              ("budget", J.Int 2);
+              ("recover", J.Float 0.25);
+              ("dry_run", J.Bool true);
+            ]))
+  in
+  Alcotest.(check bool)
+    "dry run is not committed" true
+    (J.member "committed" dry = Some (J.Bool false));
+  Alcotest.(check string)
+    "session design unchanged by a dry run" (J.to_string before)
+    (J.to_string (info ()));
+  (* the real run commits and a fresh analyze sees the repaired design *)
+  let rep =
+    result_exn "repair"
+      (rpc srv sess "repair"
+         (J.Obj [ ("budget", J.Int 2); ("recover", J.Float 0.25) ]))
+  in
+  Alcotest.(check bool)
+    "repair applied at least one edit" true
+    (int_member "edits_applied" rep > 0);
+  Alcotest.(check bool)
+    "an advancing repair is committed" true
+    (J.member "committed" rep = Some (J.Bool true));
+  Alcotest.(check bool)
+    "repair does not worsen the delay" true
+    (float_member "final_delay_ns" rep
+    <= float_member "initial_delay_ns" rep +. 1e-9);
+  let an = result_exn "analyze" (rpc srv sess "analyze" (J.Obj [])) in
+  Alcotest.(check (float 0.))
+    "post-repair analysis matches the committed design"
+    (float_member "final_delay_ns" rep)
+    (float_member "all_aggressor_delay_ns" an);
+  (* parameter validation is structured *)
+  Alcotest.(check string)
+    "bad fix_k -> bad_request" "bad_request"
+    (Proto.code_to_string
+       (error_code "repair"
+          (rpc srv sess "repair" (J.Obj [ ("fix_k", J.Int 99) ]))))
+
 (* ------------------------------------------------------------------ *)
 (* Admission control                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -622,6 +732,40 @@ let test_socket_garbage () =
           | Ok _ -> ()
           | Error (_, m) -> Alcotest.failf "ping after garbage failed: %s" m))
 
+(* Regression: a client that sends a request and closes without
+   reading the reply used to kill the whole daemon — the reply write
+   hit a dead peer and the resulting SIGPIPE (default disposition:
+   terminate) took every other connection down with it. Now the EPIPE
+   is scoped to that one connection. *)
+let test_socket_disconnect_mid_reply () =
+  with_daemon (fun _srv sock ->
+      for _ = 1 to 3 do
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        let oc = Unix.out_channel_of_descr fd in
+        (* a request with a sizable reply, then vanish before reading it *)
+        Framing.write oc
+          (J.to_string
+             (J.Obj
+                [
+                  ("id", J.Int 1);
+                  ("method", J.Str "load");
+                  ( "params",
+                    J.Obj [ ("netlist", J.Str tiny_body); ("k", J.Int 4) ] );
+                ]));
+        Unix.close fd;
+        Thread.delay 0.05
+      done;
+      (* the daemon survived every abandoned connection *)
+      let c = Client.connect_unix sock in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match Client.call c ~meth:"ping" () with
+          | Ok _ -> ()
+          | Error (_, m) ->
+            Alcotest.failf "ping after mid-reply disconnects failed: %s" m))
+
 (* ------------------------------------------------------------------ *)
 
 let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
@@ -634,6 +778,7 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_framing_roundtrip;
           Alcotest.test_case "stream" `Quick test_framing_stream;
           Alcotest.test_case "garbage" `Quick test_framing_garbage;
+          Alcotest.test_case "eintr retry" `Quick test_retry_eintr;
         ] );
       qsuite "framing-qcheck" [ prop_framing_roundtrip ];
       ("proto", [ Alcotest.test_case "codes" `Quick test_proto_codes ]);
@@ -653,6 +798,8 @@ let () =
           Alcotest.test_case "whatif does not advance" `Quick
             test_whatif_does_not_advance;
           Alcotest.test_case "eco advances" `Quick test_eco_advances;
+          Alcotest.test_case "eco rule surfaced" `Quick test_eco_rule_surfaced;
+          Alcotest.test_case "repair rpc" `Quick test_repair_rpc;
         ] );
       ( "admission",
         [
@@ -664,5 +811,7 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_socket_roundtrip;
           Alcotest.test_case "garbage" `Quick test_socket_garbage;
+          Alcotest.test_case "disconnect mid-reply" `Quick
+            test_socket_disconnect_mid_reply;
         ] );
     ]

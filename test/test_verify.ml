@@ -212,15 +212,22 @@ let test_oracle_incremental_tiny () =
   | Oracle.Pass | Oracle.Skip _ -> ()
   | Oracle.Fail d -> Alcotest.fail ("incremental violated: " ^ d)
 
+let test_oracle_repair_tiny () =
+  let rng = Rng.create 43 in
+  let nl = Gen.medium_circuit rng in
+  match Oracle.repair ~budget:2 ~k:2 nl with
+  | Oracle.Pass | Oracle.Skip _ -> ()
+  | Oracle.Fail d -> Alcotest.fail ("repair violated: " ^ d)
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let test_driver_smoke () =
-  (* a short run across all six trial families must find nothing *)
-  let s = Driver.run ~seed:7 ~trials:18 ~minimize:false () in
-  Alcotest.(check int) "all trials ran" 18 s.Driver.vs_trials;
-  Alcotest.(check int) "families split" 18 Driver.(s.vs_oracle + s.vs_fuzz);
+  (* a short run across all seven trial families must find nothing *)
+  let s = Driver.run ~seed:7 ~trials:21 ~minimize:false () in
+  Alcotest.(check int) "all trials ran" 21 s.Driver.vs_trials;
+  Alcotest.(check int) "families split" 21 Driver.(s.vs_oracle + s.vs_fuzz);
   (match s.Driver.vs_failures with
   | [] -> ()
   | f :: _ ->
@@ -294,6 +301,7 @@ let () =
           Alcotest.test_case "brute rejects k>3" `Quick
             test_oracle_brute_rejects_large_k;
           Alcotest.test_case "incremental" `Quick test_oracle_incremental_tiny;
+          Alcotest.test_case "repair" `Quick test_oracle_repair_tiny;
           Alcotest.test_case "table2x pinned" `Quick
             test_oracle_table2x_pinned;
         ] );

@@ -126,7 +126,7 @@ let parse_args () =
     o.sections <-
       [
         "stats"; "table1"; "table2a"; "table2b"; "figure10"; "ablation";
-        "parallel"; "eco"; "repair"; "serve"; "kernels";
+        "filter"; "parallel"; "eco"; "repair"; "serve"; "kernels";
       ];
   o
 
@@ -481,7 +481,9 @@ let run_ablation o =
         ]
   in
   let row label ~capacity ~use_pseudo ~use_higher_order =
-    let config = { Engine.k; capacity; use_pseudo; use_higher_order } in
+    let config =
+      { (Engine.default_config ~k) with Engine.capacity; use_pseudo; use_higher_order }
+    in
     let t0 = wall () in
     let r = Engine.compute ~config ~mode:Engine.Addition topo in
     let rt = wall () -. t0 in
@@ -514,6 +516,141 @@ let run_ablation o =
   row "capacity 8" ~capacity:8 ~use_pseudo:true ~use_higher_order:true;
   row "capacity 32" ~capacity:32 ~use_pseudo:true ~use_higher_order:true;
   Printf.printf "circuit %s, top-%d addition analysis\n%s" name k (Tt.render t)
+
+(* ------------------------------------------------------------------ *)
+(* Aggressor candidate filtering                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-engine candidate filter (docs/filtering.md): r-reduction
+   and enumeration speedup per mode on the elimination engine, with
+   the contract the verify oracle enforces also pinned here — [none]
+   must be bit-identical to the default run, whole Elimination.t
+   compared field by field, and CI gates on the resulting
+   ["identical"] flag. The r-reduction numbers come from
+   Filter.survey, a pure walk over every victim, so they are the same
+   at any jobs count; runtimes are min-of-2 with a shared noise
+   fixpoint so the figure is the enumeration itself. *)
+let run_filter o =
+  let module Filter = Tka_filter.Filter in
+  let module Fmode = Tka_filter.Mode in
+  section "Aggressor candidate filter: r-reduction and engine speedup";
+  let names =
+    if o.quick then [ List.hd o.circuits ]
+    else
+      let n = List.length o.circuits in
+      List.sort_uniq String.compare
+        [
+          List.hd o.circuits;
+          List.nth o.circuits (n / 2);
+          List.nth o.circuits (n - 1);
+        ]
+  in
+  let k = if o.quick then 5 else 10 in
+  let t =
+    Tt.create
+      ~headers:
+        [
+          ("ckt", Tt.Left); ("filter", Tt.Left); ("runtime (s)", Tt.Right);
+          ("speedup", Tt.Right); ("r before", Tt.Right); ("r after", Tt.Right);
+          ("dropped", Tt.Right); ("derated", Tt.Right); ("top-k delta", Tt.Right);
+        ]
+  in
+  let window_speedup = ref 0. in
+  let jcircuits =
+    List.map
+      (fun name ->
+        let _, topo = circuit name in
+        let fixpoint = Iterate.run topo in
+        let windows = Iterate.windows fixpoint in
+        let run_mode m =
+          let config = { (Engine.default_config ~k) with Engine.filter = m } in
+          let best = ref Float.infinity in
+          let res = ref None in
+          for _ = 1 to 2 do
+            let t0 = wall () in
+            let r = Engine.compute ~config ~fixpoint ~mode:Engine.Elimination topo in
+            let dt = wall () -. t0 in
+            if dt < !best then best := dt;
+            res := Some r
+          done;
+          (!best, Option.get !res)
+        in
+        let rt_none, r_none = run_mode Fmode.Off in
+        let jmodes =
+          List.map
+            (fun m ->
+              let rt, r = if m = Fmode.Off then (rt_none, r_none) else run_mode m in
+              let sv =
+                Filter.survey (Filter.prepare ~mode:m ~windows topo)
+              in
+              let topk_delta =
+                let d = ref 0 in
+                for i = 1 to k do
+                  let set r =
+                    Option.map
+                      (fun c -> c.Engine.ch_set)
+                      r.Engine.res_per_k.(i)
+                  in
+                  if not (Option.equal CS.equal (set r_none) (set r)) then incr d
+                done;
+                !d
+              in
+              let speedup = rt_none /. Float.max rt 1e-9 in
+              if m = Fmode.Window then
+                window_speedup := Float.max !window_speedup speedup;
+              Tt.add_row t
+                [
+                  name; Fmode.to_string m; Tt.cell_f ~decimals:3 rt;
+                  Tt.cell_f ~decimals:2 speedup;
+                  Tt.cell_i sv.Filter.sv_candidates;
+                  Tt.cell_i sv.Filter.sv_kept;
+                  Tt.cell_i (Filter.sv_dropped sv);
+                  Tt.cell_i sv.Filter.sv_derated;
+                  Tt.cell_i topk_delta;
+                ];
+              ( Fmode.to_string m,
+                J.Obj
+                  [
+                    ("runtime_s", J.Float rt);
+                    ("speedup", J.Float speedup);
+                    ("r_before", J.Int sv.Filter.sv_candidates);
+                    ("r_after", J.Int sv.Filter.sv_kept);
+                    ("derated", J.Int sv.Filter.sv_derated);
+                    ("dropped_window", J.Int sv.Filter.sv_dropped_window);
+                    ("dropped_constant", J.Int sv.Filter.sv_dropped_constant);
+                    ( "dropped_correlated",
+                      J.Int sv.Filter.sv_dropped_correlated );
+                    ("topk_delta", J.Int topk_delta);
+                  ] ))
+            Fmode.all
+        in
+        (name, J.Obj jmodes))
+      names
+  in
+  print_string (Tt.render t);
+  (* bit-identity of [--filter none] with the default, on the smallest
+     circuit of the sweep: the full Elimination.t (both engines, exact
+     re-ranking, runtimes excluded) field by field *)
+  let _, topo0 = circuit (List.hd names) in
+  let fix0 = Iterate.run topo0 in
+  let identical =
+    Tka_incr.Eco.elim_identical
+      (Elimination.compute ~fixpoint:fix0 ~k topo0)
+      (Elimination.compute ~filter:Fmode.Off ~fixpoint:fix0 ~k topo0)
+  in
+  Printf.printf "filter none bit-identical to default: %s\n"
+    (if identical then "yes" else "NO (filter correctness violation!)");
+  Printf.printf "best window-mode enumeration speedup: %.2fx\n%!"
+    !window_speedup;
+  if not identical then exit 1;
+  json_add "filter"
+    (J.Obj
+       [
+         ("identical", J.Bool identical);
+         ("window_speedup", J.Float !window_speedup);
+         ("k", J.Int k);
+         ("circuits", J.Obj jcircuits);
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Parallel speedup                                                   *)
@@ -843,8 +980,46 @@ let run_kernel_rewrite o =
   let sink = ref 0. in
   let keep w = sink := !sink +. Pwl.last_x w in
   let keepb b = if b then sink := !sink +. 1. in
+  (* Envelope memoisation (Envelope_builder.of_directed_memo): the
+     exact re-ranking loops re-evaluate nearby coupling sets, which
+     rebuild mostly identical aggressor envelopes pass after pass; a
+     memo shared across runs turns those into table hits. Old = fresh
+     envelopes on every fixpoint run, new = one memo shared across all
+     runs of the block. Results are bitwise-identical by construction
+     and asserted so here. *)
+  let memo_nl = B.generate { validation_spec with B.sp_name = "kmemo" } in
+  let memo_topo = Topo.create memo_nl in
+  let memo_sets = List.init 6 (fun i -> CS.of_list [ 2 * i; (2 * i) + 1 ]) in
+  let memo = Tka_noise.Envelope_builder.create_memo () in
+  List.iter
+    (fun s ->
+      let delay em =
+        Iterate.circuit_delay
+          (Iterate.run ~active:(CS.contains_fn s) ?env_memo:em memo_topo)
+      in
+      if not (Float.equal (delay None) (delay (Some memo))) then
+        failwith "envelope_memo kernel: memoised delay differs from fresh")
+    memo_sets;
   let kernels =
     [
+      ( "envelope_memo",
+        (fun () ->
+          List.iter
+            (fun s ->
+              sink :=
+                !sink
+                +. Iterate.circuit_delay
+                     (Iterate.run ~active:(CS.contains_fn s) memo_topo))
+            memo_sets),
+        fun () ->
+          List.iter
+            (fun s ->
+              sink :=
+                !sink
+                +. Iterate.circuit_delay
+                     (Iterate.run ~active:(CS.contains_fn s) ~env_memo:memo
+                        memo_topo))
+            memo_sets );
       ( "dominates",
         (fun () ->
           for i = 0 to ne - 1 do
@@ -1096,6 +1271,7 @@ let () =
           | "table2b" -> run_table2 o ~mode:Engine.Addition
           | "figure10" -> run_figure10 o
           | "ablation" -> run_ablation o
+          | "filter" -> run_filter o
           | "parallel" -> run_parallel o
           | "eco" -> run_eco o
           | "repair" -> run_repair o

@@ -25,6 +25,7 @@ module B = Tka_layout.Benchmarks
 module Addition = Tka_topk.Addition
 module Elimination = Tka_topk.Elimination
 module Report = Tka_topk.Report
+module Fmode = Tka_filter.Mode
 
 module Log = Tka_obs.Log
 module Metrics = Tka_obs.Metrics
@@ -464,6 +465,25 @@ let noise_cmd =
 (* topk                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Shared by topk and repair; the serve protocol accepts the same
+   names ("none" also spelled "off"). *)
+let filter_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("none", Fmode.Off); ("window", Fmode.Window); ("logic", Fmode.Logic);
+           ])
+        Fmode.Off
+    & info [ "filter" ] ~docv:"FILTER"
+        ~doc:
+          "Aggressor candidate pre-filter: $(b,none) (bit-identical to no \
+           filtering), $(b,window) (drop aggressors whose pulse provably \
+           cannot reach the victim's sensitive interval, de-rate partial \
+           overlaps), or $(b,logic) (window plus logical-correlation \
+           pruning). See docs/filtering.md.")
+
 let topk_cmd =
   let k =
     Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Set cardinality bound.")
@@ -475,7 +495,7 @@ let topk_cmd =
       & info [ "mode" ] ~docv:"MODE"
           ~doc:"$(b,add) for the addition set, $(b,elim) for the elimination set.")
   in
-  let run obs liberty k mode path =
+  let run obs liberty k mode filter path =
     run_obs obs (fun () ->
         let nl = load ~liberty path in
         let topo = Topo.create nl in
@@ -483,16 +503,17 @@ let topk_cmd =
                  |> List.sort_uniq Int.compare in
         match mode with
         | `Add ->
-          let t = Addition.compute ~k topo in
+          let t = Addition.compute ~filter ~k topo in
           print_string (Report.addition nl t ~ks)
         | `Elim ->
-          let t = Elimination.compute ~k topo in
+          let t = Elimination.compute ~filter ~k topo in
           print_string (Report.elimination nl t ~ks))
   in
   Cmd.v
     (Cmd.info "topk"
        ~doc:"Compute top-k aggressor addition or elimination sets.")
-    Term.(const run $ obs_term $ liberty_arg $ k $ mode $ netlist_pos)
+    Term.(
+      const run $ obs_term $ liberty_arg $ k $ mode $ filter_arg $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
 (* falseagg                                                           *)
@@ -902,7 +923,7 @@ let repair_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the repaired netlist here (tka text format).")
   in
-  let run obs liberty k fix_k budget target_ns recover dry_run journal
+  let run obs liberty k fix_k budget filter target_ns recover dry_run journal
       checkpoint json fixed_out path =
     run_obs obs (fun () ->
         if k < 1 then failwith "-k must be >= 1";
@@ -912,7 +933,7 @@ let repair_cmd =
           failwith "--recover must be in [0, 1]";
         let nl = load ~liberty path in
         let report, repaired, _elim =
-          Repair.run ~k ~fix_k ~budget ?target_delay:target_ns ~recover
+          Repair.run ~k ~fix_k ~budget ~filter ?target_delay:target_ns ~recover
             ~dry_run ?journal ?checkpoint nl
         in
         let r = report in
@@ -955,9 +976,9 @@ let repair_cmd =
           budget is exhausted. Exits 0 only when the target is met and the \
           final state is bit-identical to a scratch re-analysis.")
     Term.(
-      const run $ obs_term $ liberty_arg $ k $ fix_k $ budget $ target_ns
-      $ recover $ dry_run $ journal $ checkpoint $ json $ fixed_out
-      $ netlist_pos)
+      const run $ obs_term $ liberty_arg $ k $ fix_k $ budget $ filter_arg
+      $ target_ns $ recover $ dry_run $ journal $ checkpoint $ json
+      $ fixed_out $ netlist_pos)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                             *)
@@ -1386,6 +1407,16 @@ let client_cmd =
       value & opt (some int) None
       & info [ "k" ] ~docv:"K" ~doc:"Set cardinality bound for $(b,--design).")
   in
+  let filter =
+    Arg.(
+      value & opt (some string) None
+      & info [ "filter" ] ~docv:"FILTER"
+          ~doc:
+            "Aggressor pre-filter for $(b,analyze), $(b,whatif) and \
+             $(b,repair) actions ($(b,none), $(b,window) or $(b,logic)). \
+             Sent verbatim; the server rejects unknown names with \
+             $(b,bad_request).")
+  in
   let actions =
     Arg.(
       value & pos_all string []
@@ -1396,9 +1427,14 @@ let client_cmd =
              $(b,analyze)[:add|:elim], $(b,eco)[:FIXK], \
              $(b,whatif:remove=ID,ID...).")
   in
-  let run obs socket tcp design k actions =
+  let run obs socket tcp design k filter actions =
     run_obs obs (fun () ->
         let actions = List.map parse_action actions in
+        let filter_param =
+          match filter with
+          | None -> []
+          | Some f -> [ ("filter", J.Str f) ]
+        in
         if actions = [] && design = None then
           failwith "nothing to do: give at least one ACTION (or --design)";
         let c =
@@ -1441,27 +1477,27 @@ let client_cmd =
                   | A_analyze mode ->
                     ( "analyze",
                       J.Obj
-                        (match mode with
-                        | Some m -> [ ("mode", J.Str m) ]
-                        | None -> []) )
+                        ((match mode with
+                         | Some m -> [ ("mode", J.Str m) ]
+                         | None -> [])
+                        @ filter_param) )
                   | A_eco fix_k -> ("eco", J.Obj [ ("fix_k", J.Int fix_k) ])
                   | A_repair budget ->
-                    ("repair", J.Obj [ ("budget", J.Int budget) ])
+                    ("repair", J.Obj (("budget", J.Int budget) :: filter_param))
                   | A_whatif couplings ->
                     ( "whatif",
                       J.Obj
-                        [
-                          ( "edits",
-                            J.List
-                              (List.map
-                                 (fun cid ->
-                                   J.Obj
-                                     [
-                                       ("op", J.Str "remove_coupling");
-                                       ("coupling", J.Int cid);
-                                     ])
-                                 couplings) );
-                        ] )
+                        (( "edits",
+                           J.List
+                             (List.map
+                                (fun cid ->
+                                  J.Obj
+                                    [
+                                      ("op", J.Str "remove_coupling");
+                                      ("coupling", J.Int cid);
+                                    ])
+                                couplings) )
+                        :: filter_param) )
                 in
                 let result = call meth params in
                 match (action, J.member "body" result) with
@@ -1475,7 +1511,8 @@ let client_cmd =
        ~doc:
          "Talk to a running $(b,tka serve) daemon: load a design and run \
           analyze / what-if / ECO / metrics actions over one session.")
-    Term.(const run $ obs_term $ socket_arg $ tcp $ design $ k $ actions)
+    Term.(
+      const run $ obs_term $ socket_arg $ tcp $ design $ k $ filter $ actions)
 
 (* ------------------------------------------------------------------ *)
 (* liberty                                                            *)

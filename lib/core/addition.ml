@@ -1,11 +1,28 @@
 module Iterate = Tka_noise.Iterate
+module EB = Tka_noise.Envelope_builder
 
-type t = { result : Engine.result; topo : Tka_circuit.Topo.t }
+type t = {
+  result : Engine.result;
+  topo : Tka_circuit.Topo.t;
+  memo : EB.memo;
+      (* shared by every exact re-evaluation below: the recombination
+         pool re-runs the iterative analysis over near-identical
+         active sets, so most aggressor windows — and hence their
+         envelopes — recur verbatim. Purity keeps scores bitwise
+         identical to unmemoised evaluation. Confined to the
+         (sequential) re-ranking loops — [t] must not be re-ranked
+         from several threads at once. *)
+}
 
 let compute ?(capacity = Ilist.default_capacity) ?(use_pseudo = true)
-    ?(use_higher_order = true) ?fixpoint ~k topo =
-  let config = { Engine.k; capacity; use_pseudo; use_higher_order } in
-  { result = Engine.compute ~config ?fixpoint ~mode:Engine.Addition topo; topo }
+    ?(use_higher_order = true) ?(filter = Tka_filter.Mode.Off) ?fixpoint ~k
+    topo =
+  let config = { Engine.k; capacity; use_pseudo; use_higher_order; filter } in
+  {
+    result = Engine.compute ~config ?fixpoint ~mode:Engine.Addition topo;
+    topo;
+    memo = EB.create_memo ();
+  }
 
 let candidates t i =
   if i < 1 || i >= Array.length t.result.Engine.res_top then []
@@ -15,6 +32,11 @@ let estimated_delay t i = Engine.estimated_delay t.result i
 
 let evaluate_set topo s =
   Iterate.circuit_delay (Iterate.run ~active:(Coupling_set.contains_fn s) topo)
+
+(* internal scoring path: [evaluate_set] through the shared memo *)
+let evaluate_set_memo t s =
+  Iterate.circuit_delay
+    (Iterate.run ~active:(Coupling_set.contains_fn s) ~env_memo:t.memo t.topo)
 
 (* Recombination pool: every directed coupling named by a retained
    candidate. Cardinality 1 first — the static ranking is exact for
@@ -53,7 +75,7 @@ let best_choice t i =
   match distinct with
   | [] -> None
   | first :: rest ->
-    let score s = (s, evaluate_set t.topo s) in
+    let score s = (s, evaluate_set_memo t s) in
     Some
       (List.fold_left
          (fun (bs, bd) c ->
@@ -89,7 +111,7 @@ let evaluate_curve t ~ks =
       match cands with
       | [] -> None
       | first :: rest ->
-        let score s = (s, evaluate_set t.topo s) in
+        let score s = (s, evaluate_set_memo t s) in
         let s, d =
           List.fold_left
             (fun (bs, bd) c ->

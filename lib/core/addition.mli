@@ -10,18 +10,27 @@
 type t = {
   result : Engine.result;
   topo : Tka_circuit.Topo.t;
+  memo : Tka_noise.Envelope_builder.memo;
+      (** shared envelope cache for the exact re-ranking below: the
+          recombination pool evaluates many near-identical coupling
+          sets, whose aggressor windows — and hence envelopes — recur
+          verbatim. Purity keeps memoised scores bitwise identical to
+          unmemoised ones. Not thread-safe: re-rank a given [t] from
+          one thread at a time. *)
 }
 
 val compute :
   ?capacity:int ->
   ?use_pseudo:bool ->
   ?use_higher_order:bool ->
+  ?filter:Tka_filter.Mode.t ->
   ?fixpoint:Tka_noise.Iterate.t ->
   k:int ->
   Tka_circuit.Topo.t ->
   t
 (** Enumerate top-i addition sets for every [i <= k]. [fixpoint]
-    optionally shares a precomputed all-aggressor analysis. *)
+    optionally shares a precomputed all-aggressor analysis. [filter]
+    (default [Off]) selects the pre-engine aggressor pruning mode. *)
 
 val set : t -> int -> Coupling_set.t option
 (** The chosen top-i set (best of the engine's sink candidates by exact

@@ -3,6 +3,9 @@ module Iterate = Tka_noise.Iterate
 type t = {
   result : Engine.result;
   topo : Tka_circuit.Topo.t;
+  memo : Tka_noise.Envelope_builder.memo;
+      (* envelope reuse across the exact re-evaluations of the
+         recombination pool — see [Addition.t]; sequential use only *)
   dual : Engine.result;
       (* addition-mode enumeration over the same circuit: the paper's
          dual problem. The strongest noise *contributors* are also prime
@@ -13,8 +16,9 @@ type t = {
 }
 
 let compute ?(capacity = Ilist.default_capacity) ?(use_pseudo = true)
-    ?(use_higher_order = true) ?fixpoint ?victim_cache ~k topo =
-  let config = { Engine.k; capacity; use_pseudo; use_higher_order } in
+    ?(use_higher_order = true) ?(filter = Tka_filter.Mode.Off) ?fixpoint
+    ?victim_cache ~k topo =
+  let config = { Engine.k; capacity; use_pseudo; use_higher_order; filter } in
   (* the two dual enumerations share one all-aggressor fixpoint *)
   let fixpoint =
     match fixpoint with Some f -> f | None -> Tka_noise.Iterate.run topo
@@ -27,6 +31,7 @@ let compute ?(capacity = Ilist.default_capacity) ?(use_pseudo = true)
         ?victim_cache:(vc Engine.Elimination)
         ~mode:Engine.Elimination topo;
     topo;
+    memo = Tka_noise.Envelope_builder.create_memo ();
     dual =
       Engine.compute ~config ~fixpoint
         ?victim_cache:(vc Engine.Addition)
@@ -66,6 +71,11 @@ let estimated_delay t i = Engine.estimated_delay t.result i
 let evaluate_set topo s =
   Iterate.circuit_delay (Iterate.run ~active:(Coupling_set.excludes_fn s) topo)
 
+(* internal scoring path: [evaluate_set] through the shared memo *)
+let evaluate_set_memo t s =
+  Iterate.circuit_delay
+    (Iterate.run ~active:(Coupling_set.excludes_fn s) ~env_memo:t.memo t.topo)
+
 (* Recombination pool: members of the retained elimination candidates
    and of the dual engine's sink lists. Cardinality 1 first — the
    static ranking is exact for singles, so individually strong members
@@ -104,7 +114,7 @@ let best_choice t i =
   match distinct with
   | [] -> None
   | first :: rest ->
-    let score s = (s, evaluate_set t.topo s) in
+    let score s = (s, evaluate_set_memo t s) in
     Some
       (List.fold_left
          (fun (bs, bd) c ->
@@ -138,7 +148,7 @@ let evaluate_curve t ~ks =
       match cands with
       | [] -> None
       | first :: rest ->
-        let score s = (s, evaluate_set t.topo s) in
+        let score s = (s, evaluate_set_memo t s) in
         let s, d =
           List.fold_left
             (fun (bs, bd) c ->

@@ -10,6 +10,9 @@
 type t = {
   result : Engine.result;
   topo : Tka_circuit.Topo.t;
+  memo : Tka_noise.Envelope_builder.memo;
+      (** shared envelope cache for the exact re-ranking — see
+          {!Addition.t}; sequential use only *)
   dual : Engine.result;
       (** the addition-mode enumeration of the same circuit — the
           paper's dual problem. Strong noise contributors are prime
@@ -22,6 +25,7 @@ val compute :
   ?capacity:int ->
   ?use_pseudo:bool ->
   ?use_higher_order:bool ->
+  ?filter:Tka_filter.Mode.t ->
   ?fixpoint:Tka_noise.Iterate.t ->
   ?victim_cache:(Engine.mode -> Engine.victim_cache option) ->
   k:int ->

@@ -9,6 +9,8 @@ module VN = Tka_noise.Victim_noise
 module Envelope = Tka_waveform.Envelope
 module Transition = Tka_waveform.Transition
 module Pwl = Tka_waveform.Pwl
+module Filter = Tka_filter.Filter
+module Filter_mode = Tka_filter.Mode
 
 module Log = Tka_obs.Log
 module Metrics = Tka_obs.Metrics
@@ -27,10 +29,17 @@ type config = {
   capacity : int;
   use_pseudo : bool;
   use_higher_order : bool;
+  filter : Filter_mode.t;
 }
 
 let default_config ~k =
-  { k; capacity = Ilist.default_capacity; use_pseudo = true; use_higher_order = true }
+  {
+    k;
+    capacity = Ilist.default_capacity;
+    use_pseudo = true;
+    use_higher_order = true;
+    filter = Filter_mode.Off;
+  }
 
 type choice = {
   ch_set : Coupling_set.t;
@@ -90,6 +99,10 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
   let base_w = Analysis.window base in
   let noisy_w = Analysis.window fix.Iterate.analysis in
   let mode_w = match mode with Addition -> base_w | Elimination -> noisy_w in
+  (* Candidate pruning: prepared once per run against the same window
+     accessor the envelopes below are built from, then consulted per
+     victim. Pure and immutable, so sharing it across domains is safe. *)
+  let filt = Filter.prepare ~mode:config.filter ~windows:mode_w topo in
   let base_lat v = (base_w v).TW.lat in
   let noisy_lat v = (noisy_w v).TW.lat in
   let stats = Ilist.fresh_stats () in
@@ -139,7 +152,13 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
 
   let rec enumerate ~on_direct ~stats ~use_pseudo ~use_higher ~upto ~level v :
       Ilist.entry list array =
-    let all_primaries = CN.aggressors_of_victim nl v in
+    (* Pre-engine screening: drops candidates the filter proves inert
+       before any envelope is built (the whole point — with filtering
+       off, [screen] returns the input list physically unchanged and a
+       constant 1.0 factor, leaving this path bit-identical). *)
+    let all_primaries, derate_of =
+      Filter.screen filt (CN.aggressors_of_victim nl v)
+    in
     let victim = victim_tr v in
     let interval = Dominance.interval ~victim in
     let prim_env_tbl = Hashtbl.create (max 16 (List.length all_primaries)) in
@@ -148,6 +167,11 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
       | Some e -> e
       | None ->
         let e = EB.of_directed nl ~windows:mode_w d in
+        let e =
+          match derate_of (CN.directed_id d) with
+          | 1. -> e
+          | f -> Envelope.scale f e
+        in
         Hashtbl.replace prim_env_tbl (CN.directed_id d) e;
         e
     in
@@ -348,19 +372,29 @@ let compute_body ~config ~fixpoint ~victim_cache ~mode topo =
                   let combo = Coupling_set.add (CN.directed_id d) set_t in
                   if Coupling_set.cardinality combo <> i then None
                   else
+                    (* De-rate the rebuilt envelopes by the primary's
+                       factor, keeping them consistent with [prim_env]
+                       (1.0 — the common case — is the identity). *)
+                    let derate e =
+                      match derate_of (CN.directed_id d) with
+                      | 1. -> e
+                      | f -> Envelope.scale f e
+                    in
                     match mode with
                     | Addition ->
                       Some
                         (entry combo
-                           (EB.of_directed_widened nl ~windows:mode_w
-                              ~extra_lat:delta d))
+                           (derate
+                              (EB.of_directed_widened nl ~windows:mode_w
+                                 ~extra_lat:delta d)))
                     | Elimination ->
                       (* removing the combo shrinks the aggressor window:
                          the envelope that disappears is (full − narrowed) *)
                       let w = mode_w a in
                       let lat' = Float.max w.TW.eat (w.TW.lat -. delta) in
                       let narrowed =
-                        EB.with_window nl ~window:{ w with TW.lat = lat' } d
+                        derate
+                          (EB.with_window nl ~window:{ w with TW.lat = lat' } d)
                       in
                       let gone =
                         Envelope.of_waveform

@@ -32,10 +32,18 @@ type config = {
   capacity : int;  (** irredundant-list capacity per cardinality *)
   use_pseudo : bool;  (** enable pseudo input aggressors (ablation) *)
   use_higher_order : bool;  (** enable higher-order aggressors (ablation) *)
+  filter : Tka_filter.Mode.t;
+      (** pre-engine aggressor candidate pruning: [Off] is the
+          historical, bit-identical behaviour; [Window] drops
+          provably non-overlapping aggressors (de-rating partial
+          overlaps); [Logic] adds implication-based drops. The filter
+          runs once per victim, before any envelope is built — see
+          [docs/filtering.md] *)
 }
 
 val default_config : k:int -> config
-(** Capacity {!Ilist.default_capacity}, both features on. *)
+(** Capacity {!Ilist.default_capacity}, both features on, filter
+    {!Tka_filter.Mode.Off}. *)
 
 type choice = {
   ch_set : Coupling_set.t;

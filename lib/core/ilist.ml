@@ -42,6 +42,21 @@ let log_src = Tka_obs.Log.Src.create "ilist" ~doc:"I-list pruning"
 let logged_size = ref false
 
 let prune ?(capacity = default_capacity) ~interval ~stats entries =
+  match entries with
+  | [] -> []
+  | [ e ] when capacity >= 1 ->
+    (* A lone candidate cannot be a duplicate or dominated (dominance
+       is only ever checked against already-kept entries) and fits any
+       positive capacity, so the answer is the input — skip the dedupe
+       table, the order array and the peak-prefilter arrays. Small
+       cones take this path for most victims, and those allocations
+       were the bulk of their prune cost. Stats/metrics accounting is
+       identical to the general path: one candidate, no duplicates,
+       no dominance checks, nothing capped. *)
+    stats.candidates <- stats.candidates + 1;
+    if M.is_enabled () then M.Counter.add m_candidates 1;
+    [ e ]
+  | entries ->
   let c0 = stats.candidates
   and d0 = stats.dominated
   and u0 = stats.duplicates

@@ -45,7 +45,10 @@ val prune :
     descending). When {!Tka_obs.Metrics} is enabled, the per-call stats
     deltas are also accumulated into the [engine.*] registry counters
     ([candidate_sets], [sets_pruned], [duplicate_sets],
-    [capacity_evictions], [dominance_checks]). *)
+    [capacity_evictions], [dominance_checks]). Empty and singleton
+    inputs short-circuit without allocating the dedupe/prefilter
+    machinery; results and stats are exactly those of the general
+    path. *)
 
 val best : entry list -> entry option
 (** Highest objective (the head after {!prune}). *)

@@ -1,0 +1,16 @@
+module Interval = Tka_util.Interval
+
+(* Fraction of the aggressor's reach that lands inside the victim's
+   sensitive interval. 1.0 when fully contained (or the reach is a
+   point), 0.0 when disjoint. The engine multiplies the aggressor's
+   envelope by this factor, so partial overlaps are discounted rather
+   than dropped outright — the filter's accuracy/pessimism dial. *)
+let factor ~reach ~sensitive =
+  if not (Interval.overlaps reach sensitive) then 0.
+  else
+    let w = Interval.width reach in
+    if w <= 0. then 1.
+    else
+      let lo = Float.max (Interval.lo reach) (Interval.lo sensitive)
+      and hi = Float.min (Interval.hi reach) (Interval.hi sensitive) in
+      Float.max 0. (Float.min 1. ((hi -. lo) /. w))

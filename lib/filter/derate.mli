@@ -1,0 +1,15 @@
+(** De-rating of partially overlapping aggressors.
+
+    When an aggressor's reach straddles the edge of the victim's
+    sensitive interval, dropping it would lose noise and keeping it at
+    full strength over-counts placements that cannot matter. Window
+    mode instead scales the aggressor's envelope by the fraction of its
+    reach that overlaps the sensitive interval. *)
+
+val factor :
+  reach:Tka_util.Interval.t -> sensitive:Tka_util.Interval.t -> float
+(** [factor ~reach ~sensitive] in [\[0, 1\]]: [width (reach ∩ sensitive)
+    / width reach]. 1 when [reach] is contained in [sensitive] (or is a
+    point inside it), 0 when they are disjoint. Fed to
+    [Envelope.scale], which is pointwise decreasing — de-rating can
+    only shrink objectives, never inflate them. *)

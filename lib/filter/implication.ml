@@ -1,0 +1,237 @@
+module N = Tka_circuit.Netlist
+module Topo = Tka_circuit.Topo
+
+(* ------------------------------------------------------------------ *)
+(* Boolean expressions over input pin names, parsed from the informal
+   [Cell.logic] strings ("!(A*B)", "!((A+B)*C)", "A^B", ...).          *)
+(* ------------------------------------------------------------------ *)
+
+type expr =
+  | Var of string
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+
+exception Parse_error
+
+(* Grammar (precedence low to high):
+     expr   := term (('+' | '^') term)*
+     term   := factor ('*' factor)*
+     factor := '!' factor | '(' expr ')' | ident
+   '+' and '^' share a level, left-associative — every logic string in
+   the cell libraries uses parentheses when it matters. *)
+let parse_exn (s : string) : expr =
+  let n = String.length s in
+  let pos = ref 0 in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do incr pos done
+  in
+  let peek () =
+    skip_ws ();
+    if !pos < n then Some s.[!pos] else None
+  in
+  let ident () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then raise Parse_error;
+    String.sub s start (!pos - start)
+  in
+  let rec expr () =
+    let t = ref (term ()) in
+    let rec loop () =
+      match peek () with
+      | Some '+' ->
+          incr pos;
+          t := Or (!t, term ());
+          loop ()
+      | Some '^' ->
+          incr pos;
+          t := Xor (!t, term ());
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !t
+  and term () =
+    let f = ref (factor ()) in
+    let rec loop () =
+      match peek () with
+      | Some '*' ->
+          incr pos;
+          f := And (!f, factor ());
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !f
+  and factor () =
+    match peek () with
+    | Some '!' ->
+        incr pos;
+        Not (factor ())
+    | Some '(' ->
+        incr pos;
+        let e = expr () in
+        (match peek () with
+        | Some ')' -> incr pos
+        | _ -> raise Parse_error);
+        e
+    | Some _ -> Var (ident ())
+    | None -> raise Parse_error
+  in
+  let e = expr () in
+  skip_ws ();
+  if !pos <> n then raise Parse_error;
+  e
+
+let parse s = try Some (parse_exn s) with Parse_error -> None
+
+let rec eval_expr env = function
+  | Var p -> env p
+  | Not e -> not (eval_expr env e)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Or (a, b) -> eval_expr env a || eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+
+(* ------------------------------------------------------------------ *)
+(* Abstract net values.                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A net is either a boolean constant, a unate function of exactly one
+   primary input ([Fn]: value when the root is 0 / when it is 1, with
+   [at0 <> at1] — at0=false,at1=true is the root itself, the converse
+   its complement), or [Mixed] (depends on several roots; the analysis
+   gives up there, which keeps reconvergent fanout conservative). *)
+type value =
+  | Const of bool
+  | Fn of { root : N.net_id; at0 : bool; at1 : bool }
+  | Mixed
+
+let norm root at0 at1 =
+  if at0 = at1 then Const at0 else Fn { root; at0; at1 }
+
+let v_not = function
+  | Const b -> Const (not b)
+  | Fn { root; at0; at1 } -> Fn { root; at0 = not at0; at1 = not at1 }
+  | Mixed -> Mixed
+
+let v_and a b =
+  match (a, b) with
+  | Const false, _ | _, Const false -> Const false
+  | Const true, x | x, Const true -> x
+  | Mixed, _ | _, Mixed -> Mixed
+  | Fn f, Fn g when f.root = g.root ->
+      norm f.root (f.at0 && g.at0) (f.at1 && g.at1)
+  | Fn _, Fn _ -> Mixed
+
+let v_or a b =
+  match (a, b) with
+  | Const true, _ | _, Const true -> Const true
+  | Const false, x | x, Const false -> x
+  | Mixed, _ | _, Mixed -> Mixed
+  | Fn f, Fn g when f.root = g.root ->
+      norm f.root (f.at0 || g.at0) (f.at1 || g.at1)
+  | Fn _, Fn _ -> Mixed
+
+let v_xor a b =
+  match (a, b) with
+  | Const false, x | x, Const false -> x
+  | Const true, x | x, Const true -> v_not x
+  | Mixed, _ | _, Mixed -> Mixed
+  | Fn f, Fn g when f.root = g.root ->
+      norm f.root (f.at0 <> g.at0) (f.at1 <> g.at1)
+  | Fn _, Fn _ -> Mixed
+
+let rec eval_value env = function
+  | Var p -> env p
+  | Not e -> v_not (eval_value env e)
+  | And (a, b) -> v_and (eval_value env a) (eval_value env b)
+  | Or (a, b) -> v_or (eval_value env a) (eval_value env b)
+  | Xor (a, b) -> v_xor (eval_value env a) (eval_value env b)
+
+let analyze (topo : Topo.t) : value array =
+  let nl = Topo.netlist topo in
+  let values = Array.make (N.num_nets nl) Mixed in
+  (* Logic strings repeat across drive variants of the same cell; parse
+     each distinct string once. *)
+  let exprs : (string, expr option) Hashtbl.t = Hashtbl.create 16 in
+  let expr_of cell =
+    let logic = cell.Tka_cell.Cell.logic in
+    match Hashtbl.find_opt exprs logic with
+    | Some e -> e
+    | None ->
+        let e = parse logic in
+        Hashtbl.add exprs logic e;
+        e
+  in
+  Array.iter
+    (fun nid ->
+      let net = N.net nl nid in
+      values.(nid) <-
+        (match net.N.driver with
+        | N.Primary_input -> Fn { root = nid; at0 = false; at1 = true }
+        | N.Driven_by g -> (
+            let gate = N.gate nl g in
+            match expr_of gate.N.cell with
+            | None -> Mixed (* unparseable logic: stay conservative *)
+            | Some e ->
+                let env pin =
+                  match List.assoc_opt pin gate.N.fanin with
+                  | Some fanin_net -> values.(fanin_net)
+                  | None -> Mixed
+                in
+                eval_value env e)))
+    (Topo.net_order topo);
+  values
+
+(* ------------------------------------------------------------------ *)
+(* Drop decisions and the exhaustive reference evaluator.              *)
+(* ------------------------------------------------------------------ *)
+
+type relation = Unrelated | Constant | Same_phase | Opposite_phase
+
+let relate values ~victim ~aggressor =
+  match values.(aggressor) with
+  | Const _ -> Constant
+  | Mixed -> Unrelated
+  | Fn a -> (
+      match values.(victim) with
+      | Fn v when v.root = a.root ->
+          if v.at0 = a.at0 && v.at1 = a.at1 then Same_phase
+          else Opposite_phase
+      | _ -> Unrelated)
+
+let eval_all nl ~(assignment : N.net_id -> bool) : bool array =
+  let values = Array.make (N.num_nets nl) false in
+  let topo = Topo.create nl in
+  Array.iter
+    (fun nid ->
+      let net = N.net nl nid in
+      values.(nid) <-
+        (match net.N.driver with
+        | N.Primary_input -> assignment nid
+        | N.Driven_by g ->
+            let gate = N.gate nl g in
+            let e =
+              match parse gate.N.cell.Tka_cell.Cell.logic with
+              | Some e -> e
+              | None -> raise Parse_error
+            in
+            let env pin =
+              match List.assoc_opt pin gate.N.fanin with
+              | Some fanin_net -> values.(fanin_net)
+              | None -> raise Parse_error
+            in
+            eval_expr env e))
+    (Topo.net_order topo);
+  values

@@ -1,0 +1,77 @@
+(** Lightweight logical-correlation analysis for the aggressor filter.
+
+    Logic mode wants to know whether an aggressor's transition can
+    oppose the victim's at all. This module computes, per net, a cheap
+    abstract value over the netlist's cell logic — constant
+    propagation plus single-root phase tracking — in one topological
+    pass. A net is either a constant (it never switches, so it can
+    never attack anyone), a unate function of exactly one primary input
+    (so its switching direction is locked to that input's), or [Mixed]
+    (several roots; the analysis gives up, which keeps reconvergent
+    fanout conservative: no drop is ever based on a [Mixed] value).
+
+    A coupling is logically filterable when the aggressor is constant,
+    or when aggressor and victim are phase-locked to the same root with
+    the {e same} polarity: then every victim transition is mirrored by
+    an aggressor transition in the same direction, and an
+    opposing-direction attack — the only kind that produces delay
+    noise in this framework — is impossible. Opposite polarity is the
+    true worst case and is kept. *)
+
+(** {1 Cell logic expressions} *)
+
+type expr =
+  | Var of string
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+
+exception Parse_error
+
+val parse : string -> expr option
+(** Parse a [Cell.logic] string (["!(A*B)"], ["A^B"], ["!((A+B)*C)"],
+    ...). Precedence: [!] over [*] over [+]/[^]; identifiers are pin
+    names. [None] on any syntax error — callers treat the gate's
+    output as [Mixed]. *)
+
+val eval_expr : (string -> bool) -> expr -> bool
+(** Evaluate under a pin assignment. *)
+
+(** {1 Per-net abstract values} *)
+
+type value =
+  | Const of bool
+  | Fn of { root : Tka_circuit.Netlist.net_id; at0 : bool; at1 : bool }
+      (** Unate in primary input [root]: net value when the root is
+          0 / 1. Invariant [at0 <> at1] ([at0 = false, at1 = true] is
+          the root itself, the converse its complement). *)
+  | Mixed
+
+val analyze : Tka_circuit.Topo.t -> value array
+(** One topological pass over the netlist, indexed by net id. Primary
+    inputs map to themselves; gates with an unparseable logic string
+    (or inputs under several distinct roots) map to [Mixed]. *)
+
+type relation = Unrelated | Constant | Same_phase | Opposite_phase
+
+val relate :
+  value array ->
+  victim:Tka_circuit.Netlist.net_id ->
+  aggressor:Tka_circuit.Netlist.net_id ->
+  relation
+(** Classify an aggressor against a victim: [Constant] (aggressor never
+    switches) and [Same_phase] (both nets are the same function of the
+    same root) justify a drop; [Opposite_phase] and [Unrelated] do
+    not. *)
+
+(** {1 Reference evaluator} *)
+
+val eval_all :
+  Tka_circuit.Netlist.t ->
+  assignment:(Tka_circuit.Netlist.net_id -> bool) ->
+  bool array
+(** Exhaustively evaluate every net under a primary-input assignment —
+    the ground truth the verification oracle and the unit tests check
+    {!analyze} against. Raises {!Parse_error} if any reachable gate's
+    logic string does not parse. *)

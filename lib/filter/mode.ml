@@ -1,0 +1,18 @@
+type t = Off | Window | Logic
+
+let all = [ Off; Window; Logic ]
+
+let to_string = function Off -> "none" | Window -> "window" | Logic -> "logic"
+
+let of_string = function
+  | "none" | "off" -> Some Off
+  | "window" -> Some Window
+  | "logic" -> Some Logic
+  | _ -> None
+
+(* Stable numbering for cache fingerprints (Tka_incr hashes the engine
+   config, filter mode included): renumbering would silently alias old
+   cached results, so treat these as wire values. *)
+let to_int = function Off -> 0 | Window -> 1 | Logic -> 2
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,31 @@
+(** Aggressor-filter modes, selectable on both engines.
+
+    - [Off] ("none"): every geometric coupling is a candidate aggressor
+      — the engines' historical behaviour, bit-identical.
+    - [Window]: drop aggressors whose switching window provably cannot
+      overlap the victim's sensitive interval (using the windows the
+      STA pass already computes); de-rate partial overlaps by the
+      overlap fraction.
+    - [Logic]: window filtering plus a lightweight implication analysis
+      over the netlist (constant propagation and single-gate pairwise
+      implications) removing aggressors whose transition direction is
+      logically incompatible with attacking the victim.
+
+    See [docs/filtering.md] for the soundness contract of each mode. *)
+
+type t = Off | Window | Logic
+
+val all : t list
+(** [[Off; Window; Logic]]. *)
+
+val to_string : t -> string
+(** ["none"], ["window"], ["logic"] — the CLI / RPC vocabulary. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (also accepts ["off"] for [Off]). *)
+
+val to_int : t -> int
+(** Stable small-int encoding, hashed into incremental-cache
+    fingerprints. Never renumber. *)
+
+val pp : Format.formatter -> t -> unit

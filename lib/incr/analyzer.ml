@@ -17,16 +17,17 @@ type t = { a_config : Engine.config; mutable a_cache : Cache.t }
 type run_stats = { rs_hits : int; rs_misses : int }
 
 let create ?(capacity = Tka_topk.Ilist.default_capacity) ?(use_pseudo = true)
-    ?(use_higher_order = true) ~k () =
+    ?(use_higher_order = true) ?(filter = Tka_filter.Mode.Off) ~k () =
   {
-    a_config = { Engine.k; capacity; use_pseudo; use_higher_order };
+    a_config = { Engine.k; capacity; use_pseudo; use_higher_order; filter };
     a_cache = Cache.create ();
   }
 
 let with_shared_cache ?(capacity = Tka_topk.Ilist.default_capacity)
-    ?(use_pseudo = true) ?(use_higher_order = true) ~k ~cache () =
+    ?(use_pseudo = true) ?(use_higher_order = true)
+    ?(filter = Tka_filter.Mode.Off) ~k ~cache () =
   {
-    a_config = { Engine.k; capacity; use_pseudo; use_higher_order };
+    a_config = { Engine.k; capacity; use_pseudo; use_higher_order; filter };
     a_cache = cache;
   }
 
@@ -158,8 +159,9 @@ let run ?fixpoint t topo =
   let elim =
     Elimination.compute ~capacity:t.a_config.Engine.capacity
       ~use_pseudo:t.a_config.Engine.use_pseudo
-      ~use_higher_order:t.a_config.Engine.use_higher_order ~fixpoint:fix
-      ~victim_cache:view ~k:t.a_config.Engine.k topo
+      ~use_higher_order:t.a_config.Engine.use_higher_order
+      ~filter:t.a_config.Engine.filter ~fixpoint:fix ~victim_cache:view
+      ~k:t.a_config.Engine.k topo
   in
   let stats = { rs_hits = Atomic.get hits; rs_misses = Atomic.get misses } in
   Log.info log_src (fun m ->

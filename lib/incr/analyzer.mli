@@ -35,17 +35,20 @@ val create :
   ?capacity:int ->
   ?use_pseudo:bool ->
   ?use_higher_order:bool ->
+  ?filter:Tka_filter.Mode.t ->
   k:int ->
   unit ->
   t
 (** Same knobs and defaults as {!Tka_topk.Elimination.compute}; the
     config is fixed for the session because it is hashed into every
-    cache key. *)
+    cache key (the filter mode included — results computed under
+    different filter modes never alias). *)
 
 val with_shared_cache :
   ?capacity:int ->
   ?use_pseudo:bool ->
   ?use_higher_order:bool ->
+  ?filter:Tka_filter.Mode.t ->
   k:int ->
   cache:Cache.t ->
   unit ->

@@ -14,8 +14,10 @@ type t = {
 }
 
 (* Bump when the hash inputs or the cached-record layout change: stale
-   on-disk checkpoints then miss instead of corrupting results. *)
-let version_salt = "tka-incr-v2"
+   on-disk checkpoints then miss instead of corrupting results.
+   v3: filter mode folded into the config hash, per-net implication
+   values folded into signatures under logic filtering. *)
+let version_salt = "tka-incr-v3"
 
 let window h (w : TW.t) =
   let h = Fnv.float h w.TW.eat in
@@ -29,7 +31,8 @@ let config_hash ~(config : Engine.config) ~mode =
   let h = Fnv.int h config.Engine.k in
   let h = Fnv.int h config.Engine.capacity in
   let h = Fnv.bool h config.Engine.use_pseudo in
-  Fnv.bool h config.Engine.use_higher_order
+  let h = Fnv.bool h config.Engine.use_higher_order in
+  Fnv.int h (Tka_filter.Mode.to_int config.Engine.filter)
 
 (* Content-stable names for directed couplings: victim/aggressor nets,
    capacitance bits and an occurrence rank among parallel same-cap
@@ -77,6 +80,28 @@ let compute ~config ~mode ~fix topo =
   let base_w = Analysis.window fix.Iterate.base in
   let noisy_w = Analysis.window fix.Iterate.analysis in
   let cfg = config_hash ~config ~mode in
+  (* Under logic filtering a victim's enumeration also reads the
+     implication values of itself and its aggressors — global facts
+     about the fanin logic that a remote edit (e.g. a cell swap deep
+     upstream) can change without touching this net's electrical
+     signature or windows. Folding each net's own implication value
+     into its signature makes such edits miss instead of replaying a
+     cached result that was filtered under stale logic. *)
+  let impl =
+    match config.Engine.filter with
+    | Tka_filter.Mode.Logic -> Some (Tka_filter.Implication.analyze topo)
+    | Tka_filter.Mode.Off | Tka_filter.Mode.Window -> None
+  in
+  let impl_hash h v =
+    match impl with
+    | None -> h
+    | Some values -> (
+        match values.(v) with
+        | Tka_filter.Implication.Const b -> Fnv.bool (Fnv.int h 0xC0) b
+        | Tka_filter.Implication.Fn { root; at0; at1 } ->
+          Fnv.bool (Fnv.bool (Fnv.int (Fnv.int h 0xC1) root) at0) at1
+        | Tka_filter.Implication.Mixed -> Fnv.int h 0xC2)
+  in
   (* Electrical signature: everything the enumeration reads about the
      net itself (as a victim or as a directly-enumerated aggressor).
      Addition never reads the noisy timing — it aligns aggressors in
@@ -107,6 +132,7 @@ let compute ~config ~mode ~fix topo =
           h g.N.fanin
     in
     let h = window h (base_w v) in
+    let h = impl_hash h v in
     match mode with
     | Engine.Addition -> h
     | Engine.Elimination ->

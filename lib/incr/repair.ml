@@ -303,14 +303,15 @@ let candidates nl (fx : Iterate.t) elim ~fix_k ~target =
 (* ------------------------------------------------------------------ *)
 
 let run ?(k = 10) ?(fix_k = 1) ?(budget = 10) ?target_delay ?(recover = 0.5)
-    ?(dry_run = false) ?(verify = true) ?journal ?checkpoint nl =
+    ?(dry_run = false) ?(verify = true) ?(filter = Tka_filter.Mode.Off)
+    ?journal ?checkpoint nl =
   if fix_k < 1 || fix_k > k then invalid_arg "Repair.run: fix_k outside [1, k]";
   if budget < 0 then invalid_arg "Repair.run: negative budget";
   if not (recover >= 0. && recover <= 1.) then
     invalid_arg "Repair.run: recover outside [0, 1]";
   let wall = Tka_obs.Clock.now_s in
   let t_start = wall () in
-  let az = ref (Analyzer.create ~k ()) in
+  let az = ref (Analyzer.create ~k ~filter ()) in
   (match checkpoint with
   | Some path when Sys.file_exists path -> (
     (* a malformed or old-format checkpoint is a cold start, not an
@@ -391,7 +392,8 @@ let run ?(k = 10) ?(fix_k = 1) ?(budget = 10) ?target_delay ?(recover = 0.5)
     let az' =
       Analyzer.with_shared_cache ~capacity:cfg.Engine.capacity
         ~use_pseudo:cfg.Engine.use_pseudo
-        ~use_higher_order:cfg.Engine.use_higher_order ~k:cfg.Engine.k ~cache ()
+        ~use_higher_order:cfg.Engine.use_higher_order
+        ~filter:cfg.Engine.filter ~k:cfg.Engine.k ~cache ()
     in
     let nl', dirty = Analyzer.apply az' !nl_cur edits in
     let topo' = Topo.create nl' in
@@ -489,7 +491,8 @@ let run ?(k = 10) ?(fix_k = 1) ?(budget = 10) ?target_delay ?(recover = 0.5)
       let scratch =
         Elimination.compute ~capacity:cfg.Engine.capacity
           ~use_pseudo:cfg.Engine.use_pseudo
-          ~use_higher_order:cfg.Engine.use_higher_order ~k:cfg.Engine.k
+          ~use_higher_order:cfg.Engine.use_higher_order
+          ~filter:cfg.Engine.filter ~k:cfg.Engine.k
           (Topo.create !nl_cur)
       in
       Eco.elim_identical scratch !elim_cur

@@ -100,6 +100,7 @@ val run :
   ?recover:float ->
   ?dry_run:bool ->
   ?verify:bool ->
+  ?filter:Tka_filter.Mode.t ->
   ?journal:string ->
   ?checkpoint:string ->
   Tka_circuit.Netlist.t ->
@@ -123,7 +124,11 @@ val run :
     error), then re-saved after the initial analysis and after every
     accepted edit. [dry_run] (default false) runs the full loop but
     writes neither file. [verify] (default true) re-analyzes the final
-    netlist from scratch and sets [rp_identical].
+    netlist from scratch and sets [rp_identical]. [filter] (default
+    [Off]) selects the engine's aggressor-pruning mode for every
+    analysis in the loop — trial analyzers and the verification rerun
+    inherit it, and it is hashed into the cache keys, so a checkpoint
+    written under one mode never seeds a loop running another.
 
     @raise Invalid_argument on [fix_k] outside [[1, k]], a negative
     [budget], or [recover] outside [[0, 1]]. *)

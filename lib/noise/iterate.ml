@@ -23,7 +23,7 @@ type t = {
 }
 
 let run ?(mode = From_noiseless) ?(active = fun _ -> true) ?(max_iterations = 30)
-    ?(tolerance = 1e-4) topo =
+    ?(tolerance = 1e-4) ?env_memo topo =
   Trace.with_span ~cat:"noise" "iterate.run" @@ fun () ->
   let nl = Topo.netlist topo in
   let nn = N.num_nets nl in
@@ -58,8 +58,8 @@ let run ?(mode = From_noiseless) ?(active = fun _ -> true) ?(max_iterations = 30
     let delta = ref 0. in
     for v = 0 to nn - 1 do
       let fresh =
-        Victim_noise.delay_noise nl ~windows:w ~own_noise:noise.(v) ~victim:v
-          aggressors.(v)
+        Victim_noise.delay_noise nl ~windows:w ~own_noise:noise.(v)
+          ?memo:env_memo ~victim:v aggressors.(v)
       in
       delta := Float.max !delta (Float.abs (fresh -. noise.(v)));
       noise.(v) <- fresh

@@ -36,10 +36,18 @@ val run :
   ?active:(Coupled_noise.directed -> bool) ->
   ?max_iterations:int ->
   ?tolerance:float ->
+  ?env_memo:Envelope_builder.memo ->
   Tka_circuit.Topo.t ->
   t
 (** Defaults: [From_noiseless], all couplings active, at most 30
-    iterations, tolerance 1e-4 ns (0.1 ps). Logs a warning (source
+    iterations, tolerance 1e-4 ns (0.1 ps). [env_memo] reuses
+    per-aggressor envelopes across passes and across runs that share
+    the memo — aggressor windows typically stop moving after the first
+    pass or two, so later passes (and re-evaluations of nearby coupling
+    sets, as in the exact re-ranking loops) hit instead of rebuilding;
+    results are bitwise-identical either way, but the memo is not
+    thread-safe and must stay confined to sequential use. Logs a
+    warning (source
     [iterate]) if the iteration cap is hit before convergence; each run
     updates the [iterate.runs]/[iterate.passes] counters and the
     [iterate.last_residual_ns] gauge when {!Tka_obs.Metrics} is

@@ -126,6 +126,17 @@ let mode_of_params p =
   | None | Some J.Null -> Ok Tka_topk.Engine.Elimination
   | Some _ -> Error "\"mode\" must be \"add\" or \"elim\""
 
+let filter_name = Tka_filter.Mode.to_string
+
+let filter_of_params p =
+  match J.member "filter" p with
+  | None | Some J.Null -> Ok Tka_filter.Mode.Off
+  | Some (J.Str s) -> (
+      match Tka_filter.Mode.of_string s with
+      | Some m -> Ok m
+      | None -> Error "\"filter\" must be \"none\", \"window\" or \"logic\"")
+  | Some _ -> Error "\"filter\" must be \"none\", \"window\" or \"logic\""
+
 let edits_of_params ~lookup p =
   let ( let* ) = Result.bind in
   let edit j =

@@ -63,6 +63,15 @@ val param_bool_default : J.t -> string -> bool -> (bool, string) result
 val mode_of_params : J.t -> (Tka_topk.Engine.mode, string) result
 (** ["mode"]: ["add"] or ["elim"] (default [Elimination]). *)
 
+val filter_of_params : J.t -> (Tka_filter.Mode.t, string) result
+(** ["filter"]: ["none"], ["window"] or ["logic"] (default [Off]).
+    Unknown strings are an [Error] — the daemon maps it to
+    [bad_request], keeping the error-code set closed. *)
+
+val filter_name : Tka_filter.Mode.t -> string
+(** The wire name echoed back in replies (["none"] / ["window"] /
+    ["logic"]). *)
+
 val edits_of_params :
   lookup:(string -> Tka_cell.Cell.t option) ->
   J.t ->

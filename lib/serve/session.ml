@@ -20,9 +20,40 @@ type design = {
   d_nl : N.t;
   d_topo : Topo.t;
   d_fp : Tka_incr.Fnv.t;
-  d_analyzer : Analyzer.t;
+  d_cache : Cache.t;  (* the registry tenant all analyzers share *)
+  d_analyzer : Analyzer.t;  (* filter [Off] — the default *)
+  d_analyzers : (Tka_filter.Mode.t, Analyzer.t) Hashtbl.t;
+      (* per-filter-mode analyzers over [d_cache], created on first
+         use. Config hashes include the filter mode, so results from
+         different modes never alias inside the shared cache. The
+         table is confined to this session's connection thread. *)
   d_k : int;
 }
+
+let make_design ~name ~nl ~fp ~cache ~k =
+  let analyzer = Analyzer.with_shared_cache ~k ~cache () in
+  let analyzers = Hashtbl.create 4 in
+  Hashtbl.add analyzers Tka_filter.Mode.Off analyzer;
+  {
+    d_name = name;
+    d_nl = nl;
+    d_topo = Topo.create nl;
+    d_fp = fp;
+    d_cache = cache;
+    d_analyzer = analyzer;
+    d_analyzers = analyzers;
+    d_k = k;
+  }
+
+let analyzer_for d filter =
+  match Hashtbl.find_opt d.d_analyzers filter with
+  | Some a -> a
+  | None ->
+    let a =
+      Analyzer.with_shared_cache ~k:d.d_k ~filter ~cache:d.d_cache ()
+    in
+    Hashtbl.add d.d_analyzers filter a;
+    a
 
 type t = {
   registry : Registry.t;
@@ -71,16 +102,7 @@ let load t params =
       let name = Option.value ~default:(N.name nl) name_opt in
       let fp = Registry.fingerprint nl in
       let cache = Registry.attach t.registry ~fp in
-      let d =
-        {
-          d_name = name;
-          d_nl = nl;
-          d_topo = Topo.create nl;
-          d_fp = fp;
-          d_analyzer = Analyzer.with_shared_cache ~k ~cache ();
-          d_k = k;
-        }
-      in
+      let d = make_design ~name ~nl ~fp ~cache ~k in
       t.design <- Some d;
       Ok (J.Obj (design_info d))
 
@@ -116,7 +138,7 @@ let per_k_json res =
 (* [elapsed_s] is the only wall-clock-dependent field in an analysis
    result; clients comparing runs for bit-identity strip it (and the
    cache counters, which depend on who warmed the shared cache first). *)
-let analysis_fields d ~mode elim (st : Analyzer.run_stats) elapsed =
+let analysis_fields d ~mode ~filter elim (st : Analyzer.run_stats) elapsed =
   let res =
     match mode with
     | Engine.Elimination -> elim.Elimination.result
@@ -125,6 +147,7 @@ let analysis_fields d ~mode elim (st : Analyzer.run_stats) elapsed =
   [
     ("design", J.Str d.d_name);
     ("mode", J.Str (match mode with Engine.Elimination -> "elim" | _ -> "add"));
+    ("filter", J.Str (Proto.filter_name filter));
     ("k", J.Int d.d_k);
     ("noiseless_delay_ns", J.Float res.Engine.res_noiseless_delay);
     ("all_aggressor_delay_ns", J.Float res.Engine.res_noisy_delay);
@@ -137,9 +160,10 @@ let analysis_fields d ~mode elim (st : Analyzer.run_stats) elapsed =
 let analyze t params =
   let* d = require t in
   let* mode = bad (Proto.mode_of_params params) in
+  let* filter = bad (Proto.filter_of_params params) in
   let t0 = Clock.now_s () in
-  let elim, st = Analyzer.run d.d_analyzer d.d_topo in
-  Ok (J.Obj (analysis_fields d ~mode elim st (Clock.now_s () -. t0)))
+  let elim, st = Analyzer.run (analyzer_for d filter) d.d_topo in
+  Ok (J.Obj (analysis_fields d ~mode ~filter elim st (Clock.now_s () -. t0)))
 
 (* ------------------------------------------------------------------ *)
 (* whatif / eco                                                       *)
@@ -176,17 +200,9 @@ let edited_design t d edits =
   let fp' = Registry.fingerprint nl' in
   let cache' =
     Registry.attach_seeded t.registry ~fp:fp' ~seed:(fun () ->
-        Cache.remapped_copy (Analyzer.cache d.d_analyzer) phys_map)
+        Cache.remapped_copy d.d_cache phys_map)
   in
-  let d' =
-    {
-      d with
-      d_nl = nl';
-      d_topo = Topo.create nl';
-      d_fp = fp';
-      d_analyzer = Analyzer.with_shared_cache ~k:d.d_k ~cache:cache' ();
-    }
-  in
+  let d' = make_design ~name:d.d_name ~nl:nl' ~fp:fp' ~cache:cache' ~k:d.d_k in
   (d', dirty)
 
 let whatif t params =
@@ -194,15 +210,16 @@ let whatif t params =
   let* edits = bad (Proto.edits_of_params ~lookup:t.lookup params) in
   let* () = validate_edits d edits in
   let* mode = bad (Proto.mode_of_params params) in
+  let* filter = bad (Proto.filter_of_params params) in
   let t0 = Clock.now_s () in
   let d', dirty = edited_design t d edits in
-  let elim, st = Analyzer.run d'.d_analyzer d'.d_topo in
+  let elim, st = Analyzer.run (analyzer_for d' filter) d'.d_topo in
   Ok
     (J.Obj
        (("edits", J.Int (List.length edits))
        :: ("dirty_nets", J.Int dirty)
        :: ("fingerprint", J.Str (hex_fp d'.d_fp))
-       :: analysis_fields { d' with d_name = d.d_name } ~mode elim st
+       :: analysis_fields { d' with d_name = d.d_name } ~mode ~filter elim st
             (Clock.now_s () -. t0)))
 
 let eco t params =
@@ -298,6 +315,7 @@ let repair t params =
   let* recover_opt = bad (Proto.param_float_opt params "recover") in
   let* dry_run = bad (Proto.param_bool_default params "dry_run" false) in
   let* verify = bad (Proto.param_bool_default params "verify" false) in
+  let* filter = bad (Proto.filter_of_params params) in
   if fix_k < 1 || fix_k > d.d_k then
     Error
       ( Proto.Bad_request,
@@ -312,7 +330,7 @@ let repair t params =
         (* no [journal]/[checkpoint] paths: an RPC never writes files;
            [dry_run] here only controls whether the result is committed *)
         Repair.run ~k:d.d_k ~fix_k ~budget ?target_delay:target_ns ~recover
-          ~dry_run ~verify d.d_nl
+          ~dry_run ~verify ~filter d.d_nl
       with
       | exception Invalid_argument m -> Error (Proto.Bad_request, m)
       | report, nl', _elim ->
@@ -325,13 +343,8 @@ let repair t params =
             let fp' = Registry.fingerprint nl' in
             let cache' = Registry.attach t.registry ~fp:fp' in
             let d' =
-              {
-                d with
-                d_nl = nl';
-                d_topo = Topo.create nl';
-                d_fp = fp';
-                d_analyzer = Analyzer.with_shared_cache ~k:d.d_k ~cache:cache' ();
-              }
+              make_design ~name:d.d_name ~nl:nl' ~fp:fp' ~cache:cache'
+                ~k:d.d_k
             in
             t.design <- Some d';
             d'
@@ -346,6 +359,7 @@ let repair t params =
           (J.Obj
              (fields
              @ [
+                 ("filter", J.Str (Proto.filter_name filter));
                  ("committed", J.Bool committed);
                  ("fingerprint", J.Str (hex_fp d'.d_fp));
                ]))

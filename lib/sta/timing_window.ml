@@ -36,6 +36,14 @@ let onset_interval t =
   let hi = t.lat -. (t.slew_late /. 2.) in
   if hi >= lo then Interval.make lo hi else Interval.point lo
 
+(* Arrival-window overlap queries, used by the aggressor filter layer
+   (lib/filter) and exposed for any window-vs-window reasoning. Both
+   delegate to the interval layer so one definition of "overlap" is
+   shared with the pulse-reach tests. *)
+let overlaps a b = Interval.overlaps (interval a) (interval b)
+
+let overlap_fraction a b = Interval.overlap_fraction (interval a) (interval b)
+
 let latest_transition t =
   Tka_waveform.Transition.make ~t50:t.lat ~slew:t.slew_late ()
 

@@ -40,6 +40,19 @@ val onset_interval : t -> Tka_util.Interval.t
     window swept when constructing a noise envelope from a pulse whose
     time origin is the aggressor transition onset. *)
 
+val overlaps : t -> t -> bool
+(** [overlaps a b]: the arrival windows [\[eat, lat\]] intersect (with
+    tolerance; touching endpoints overlap). Symmetric, and reflexive on
+    every window. This is a query about {e when the nets can switch} —
+    the aggressor filter combines it with pulse reach to decide whether
+    a coupling can matter at all. *)
+
+val overlap_fraction : t -> t -> float
+(** Overlap of the two arrival windows normalised by the narrower one
+    (see {!Tka_util.Interval.overlap_fraction}): 0 when {!overlaps} is
+    false, 1 when either window contains the other (including the
+    degenerate point-window case), symmetric in between. *)
+
 val latest_transition : t -> Tka_waveform.Transition.t
 (** The slowest, latest arrival: [t50 = lat], [slew = slew_late] — the
     victim waveform used for worst-case delay noise. *)

@@ -31,6 +31,21 @@ let intersect a b =
 
 let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
 
+(* Shared overlap measure: |a ∩ b| normalised by the narrower operand,
+   so the result is symmetric and a sub-interval scores 1. Degenerate
+   operands (points) score 1 when they meet the other interval at all —
+   a point either lies inside (full overlap of its zero width) or
+   outside (none). *)
+let overlap_fraction a b =
+  if not (overlaps a b) then 0.
+  else begin
+    let w = Float.min (width a) (width b) in
+    if w <= 0. then 1.
+    else
+      let ilo = Float.max a.lo b.lo and ihi = Float.min a.hi b.hi in
+      Float.max 0. (Float.min 1. ((ihi -. ilo) /. w))
+  end
+
 let shift d t =
   if Float.is_nan d then invalid_arg "Interval.shift: NaN";
   { lo = t.lo +. d; hi = t.hi +. d }

@@ -34,6 +34,15 @@ val overlaps : t -> t -> bool
 
 val intersect : t -> t -> t option
 
+val overlap_fraction : t -> t -> float
+(** Width of the intersection divided by the width of the {e narrower}
+    operand, in [\[0, 1\]]: 0 when disjoint, 1 when one operand is
+    contained in the other. Symmetric; degenerate (point) operands
+    score 1 whenever {!overlaps} holds. The normalisation by the
+    narrower width is what makes the measure symmetric — it answers
+    "how much of the tighter window is usable", the quantity aggressor
+    de-rating needs. *)
+
 val hull : t -> t -> t
 (** Smallest interval containing both. *)
 

@@ -204,6 +204,162 @@ let repair ?(budget = 3) ~k nl =
     end
   end
 
+(* The aggressor filter makes three falsifiable claims (docs/filtering.md):
+   [Off] is bit-identical to the historical default; [Window]/[Logic]
+   are relaxations (the addition estimate can only shrink, the
+   elimination estimate can only grow — fewer/smaller envelopes mean
+   less noise found and less removal benefit); and every drop carries a
+   certificate. Window drops are certified against the waveform layer —
+   the envelope the engine would have built must be identically zero on
+   the victim's dominance interval, checked with [Pwl.max_on] rather
+   than the filter's own interval arithmetic. Logic drops are certified
+   by exhaustive boolean simulation of the netlist: every abstract
+   value the implication analysis assigned must hold under all 2^n
+   primary-input assignments (capped at 2^16 inputs; generator
+   circuits have 2–3). *)
+let filter_consistency ?(max_sim_inputs = 16) ~k topo =
+  let module Dominance = Tka_topk.Dominance in
+  let module Iterate = Tka_noise.Iterate in
+  let module CN = Tka_noise.Coupled_noise in
+  let module EB = Tka_noise.Envelope_builder in
+  let module Analysis = Tka_sta.Analysis in
+  let module TW = Tka_sta.Timing_window in
+  let module Filter = Tka_filter.Filter in
+  let module Mode = Tka_filter.Mode in
+  let module Implication = Tka_filter.Implication in
+  let module Envelope = Tka_waveform.Envelope in
+  let module Pwl = Tka_waveform.Pwl in
+  let module Transition = Tka_waveform.Transition in
+  let exception Cert_fail of string in
+  let nl = Topo.netlist topo in
+  if N.num_couplings nl = 0 then Skip "no couplings"
+  else begin
+    let fix = Iterate.run topo in
+    (* 1. Off is bit-identical to the default at any jobs count (the
+       default IS Off; this guards the plumbing, not a tautology — the
+       screened path must return the untouched candidate list). *)
+    let base_elim = Elimination.compute ~fixpoint:fix ~k topo in
+    let off_elim =
+      Elimination.compute ~filter:Mode.Off ~fixpoint:fix ~k topo
+    in
+    if not (Eco.elim_identical base_elim off_elim) then
+      Fail "filter: explicit --filter none differs bitwise from the default"
+    else begin
+      let base_add = Addition.compute ~fixpoint:fix ~k topo in
+      let tol v = (0.01 *. Float.abs v) +. 1e-9 in
+      let relaxation m =
+        let fadd = Addition.compute ~filter:m ~fixpoint:fix ~k topo in
+        let felim = Elimination.compute ~filter:m ~fixpoint:fix ~k topo in
+        let rec per_k i =
+          if i > k then None
+          else
+            let ea = Addition.estimated_delay base_add i in
+            let ea_f = Addition.estimated_delay fadd i in
+            let ee = Elimination.estimated_delay base_elim i in
+            let ee_f = Elimination.estimated_delay felim i in
+            if ea_f > ea +. tol ea then
+              Some
+                (Printf.sprintf
+                   "filter %s: k=%d addition estimate %.9f exceeds the \
+                    unfiltered estimate %.9f (filtering may only shrink it)"
+                   (Mode.to_string m) i ea_f ea)
+            else if ee_f < ee -. tol ee then
+              Some
+                (Printf.sprintf
+                   "filter %s: k=%d elimination estimate %.9f is below the \
+                    unfiltered estimate %.9f (filtering may only raise it)"
+                   (Mode.to_string m) i ee_f ee)
+            else per_k (i + 1)
+        in
+        per_k 1
+      in
+      (* 3a. window-drop certificates, for both engines' window sets *)
+      let base_w = Analysis.window fix.Iterate.base in
+      let noisy_w = Analysis.window fix.Iterate.analysis in
+      let certify_drops m =
+        List.iter
+          (fun (engine_mode, mode_w) ->
+            let filt = Filter.prepare ~mode:m ~windows:mode_w topo in
+            for v = 0 to N.num_nets nl - 1 do
+              List.iter
+                (fun (d : CN.directed) ->
+                  match Filter.decide filt d with
+                  | Filter.Drop Filter.Window_disjoint ->
+                    let victim =
+                      Transition.make ~t50:(base_w v).TW.lat
+                        ~slew:(mode_w v).TW.slew_late ()
+                    in
+                    let interval = Dominance.interval ~victim in
+                    let env = EB.of_directed nl ~windows:mode_w d in
+                    if Pwl.max_on interval (Envelope.waveform env) > 1e-9
+                    then
+                      raise
+                        (Cert_fail
+                           (Printf.sprintf
+                              "filter %s (%s windows): dropped aggressor \
+                               %d->%d as non-overlapping but its envelope \
+                               is non-zero on the dominance interval"
+                              (Mode.to_string m) engine_mode
+                              d.CN.dc_aggressor d.CN.dc_victim))
+                  | Filter.Drop _ | Filter.Keep | Filter.Derate _ -> ())
+                (CN.aggressors_of_victim nl v)
+            done)
+          [ ("base", base_w); ("noisy", noisy_w) ]
+      in
+      (* 3b. logic certificates: every abstract implication value must
+         agree with exhaustive simulation *)
+      let certify_logic () =
+        let pis = N.inputs nl in
+        let npi = List.length pis in
+        if npi > max_sim_inputs then ()
+        else begin
+          let values = Implication.analyze topo in
+          let pi_arr = Array.of_list pis in
+          let assigned = Array.make (N.num_nets nl) false in
+          for mask = 0 to (1 lsl npi) - 1 do
+            Array.iteri
+              (fun bit pi -> assigned.(pi) <- (mask lsr bit) land 1 = 1)
+              pi_arr;
+            match Implication.eval_all nl ~assignment:(fun n -> assigned.(n)) with
+            | exception Implication.Parse_error -> ()
+            | sim ->
+              Array.iteri
+                (fun n v ->
+                  let claim =
+                    match (v : Implication.value) with
+                    | Implication.Mixed -> None
+                    | Implication.Const b -> Some b
+                    | Implication.Fn { root; at0; at1 } ->
+                      Some (if sim.(root) then at1 else at0)
+                  in
+                  match claim with
+                  | Some expected when sim.(n) <> expected ->
+                    raise
+                      (Cert_fail
+                         (Printf.sprintf
+                            "filter logic: implication value of net %d is \
+                             wrong under input assignment %#x"
+                            n mask))
+                  | _ -> ())
+                values
+          done
+        end
+      in
+      match
+        List.find_map relaxation [ Mode.Window; Mode.Logic ]
+      with
+      | Some msg -> Fail msg
+      | None -> (
+        match
+          certify_drops Mode.Window;
+          certify_drops Mode.Logic;
+          certify_logic ()
+        with
+        | () -> Pass
+        | exception Cert_fail msg -> Fail msg)
+    end
+  end
+
 let incremental ~k nl edits =
   match edits with
   | [] -> Skip "empty edit script"

@@ -19,7 +19,11 @@
       semantic field.
     - {!incremental}: re-analysis through the {!Tka_incr} cache after
       an edit script must be bit-identical to a from-scratch run on
-      the edited design. *)
+      the edited design.
+    - {!filter_consistency}: the aggressor candidate filter is a sound
+      relaxation — [Off] is bit-identical to the default, filtered
+      estimates only ever move toward "less noise found", and every
+      drop decision carries an independently-checked certificate. *)
 
 type verdict =
   | Pass
@@ -53,6 +57,23 @@ val table2x : ?expected:string -> Tka_layout.Table2x.spec -> verdict
     spec pins its netlist exactly); with [expected], also pin the value
     against a recorded fingerprint so silent generator drift across
     revisions fails loudly. *)
+
+val filter_consistency :
+  ?max_sim_inputs:int -> k:int -> Tka_circuit.Topo.t -> verdict
+(** Check the three contracts of the {!Tka_filter} layer on one
+    circuit. (1) [--filter none] is bit-identical to the default
+    (every field, via {!Tka_incr.Eco.elim_identical}). (2) [window]
+    and [logic] are relaxations: per cardinality the filtered addition
+    estimate may not exceed the unfiltered one, and the filtered
+    elimination estimate may not fall below it, beyond a 1% relative
+    tolerance (de-rating only shrinks envelopes). (3) Certificates:
+    every [Window_disjoint] drop — under both engines' window sets —
+    must have an envelope that is identically zero on the victim's
+    dominance interval, re-derived here through the waveform layer;
+    and in [logic] mode every implication value must agree with
+    exhaustive boolean simulation over all primary-input assignments
+    (skipped beyond [max_sim_inputs] inputs, default 16). [Skip] when
+    the circuit has no couplings. *)
 
 val incremental :
   k:int -> Tka_circuit.Netlist.t -> Tka_incr.Edit.t list -> verdict

@@ -20,6 +20,11 @@ let combine = function
   | [] -> zero
   | es -> Pwl.sum es
 
+let scale f e =
+  if not (f >= 0. && f <= 1.) then
+    invalid_arg "Envelope.scale: factor must be in [0, 1]";
+  if f = 1. then e else Pwl.scale f e
+
 let widen d e =
   if d < 0. then invalid_arg "Envelope.widen: negative widening";
   if d = 0. then e else Pwl.sliding_max ~window:d e

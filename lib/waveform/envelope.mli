@@ -42,6 +42,15 @@ val combine : t list -> t
 
 val add : t -> t -> t
 
+val scale : float -> t -> t
+(** [scale f e] de-rates the envelope by a factor [f] in [\[0, 1\]] —
+    every ordinate multiplied by [f] ([f = 1] returns [e] itself).
+    Used by the aggressor filter to discount couplings whose switching
+    window only partially overlaps the victim's sensitive interval.
+    Pointwise [scale f e <= e], so dominance and objectives computed
+    from a de-rated envelope only ever shrink. Raises
+    [Invalid_argument] outside [\[0, 1\]]. *)
+
 val widen : float -> t -> t
 (** [widen d e] extends the envelope as if the underlying aggressor's
     latest switching time increased by [d >= 0]: sliding-max over the

@@ -505,6 +505,51 @@ let test_eco_rule_surfaced () =
       Alcotest.(check bool) "an applied fix names its rule" true (rule <> "none")
   | _ -> Alcotest.fail "eco reply must carry the chosen rule"
 
+(* The filter mode rides every analysis RPC: accepted names are echoed
+   back, the default is "none", "none" results are bit-identical to an
+   unfiltered request, and an unknown name is a bad_request (the error
+   code set stays closed). *)
+let test_filter_rpc () =
+  let srv = make_server () in
+  let sess = session srv in
+  load_tiny srv sess;
+  let analyze params =
+    result_exn "analyze" (rpc srv sess "analyze" (J.Obj params))
+  in
+  let filter_of j =
+    match J.member "filter" j with
+    | Some (J.Str s) -> s
+    | _ -> Alcotest.failf "no filter field in %s" (J.to_string j)
+  in
+  let default = analyze [] in
+  Alcotest.(check string) "default filter is none" "none" (filter_of default);
+  List.iter
+    (fun name ->
+      let r = analyze [ ("filter", J.Str name) ] in
+      Alcotest.(check string)
+        (Printf.sprintf "filter %s echoed" name)
+        name (filter_of r))
+    [ "none"; "window"; "logic" ];
+  Alcotest.(check string)
+    "explicit none bit-identical to default"
+    (J.to_string (strip_volatile default))
+    (J.to_string (strip_volatile (analyze [ ("filter", J.Str "none") ])));
+  List.iter
+    (fun (meth, params) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s with unknown filter -> bad_request" meth)
+        "bad_request"
+        (Proto.code_to_string
+           (error_code meth (rpc srv sess meth (J.Obj params)))))
+    [
+      ("analyze", [ ("filter", J.Str "aggressive") ]);
+      ("analyze", [ ("filter", J.Int 2) ]);
+      ("whatif", [ ("edits", J.List []); ("filter", J.Str "windows") ]);
+      ( "repair",
+        [ ("budget", J.Int 1); ("dry_run", J.Bool true); ("filter", J.Str "") ]
+      );
+    ]
+
 let test_repair_rpc () =
   let srv = make_server () in
   let sess = session srv in
@@ -800,6 +845,7 @@ let () =
           Alcotest.test_case "eco advances" `Quick test_eco_advances;
           Alcotest.test_case "eco rule surfaced" `Quick test_eco_rule_surfaced;
           Alcotest.test_case "repair rpc" `Quick test_repair_rpc;
+          Alcotest.test_case "filter rpc" `Quick test_filter_rpc;
         ] );
       ( "admission",
         [
